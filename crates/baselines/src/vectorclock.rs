@@ -1,0 +1,328 @@
+//! Vector-clock happens-before detector.
+//!
+//! The general-purpose alternative the paper argues against for task
+//! parallelism (§1, §6): precise on arbitrary computation graphs, but the
+//! clock attached to each task has one component per task that ever
+//! communicated with it, and in a task-parallel program *every* task is
+//! eventually joined, so clocks grow toward Θ(#tasks) entries — memory and
+//! copy cost the DTRG avoids. The bench harness's ablation shows exactly
+//! this blow-up.
+//!
+//! Clock discipline (serial depth-first, but valid for any schedule):
+//!
+//! * spawn: the child starts with a copy of the parent's clock plus its own
+//!   fresh component; the parent then ticks its own component (so accesses
+//!   before/after the spawn are distinguishable to the child's subtree);
+//! * task end: the final clock is snapshotted for joiners;
+//! * `get` / finish end: the waiter's clock joins (component-wise max)
+//!   each joined task's final clock;
+//! * an access recorded as `(task, epoch)` happens-before the current task
+//!   `u` iff `clock(u)[task] >= epoch`.
+//!
+//! Shadow memory keeps the last write epoch and a pruned list of read
+//! epochs per location (all pairwise-parallel), as in DJIT⁺-style
+//! detectors.
+
+use crate::BaselineDetector;
+use futrace_runtime::monitor::{Monitor, TaskKind};
+use futrace_util::ids::{FinishId, LocId, TaskId};
+
+/// Sparse-ish vector clock: dense `Vec<u32>` indexed by task id, truncated
+/// to the highest nonzero component. Component `t` = how much of task `t`'s
+/// history is known.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: TaskId) -> u32 {
+        self.0.get(t.index()).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: TaskId, v: u32) {
+        if self.0.len() <= t.index() {
+            self.0.resize(t.index() + 1, 0);
+        }
+        self.0[t.index()] = v;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Number of allocated components — the memory-growth metric the
+    /// ablation bench reports.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Epoch {
+    task: TaskId,
+    clock: u32,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Cell {
+    write: Option<Epoch>,
+    reads: Vec<Epoch>,
+}
+
+/// The vector-clock determinacy race detector.
+pub struct VectorClockDetector {
+    clocks: Vec<VClock>,
+    shadow: Vec<Cell>,
+    races: u64,
+    /// Peak clock width observed (the impracticality metric).
+    pub peak_clock_width: usize,
+    /// Sum of clock components allocated across all tasks (memory proxy).
+    pub total_clock_entries: u64,
+}
+
+impl Default for VectorClockDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VectorClockDetector {
+    /// Fresh detector with the main task's clock at `[1]`.
+    pub fn new() -> Self {
+        let mut main = VClock::default();
+        main.set(TaskId::MAIN, 1);
+        VectorClockDetector {
+            clocks: vec![main],
+            shadow: Vec::new(),
+            races: 0,
+            peak_clock_width: 1,
+            total_clock_entries: 1,
+        }
+    }
+
+    #[inline]
+    fn hb(&self, e: Epoch, cur: TaskId) -> bool {
+        self.clocks[cur.index()].get(e.task) >= e.clock
+    }
+
+    fn epoch_of(&self, t: TaskId) -> Epoch {
+        Epoch {
+            task: t,
+            clock: self.clocks[t.index()].get(t),
+        }
+    }
+
+    fn cell_mut(&mut self, loc: LocId) -> &mut Cell {
+        let i = loc.index();
+        if i >= self.shadow.len() {
+            self.shadow.resize_with(i + 1, Cell::default);
+        }
+        &mut self.shadow[i]
+    }
+}
+
+impl Monitor for VectorClockDetector {
+    fn task_create(&mut self, parent: TaskId, child: TaskId, _kind: TaskKind, _ief: FinishId) {
+        debug_assert_eq!(child.index(), self.clocks.len());
+        let mut c = self.clocks[parent.index()].clone();
+        c.set(child, 1);
+        self.peak_clock_width = self.peak_clock_width.max(c.width());
+        self.total_clock_entries += c.width() as u64;
+        self.clocks.push(c);
+        // Tick the parent so its post-spawn accesses are not covered by the
+        // child's inherited snapshot.
+        let p = &mut self.clocks[parent.index()];
+        let cur = p.get(parent);
+        p.set(parent, cur + 1);
+    }
+
+    fn get(&mut self, waiter: TaskId, awaited: TaskId) {
+        let other = self.clocks[awaited.index()].clone();
+        self.clocks[waiter.index()].join(&other);
+        self.peak_clock_width = self
+            .peak_clock_width
+            .max(self.clocks[waiter.index()].width());
+    }
+
+    fn finish_end(&mut self, task: TaskId, _finish: FinishId, joined: &[TaskId]) {
+        for &j in joined {
+            let other = self.clocks[j.index()].clone();
+            self.clocks[task.index()].join(&other);
+        }
+        self.peak_clock_width = self
+            .peak_clock_width
+            .max(self.clocks[task.index()].width());
+    }
+
+    fn write(&mut self, task: TaskId, loc: LocId) {
+        let epoch = self.epoch_of(task);
+        let cell = std::mem::take(self.cell_mut(loc));
+        for r in &cell.reads {
+            if !self.hb(*r, task) {
+                self.races += 1;
+            }
+        }
+        if let Some(w) = cell.write {
+            if !self.hb(w, task) {
+                self.races += 1;
+            }
+        }
+        // Keep racy (still-parallel) readers, matching the DTRG detector's
+        // Algorithm 8; ordered readers are subsumed by the new writer.
+        let task_clock = &self.clocks[task.index()];
+        let kept: Vec<Epoch> = cell
+            .reads
+            .into_iter()
+            .filter(|r| task_clock.get(r.task) < r.clock)
+            .collect();
+        let new_cell = self.cell_mut(loc);
+        new_cell.reads = kept;
+        new_cell.write = Some(epoch);
+    }
+
+    fn read(&mut self, task: TaskId, loc: LocId) {
+        let epoch = self.epoch_of(task);
+        let cell = std::mem::take(self.cell_mut(loc));
+        if let Some(w) = cell.write {
+            if !self.hb(w, task) {
+                self.races += 1;
+            }
+        }
+        let task_clock = &self.clocks[task.index()];
+        let mut reads: Vec<Epoch> = cell
+            .reads
+            .into_iter()
+            .filter(|r| task_clock.get(r.task) < r.clock) // keep parallel reads
+            .collect();
+        reads.push(epoch);
+        let new_cell = self.cell_mut(loc);
+        new_cell.reads = reads;
+        new_cell.write = cell.write;
+    }
+}
+
+impl BaselineDetector for VectorClockDetector {
+    fn name(&self) -> &'static str {
+        "vector-clock"
+    }
+    fn race_count(&self) -> u64 {
+        self.races
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_baseline;
+    use futrace_runtime::TaskCtx;
+
+    #[test]
+    fn race_free_future_chain() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| x2.write(ctx, 1));
+            ctx.get(&f);
+            let _ = x.read(ctx);
+        });
+        assert!(!d.has_races(), "vector clocks model get() precisely");
+    }
+
+    #[test]
+    fn detects_future_race() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            let _f = ctx.future(move |ctx| x2.write(ctx, 1));
+            let _ = x.read(ctx); // no get
+        });
+        assert!(d.has_races());
+    }
+
+    #[test]
+    fn finish_synchronizes() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            ctx.finish(|ctx| {
+                let xa = x.clone();
+                ctx.async_task(move |ctx| xa.write(ctx, 1));
+            });
+            x.write(ctx, 2);
+        });
+        assert!(!d.has_races());
+    }
+
+    #[test]
+    fn post_spawn_parent_access_races_with_child_read() {
+        // The parent-tick matters: parent writes after spawning a child
+        // that reads — parallel.
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            ctx.async_task(move |ctx| {
+                let _ = x2.read(ctx);
+            });
+            x.write(ctx, 1);
+        });
+        assert!(d.has_races());
+    }
+
+    #[test]
+    fn pre_spawn_parent_write_is_ordered() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            x.write(ctx, 1);
+            let x2 = x.clone();
+            ctx.async_task(move |ctx| {
+                let _ = x2.read(ctx);
+            });
+        });
+        assert!(!d.has_races());
+    }
+
+    #[test]
+    fn clock_width_grows_with_tasks() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let mut hs = Vec::new();
+            for _ in 0..50 {
+                hs.push(ctx.future(|_| 0u8));
+            }
+            for h in &hs {
+                ctx.get(h);
+            }
+        });
+        assert!(!d.has_races());
+        assert!(
+            d.peak_clock_width >= 50,
+            "width {} should approach task count",
+            d.peak_clock_width
+        );
+        assert_eq!(d.name(), "vector-clock");
+    }
+
+    #[test]
+    fn transitive_get_order() {
+        let mut d = VectorClockDetector::new();
+        run_baseline(&mut d, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let xb = x.clone();
+            let b = ctx.future(move |ctx| xb.write(ctx, 3));
+            let c = ctx.future(move |ctx| {
+                ctx.get(&b);
+            });
+            ctx.get(&c);
+            let _ = x.read(ctx);
+        });
+        assert!(!d.has_races());
+    }
+}

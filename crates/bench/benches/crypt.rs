@@ -1,0 +1,52 @@
+//! Criterion bench for Table 2's Crypt rows. Crypt has the paper's
+//! smallest work-per-task, hence the largest async-finish slowdown
+//! (7.77–8.26×): the detector's per-access and per-task costs dominate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::crypt::{crypt_run, crypt_seq, CryptParams, CryptVariant};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn bench_params() -> CryptParams {
+    CryptParams {
+        bytes: 32_768,
+        seed: 0x1dea,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("crypt");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| crypt_seq(&p)));
+    g.bench_function("dsl-null-af", |b| {
+        b.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                crypt_run(ctx, &p, CryptVariant::AsyncFinish);
+            })
+        })
+    });
+    g.bench_function("racedet-af", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                crypt_run(ctx, &p, CryptVariant::AsyncFinish);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.bench_function("racedet-future", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                crypt_run(ctx, &p, CryptVariant::Future);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benches for the extension workloads (blocked LU, pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::lu::{lu_run, lu_seq_blocked, LuParams};
+use futrace_benchsuite::pipeline::{pipeline_run, pipeline_seq, PipelineParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn lu_bench(c: &mut Criterion) {
+    let p = LuParams { nb: 6, bs: 12, seed: 0x1f };
+    let mut g = c.benchmark_group("blocked-lu");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| lu_seq_blocked(&p)));
+    g.bench_function("dsl-null", |b| {
+        b.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                lu_run(ctx, &p, false);
+            })
+        })
+    });
+    g.bench_function("racedet", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                lu_run(ctx, &p, false);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+fn pipeline_bench(c: &mut Criterion) {
+    let p = PipelineParams {
+        stages: 6,
+        items: 128,
+        rounds: 32,
+        seed: 0x9199,
+    };
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| pipeline_seq(&p)));
+    g.bench_function("racedet", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                pipeline_run(ctx, &p, false);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, lu_bench, pipeline_bench);
+criterion_main!(benches);

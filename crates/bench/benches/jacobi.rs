@@ -1,0 +1,44 @@
+//! Criterion bench for Table 2's Jacobi row (futures with `depends`-style
+//! point-to-point synchronization; non-tree joins throughout).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::jacobi::{jacobi_run, jacobi_seq, JacobiParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn bench_params() -> JacobiParams {
+    JacobiParams {
+        n: 128,
+        tile: 16,
+        sweeps: 4,
+        seed: 0xacab,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("jacobi");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| jacobi_seq(&p)));
+    g.bench_function("dsl-null", |b| {
+        b.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                jacobi_run(ctx, &p, false);
+            })
+        })
+    });
+    g.bench_function("racedet", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                jacobi_run(ctx, &p, false);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for Table 2's Series rows: serial elision vs. plain DSL
+//! vs. DSL + DTRG detector (af and future variants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::series::{series_af, series_future, series_seq, SeriesParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn bench_params() -> SeriesParams {
+    SeriesParams {
+        n: 200,
+        intervals: 200,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("series");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| series_seq(&p)));
+    g.bench_function("dsl-null-af", |b| {
+        b.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                series_af(ctx, &p);
+            })
+        })
+    });
+    g.bench_function("racedet-af", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                series_af(ctx, &p);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.bench_function("racedet-future", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                series_future(ctx, &p);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Table 2's Smith-Waterman row — the paper's worst
+//! slowdown (9.92×): maximal #SharedMem and #AvgReaders (tile boundaries
+//! are watched by two parallel future readers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::smithwaterman::{sw_run, sw_seq, SwParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn bench_params() -> SwParams {
+    SwParams {
+        n: 200,
+        tiles: 10,
+        seed: 0xac97,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = bench_params();
+    let mut g = c.benchmark_group("smithwaterman");
+    g.sample_size(10);
+    g.bench_function("seq", |b| b.iter(|| sw_seq(&p)));
+    g.bench_function("dsl-null", |b| {
+        b.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                sw_run(ctx, &p, false);
+            })
+        })
+    });
+    g.bench_function("racedet", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                sw_run(ctx, &p, false);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for Table 2's Strassen row (7 product + 4 combine
+//! futures per recursion node; 12 non-tree joins per node).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_benchsuite::strassen::{inputs, strassen_run, strassen_seq, StrassenParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{run_serial, NullMonitor};
+
+fn bench_params() -> StrassenParams {
+    StrassenParams {
+        n: 64,
+        cutoff: 16,
+        seed: 0x57a5,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let p = bench_params();
+    let (a, b) = inputs(&p);
+    let mut g = c.benchmark_group("strassen");
+    g.sample_size(10);
+    g.bench_function("seq", |bch| {
+        bch.iter(|| strassen_seq(&a, &b, p.n, p.cutoff))
+    });
+    g.bench_function("dsl-null", |bch| {
+        bch.iter(|| {
+            let mut m = NullMonitor;
+            run_serial(&mut m, |ctx| {
+                strassen_run(ctx, &p);
+            })
+        })
+    });
+    g.bench_function("racedet", |bch| {
+        bch.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                strassen_run(ctx, &p);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Reproduces the paper's Table 2 ("Runtime overhead for determinacy race
+//! detection").
+//!
+//! ```text
+//! cargo run --release -p futrace-bench --bin table2              # laptop scale
+//! cargo run --release -p futrace-bench --bin table2 -- --tiny    # smoke test
+//! cargo run --release -p futrace-bench --bin table2 -- --paper   # JGF Size C etc. (hours, ~GBs)
+//! cargo run --release -p futrace-bench --bin table2 -- --reps 10 --bench Jacobi
+//! ```
+//!
+//! Columns are the paper's: #Tasks, #NTJoins, #SharedMem, #AvgReaders,
+//! Seq, Racedet, Slowdown. Absolute times differ from the paper (Rust vs.
+//! JVM, different hardware); the reproduced quantities are the structural
+//! counts and the slowdown ordering.
+
+use futrace_bench::{extension_rows, format_table, rows_to_json, table2_rows, Size};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = Size::Scaled;
+    let mut reps = 3usize;
+    let mut filter: Option<String> = None;
+    let mut json = false;
+    let mut ext = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tiny" => size = Size::Tiny,
+            "--scaled" => size = Size::Scaled,
+            "--paper" => size = Size::Paper,
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps N");
+            }
+            "--bench" => {
+                i += 1;
+                filter = Some(args[i].clone());
+            }
+            "--json" => json = true,
+            "--ext" => ext = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: table2 [--tiny|--scaled|--paper] [--reps N] [--bench NAME] [--ext] [--json]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "futrace Table-2 reproduction — size: {size:?}, reps: {reps}{}",
+        filter
+            .as_deref()
+            .map(|f| format!(", filter: {f}"))
+            .unwrap_or_default()
+    );
+    eprintln!("(Seq = serial elision; Racedet = serial depth-first run under the DTRG detector)");
+    let mut rows = table2_rows(size, reps, filter.as_deref());
+    if ext {
+        rows.extend(extension_rows(size, reps, filter.as_deref()));
+    }
+    futrace_bench::assert_race_free(&rows);
+    if json {
+        println!("{}", rows_to_json(&rows));
+        return;
+    }
+    println!("{}", format_table(&rows));
+
+    // Shape notes from the paper's analysis (§5): the future variants
+    // perform ≈ 2 extra shared accesses per task (the stored future
+    // references).
+    let get = |n: &str| rows.iter().find(|r| r.name == n);
+    if let (Some(af), Some(fut)) = (get("Series-af"), get("Series-future")) {
+        let delta = fut.shared_mem as i64 - af.shared_mem as i64;
+        println!(
+            "Series future-vs-af extra accesses: {delta} (≈ 2 × #Tasks = {})",
+            2 * af.tasks
+        );
+    }
+    if let (Some(af), Some(fut)) = (get("Crypt-af"), get("Crypt-future")) {
+        let delta = fut.shared_mem as i64 - af.shared_mem as i64;
+        println!(
+            "Crypt future-vs-af extra accesses:  {delta} (≈ 2 × #Tasks = {})",
+            2 * af.tasks
+        );
+    }
+}

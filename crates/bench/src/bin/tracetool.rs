@@ -1,0 +1,192 @@
+//! Record and analyze execution traces.
+//!
+//! ```text
+//! # record a benchmark's event stream to a compact binary trace:
+//! tracetool record --bench jacobi --out /tmp/jacobi.trace [--tiny|--scaled] [--planted]
+//!
+//! # offline race detection + statistics over a trace:
+//! tracetool analyze /tmp/jacobi.trace [--graph] [--dot /tmp/graph.dot]
+//! ```
+//!
+//! `analyze` replays the trace into the DTRG detector (identical verdict
+//! to the online run); `--graph` additionally rebuilds the step-level
+//! computation graph for work/span analytics (memory-heavy on large
+//! traces), and `--dot` writes its Graphviz rendering.
+
+use futrace_benchsuite::{jacobi, lu, pipeline, smithwaterman};
+use futrace_compgraph::{dot, GraphBuilder, GraphStats};
+use futrace_detector::RaceDetector;
+use futrace_runtime::{replay, run_serial, trace, EventLog};
+
+fn usage() -> ! {
+    eprintln!("usage:");
+    eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE [--tiny|--scaled] [--planted]");
+    eprintln!("  tracetool analyze FILE [--graph] [--dot FILE]");
+    std::process::exit(2);
+}
+
+fn record(args: &[String]) {
+    let mut bench = None;
+    let mut out = None;
+    let mut tiny = true;
+    let mut planted = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                bench = Some(args[i].clone());
+            }
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            "--tiny" => tiny = true,
+            "--scaled" => tiny = false,
+            "--planted" => planted = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let (Some(bench), Some(out)) = (bench, out) else {
+        usage()
+    };
+    let mut log = EventLog::new();
+    match bench.as_str() {
+        "jacobi" => {
+            let p = if tiny {
+                jacobi::JacobiParams::tiny()
+            } else {
+                jacobi::JacobiParams::scaled()
+            };
+            run_serial(&mut log, |ctx| {
+                jacobi::jacobi_run(ctx, &p, planted);
+            });
+        }
+        "smithwaterman" => {
+            let p = if tiny {
+                smithwaterman::SwParams::tiny()
+            } else {
+                smithwaterman::SwParams::scaled()
+            };
+            run_serial(&mut log, |ctx| {
+                smithwaterman::sw_run(ctx, &p, planted);
+            });
+        }
+        "lu" => {
+            let p = if tiny {
+                lu::LuParams::tiny()
+            } else {
+                lu::LuParams::scaled()
+            };
+            run_serial(&mut log, |ctx| {
+                lu::lu_run(ctx, &p, planted);
+            });
+        }
+        "pipeline" => {
+            let p = if tiny {
+                pipeline::PipelineParams::tiny()
+            } else {
+                pipeline::PipelineParams::scaled()
+            };
+            run_serial(&mut log, |ctx| {
+                pipeline::pipeline_run(ctx, &p, planted);
+            });
+        }
+        other => {
+            eprintln!("unknown benchmark {other}");
+            usage()
+        }
+    }
+    let blob = trace::encode(&log.events);
+    std::fs::write(&out, &blob).expect("write trace file");
+    eprintln!(
+        "recorded {} events ({} bytes, {:.2} B/event) to {out}",
+        log.events.len(),
+        blob.len(),
+        blob.len() as f64 / log.events.len().max(1) as f64
+    );
+}
+
+fn analyze(args: &[String]) {
+    let mut file = None;
+    let mut want_graph = false;
+    let mut dot_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--graph" => want_graph = true,
+            "--dot" => {
+                i += 1;
+                dot_out = Some(args[i].clone());
+                want_graph = true;
+            }
+            f if file.is_none() => file = Some(f.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(file) = file else { usage() };
+    let blob = std::fs::read(&file).expect("read trace file");
+    let events = match trace::decode(&blob) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("invalid trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}: {} events", file, events.len());
+
+    let mut det = RaceDetector::new();
+    replay(&events, &mut det);
+    let stats = det.stats();
+    println!("\n-- detector --");
+    println!("{stats}");
+    println!("footprint:   {}", det.memory_footprint());
+    let report_races = det.races().to_vec();
+    let report = det.into_report();
+    if report.has_races() {
+        println!(
+            "\n{} determinacy race(s); first {}:",
+            report.total_detected,
+            report_races.len().min(5)
+        );
+        for r in report_races.iter().take(5) {
+            println!("  {r}");
+        }
+        std::process::exit(3);
+    }
+    println!("\nno determinacy races: the traced program is determinate");
+
+    if want_graph {
+        let mut builder = GraphBuilder::new();
+        replay(&events, &mut builder);
+        let graph = builder.into_graph();
+        let gstats = GraphStats::compute(&graph);
+        println!("\n-- computation graph --");
+        println!("{gstats}");
+        println!("parallelism:    {:.2}", gstats.parallelism());
+        let mhp = futrace_compgraph::mhp::summarize(&graph);
+        println!(
+            "MHP:            {:.1}% of step pairs parallel ({} of {}); {} of {} task pairs",
+            100.0 * mhp.step_parallel_fraction(),
+            mhp.parallel_step_pairs,
+            mhp.total_step_pairs,
+            mhp.parallel_task_pairs,
+            mhp.total_task_pairs
+        );
+        if let Some(path) = dot_out {
+            std::fs::write(&path, dot::to_dot(&graph, &file)).expect("write dot");
+            println!("wrote {path}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
+        _ => usage(),
+    }
+}

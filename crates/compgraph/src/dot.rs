@@ -1,0 +1,69 @@
+//! Graphviz (DOT) export of computation graphs.
+//!
+//! Renders Figure-2/Figure-3 style pictures: steps are circles grouped into
+//! one box (cluster) per task; continue edges solid, spawn edges bold,
+//! tree joins dashed, non-tree joins dashed+red.
+
+use crate::graph::{CompGraph, EdgeKind, JoinKind};
+use std::fmt::Write as _;
+
+/// Renders `g` as a DOT document.
+pub fn to_dot(g: &CompGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for (tid, info) in g.tasks.iter().enumerate() {
+        let label = if tid == 0 {
+            "T_M (main)".to_string()
+        } else if info.is_future {
+            format!("T{tid} (future)")
+        } else {
+            format!("T{tid} (async)")
+        };
+        let _ = writeln!(out, "  subgraph cluster_t{tid} {{");
+        let _ = writeln!(out, "    label=\"{label}\"; style=rounded;");
+        for (sid, &owner) in g.step_task.iter().enumerate() {
+            if owner.index() == tid {
+                let _ = writeln!(out, "    s{sid} [label=\"S{sid}\"];");
+            }
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for e in &g.edges {
+        let attrs = match e.kind {
+            EdgeKind::Continue => "",
+            EdgeKind::Spawn => " [style=bold]",
+            EdgeKind::Join(JoinKind::Tree) => " [style=dashed]",
+            EdgeKind::Join(JoinKind::NonTree) => " [style=dashed, color=red]",
+        };
+        let _ = writeln!(out, "  s{} -> s{}{};", e.from.0, e.to.0, attrs);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use futrace_runtime::{run_serial, TaskCtx};
+
+    #[test]
+    fn dot_contains_clusters_and_edge_styles() {
+        let mut b = GraphBuilder::new();
+        run_serial(&mut b, |ctx| {
+            let f = ctx.future(|_| 0u8);
+            let f2 = f.clone();
+            let _g = ctx.future(move |ctx| ctx.get(&f2)); // non-tree join
+            ctx.get(&f); // tree join
+        });
+        let dot = to_dot(&b.into_graph(), "example");
+        assert!(dot.starts_with("digraph \"example\""));
+        assert!(dot.contains("cluster_t0"));
+        assert!(dot.contains("T1 (future)"));
+        assert!(dot.contains("[style=bold]"), "spawn edge styling");
+        assert!(dot.contains("color=red"), "non-tree join styling");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,187 @@
+//! Graph analytics: the structural columns of Table 2 plus work/span.
+
+use crate::graph::{CompGraph, EdgeKind, JoinKind};
+use futrace_util::FxHashSet;
+
+/// Summary statistics of a computation graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Dynamic tasks created, excluding main (Table 2's #Tasks).
+    pub tasks: usize,
+    /// Future tasks among them.
+    pub future_tasks: usize,
+    /// Steps (nodes).
+    pub steps: usize,
+    /// Continue edges.
+    pub continue_edges: usize,
+    /// Spawn edges.
+    pub spawn_edges: usize,
+    /// Tree join edges.
+    pub tree_joins: usize,
+    /// Non-tree join edges (Table 2's #NTJoins).
+    pub non_tree_joins: usize,
+    /// Shared-memory accesses (Table 2's #SharedMem).
+    pub shared_mem: usize,
+    /// Distinct shared locations touched.
+    pub distinct_locs: usize,
+    /// Longest path length in steps (the *span* of the computation,
+    /// counting nodes).
+    pub span: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    pub fn compute(g: &CompGraph) -> Self {
+        let mut continue_edges = 0;
+        let mut spawn_edges = 0;
+        let mut tree_joins = 0;
+        let mut non_tree_joins = 0;
+        for e in &g.edges {
+            match e.kind {
+                EdgeKind::Continue => continue_edges += 1,
+                EdgeKind::Spawn => spawn_edges += 1,
+                EdgeKind::Join(JoinKind::Tree) => tree_joins += 1,
+                EdgeKind::Join(JoinKind::NonTree) => non_tree_joins += 1,
+            }
+        }
+        let distinct_locs = g
+            .accesses
+            .iter()
+            .map(|a| a.loc)
+            .collect::<FxHashSet<_>>()
+            .len();
+        // Longest path over the DAG (step ids are topological).
+        let mut depth = vec![1usize; g.step_count()];
+        let mut span = if g.step_count() > 0 { 1 } else { 0 };
+        for e in &g.edges {
+            let cand = depth[e.from.index()] + 1;
+            if cand > depth[e.to.index()] {
+                depth[e.to.index()] = cand;
+                span = span.max(cand);
+            }
+        }
+        GraphStats {
+            tasks: g.task_count().saturating_sub(1),
+            future_tasks: g.tasks.iter().filter(|t| t.is_future).count(),
+            steps: g.step_count(),
+            continue_edges,
+            spawn_edges,
+            tree_joins,
+            non_tree_joins,
+            shared_mem: g.shared_mem_count(),
+            distinct_locs,
+            span,
+        }
+    }
+}
+
+impl GraphStats {
+    /// Ideal parallelism of the computation, measured in steps: total
+    /// steps (work) over the longest path (span). An async-finish or
+    /// future program cannot speed up beyond this ratio on any number of
+    /// processors (work/span law).
+    pub fn parallelism(&self) -> f64 {
+        if self.span == 0 {
+            0.0
+        } else {
+            self.steps as f64 / self.span as f64
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "tasks:          {}", self.tasks)?;
+        writeln!(f, "  futures:      {}", self.future_tasks)?;
+        writeln!(f, "steps:          {}", self.steps)?;
+        writeln!(f, "continue edges: {}", self.continue_edges)?;
+        writeln!(f, "spawn edges:    {}", self.spawn_edges)?;
+        writeln!(f, "tree joins:     {}", self.tree_joins)?;
+        writeln!(f, "non-tree joins: {}", self.non_tree_joins)?;
+        writeln!(f, "shared accesses:{}", self.shared_mem)?;
+        writeln!(f, "distinct locs:  {}", self.distinct_locs)?;
+        write!(f, "span (steps):   {}", self.span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use futrace_runtime::{run_serial, TaskCtx};
+
+    #[test]
+    fn stats_of_future_pipeline() {
+        let mut b = GraphBuilder::new();
+        run_serial(&mut b, |ctx| {
+            let x = ctx.shared_array(4, 0u64, "x");
+            let x0 = x.clone();
+            let a = ctx.future(move |ctx| x0.write(ctx, 0, 1));
+            let x1 = x.clone();
+            let _b = ctx.future(move |ctx| {
+                ctx.get(&a); // sibling: non-tree join
+                let v = x1.read(ctx, 0);
+                x1.write(ctx, 1, v + 1);
+            });
+        });
+        let g = b.into_graph();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.future_tasks, 2);
+        assert_eq!(s.non_tree_joins, 1);
+        assert_eq!(s.shared_mem, 3);
+        assert_eq!(s.distinct_locs, 2);
+        // Implicit finish joins both futures: 2 tree joins.
+        assert_eq!(s.tree_joins, 2);
+        assert_eq!(s.spawn_edges, 2);
+        assert!(s.span >= 4);
+        let text = s.to_string();
+        assert!(text.contains("non-tree joins: 1"));
+    }
+
+    #[test]
+    fn parallelism_of_wide_fanout_exceeds_one() {
+        let mut b = GraphBuilder::new();
+        run_serial(&mut b, |ctx| {
+            ctx.finish(|ctx| {
+                for _ in 0..16 {
+                    ctx.async_task(|ctx| {
+                        let v = ctx.shared_var(0u8, "v");
+                        v.write(ctx, 1);
+                    });
+                }
+            });
+        });
+        let s = GraphStats::compute(&b.into_graph());
+        assert!(s.parallelism() > 1.5, "got {}", s.parallelism());
+    }
+
+    #[test]
+    fn parallelism_of_sequential_chain_is_one() {
+        let mut b = GraphBuilder::new();
+        run_serial(&mut b, |ctx| {
+            let mut prev = ctx.future(|_| ());
+            for _ in 0..8 {
+                let p = prev.clone();
+                prev = ctx.future(move |ctx| ctx.get(&p));
+            }
+            ctx.get(&prev);
+        });
+        let s = GraphStats::compute(&b.into_graph());
+        // A pure dependence chain has bounded parallelism (the main
+        // task's spawn steps add a constant factor over the chain span).
+        assert!(s.parallelism() < 3.0, "got {}", s.parallelism());
+    }
+
+    #[test]
+    fn empty_program_stats() {
+        let mut b = GraphBuilder::new();
+        run_serial(&mut b, |_| {});
+        let s = GraphStats::compute(&b.into_graph());
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.shared_mem, 0);
+        assert_eq!(s.non_tree_joins, 0);
+        assert_eq!(s.steps, 2); // S0 + step after implicit finish end
+        assert_eq!(s.span, 2);
+    }
+}

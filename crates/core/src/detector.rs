@@ -1,0 +1,738 @@
+//! The on-the-fly determinacy race detector (Algorithms 1–10 assembled).
+//!
+//! [`RaceDetector`] implements [`Monitor`] and drives the
+//! [`crate::dtrg::Dtrg`] and [`crate::shadow::ShadowMemory`] from the
+//! serial depth-first event stream:
+//!
+//! * task creation/termination → Algorithms 2–3 (labels, sets, `lsa`),
+//! * `get` → Algorithm 4 (merge or non-tree edge),
+//! * finish end → Algorithm 6 (merge all IEF joiners),
+//! * write → Algorithm 8 (check readers + writer, become the writer),
+//! * read → Algorithm 9 (check writer, update the reader set).
+//!
+//! ## The reader-set update rule (Algorithm 9, reconstructed)
+//!
+//! As printed in the paper, Algorithm 9 never adds the first reader of a
+//! location (the `update` flag stays false when the loop body never runs).
+//! We implement the evidently intended rule, which Lemmas 3–4 justify:
+//!
+//! * every stored reader `X` with `X ≺ current` is removed — any future
+//!   access racing with `X` also races with the current reader (Lemma 3);
+//! * the current reader is added **unless** it is an async task and a
+//!   *parallel* async reader is already stored — for async triples,
+//!   parallelism is transitive (Lemma 4), so the stored one suffices.
+//!
+//! This preserves the invariant that the reader set holds at most one
+//! async task but arbitrarily many pairwise-parallel future tasks, and is
+//! validated against the transitive-closure oracle by the property tests
+//! in `tests/`.
+//!
+//! ## First-race semantics
+//!
+//! Like SP-bags and ESP-bags, the detector is sound and precise up to the
+//! first race (Theorem 2): on a racy input, the access at which the first
+//! race is reported is exact; subsequent reports are best-effort because
+//! the DTRG's encoding assumes race-free handle flow (Lemma 1).
+
+use crate::dtrg::Dtrg;
+use crate::report::{AccessKind, Race, RaceReport};
+use crate::shadow::{Readers, ShadowMemory};
+use crate::stats::DetectorStats;
+use futrace_runtime::monitor::{Monitor, TaskKind};
+use futrace_runtime::{run_serial, SerialCtx};
+use futrace_util::ids::{FinishId, LocId, TaskId};
+use futrace_util::FxHashSet;
+
+/// Detector configuration.
+#[derive(Clone, Debug)]
+pub struct DetectorConfig {
+    /// Maximum number of distinct races kept in the report (checking
+    /// continues past the cap; only storage is bounded).
+    pub max_reports: usize,
+    /// Sample the stored-reader count on every access to produce Table 2's
+    /// #AvgReaders column. Costs a few flops per access.
+    pub track_avg_readers: bool,
+    /// Stop race *checking* after the first detected race. The detector is
+    /// exact only up to the first race anyway (Theorem 2's first-race
+    /// semantics); this mode skips all further `Precede` queries and
+    /// shadow updates, turning the remainder of the run into pure DTRG
+    /// maintenance — useful when the verdict, not the full report, is
+    /// wanted.
+    pub first_race_only: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            max_reports: 100,
+            track_avg_readers: true,
+            first_race_only: false,
+        }
+    }
+}
+
+/// Space accounting for a detector (the concrete instance of Theorem 1's
+/// `O(a + f + n + v·(f+1))` bound).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Tasks tracked by the DTRG (the `a + f` term).
+    pub dtrg_tasks: usize,
+    /// Non-tree predecessor entries stored (the `n` term).
+    pub stored_nt_edges: usize,
+    /// Shadow cells allocated (the `v` term).
+    pub shadow_cells: usize,
+    /// Reader entries stored across all cells (the `v·(f+1)` worst case).
+    pub stored_readers: usize,
+}
+
+impl std::fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dtrg tasks: {}, nt edges: {}, shadow cells: {}, stored readers: {}",
+            self.dtrg_tasks, self.stored_nt_edges, self.shadow_cells, self.stored_readers
+        )
+    }
+}
+
+/// The dynamic task reachability graph determinacy race detector.
+pub struct RaceDetector {
+    dtrg: Dtrg,
+    shadow: ShadowMemory,
+    stats: DetectorStats,
+    races: Vec<Race>,
+    dedup: FxHashSet<(LocId, TaskId, TaskId, u8)>,
+    total_detected: u64,
+    access_index: u64,
+    config: DetectorConfig,
+}
+
+impl Default for RaceDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RaceDetector {
+    /// Fresh detector with default configuration (Algorithm 1 runs here:
+    /// the main task gets label `[0, MAXINT]` and an empty set).
+    pub fn new() -> Self {
+        Self::with_config(DetectorConfig::default())
+    }
+
+    /// Fresh detector with explicit configuration.
+    pub fn with_config(config: DetectorConfig) -> Self {
+        RaceDetector {
+            dtrg: Dtrg::new(),
+            shadow: ShadowMemory::new(),
+            stats: DetectorStats::default(),
+            races: Vec::new(),
+            dedup: FxHashSet::default(),
+            total_detected: 0,
+            access_index: 0,
+            config,
+        }
+    }
+
+    /// True iff any race has been detected so far.
+    pub fn has_races(&self) -> bool {
+        self.total_detected > 0
+    }
+
+    /// Consumes the detector and produces the final report.
+    pub fn into_report(self) -> RaceReport {
+        RaceReport {
+            races: self.races,
+            total_detected: self.total_detected,
+        }
+    }
+
+    /// Statistics accumulated so far (DTRG counters included).
+    pub fn stats(&self) -> DetectorStats {
+        let mut s = self.stats.clone();
+        s.dtrg = self.dtrg.counters;
+        s
+    }
+
+    /// The DTRG, for white-box tests and the Figure-3/Table-1 example.
+    pub fn dtrg(&self) -> &Dtrg {
+        &self.dtrg
+    }
+
+    /// Mutable DTRG access (reachability queries compress paths).
+    pub fn dtrg_mut(&mut self) -> &mut Dtrg {
+        &mut self.dtrg
+    }
+
+    /// Races reported so far (deduplicated, capped).
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// Current space accounting (Theorem 1's bound, measured).
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            dtrg_tasks: self.dtrg.task_count(),
+            stored_nt_edges: self.dtrg.stored_nt_edges(),
+            shadow_cells: self.shadow.len(),
+            stored_readers: self.shadow.stored_readers(),
+        }
+    }
+
+    #[inline]
+    fn checking(&self) -> bool {
+        !(self.config.first_race_only && self.total_detected > 0)
+    }
+
+    fn report(
+        &mut self,
+        loc: LocId,
+        prev_task: TaskId,
+        prev_kind: AccessKind,
+        cur_task: TaskId,
+        cur_kind: AccessKind,
+    ) {
+        self.total_detected += 1;
+        let kinds = match (prev_kind, cur_kind) {
+            (AccessKind::Read, AccessKind::Write) => 0u8,
+            (AccessKind::Write, AccessKind::Read) => 1,
+            (AccessKind::Write, AccessKind::Write) => 2,
+            (AccessKind::Read, AccessKind::Read) => 3, // unreachable by construction
+        };
+        if self.races.len() < self.config.max_reports
+            && self.dedup.insert((loc, prev_task, cur_task, kinds))
+        {
+            let render = |path: Vec<TaskId>| {
+                path.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\u{2192}")
+            };
+            self.races.push(Race {
+                loc,
+                loc_name: self.shadow.describe(loc),
+                prev_task,
+                prev_kind,
+                cur_task,
+                cur_kind,
+                access_index: self.access_index,
+                prev_path: render(self.dtrg.spawn_path(prev_task)),
+                cur_path: render(self.dtrg.spawn_path(cur_task)),
+            });
+        }
+    }
+
+    #[inline]
+    fn sample_readers(&mut self, loc: LocId) {
+        if self.config.track_avg_readers {
+            let n = self
+                .shadow
+                .cell(loc)
+                .map(|c| c.readers.len())
+                .unwrap_or(0);
+            self.stats.readers_at_access.push(n as f64);
+        }
+    }
+}
+
+impl Monitor for RaceDetector {
+    fn task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind, _ief: FinishId) {
+        self.stats.tasks += 1;
+        match kind {
+            TaskKind::Future => self.stats.future_tasks += 1,
+            TaskKind::Async => self.stats.async_tasks += 1,
+            TaskKind::Main => {}
+        }
+        self.dtrg.on_task_create(parent, child, kind);
+    }
+
+    fn task_end(&mut self, task: TaskId) {
+        self.dtrg.on_task_end(task);
+    }
+
+    fn get(&mut self, waiter: TaskId, awaited: TaskId) {
+        self.dtrg.on_get(waiter, awaited);
+    }
+
+    fn finish_end(&mut self, task: TaskId, _finish: FinishId, joined: &[TaskId]) {
+        self.dtrg.on_finish_end(task, joined);
+    }
+
+    fn alloc(&mut self, base: LocId, n: u32, name: &str) {
+        self.shadow.register(base, n, name);
+    }
+
+    /// Algorithm 8: write check.
+    fn write(&mut self, task: TaskId, loc: LocId) {
+        self.stats.writes += 1;
+        if !self.checking() {
+            self.access_index += 1;
+            return;
+        }
+        self.sample_readers(loc);
+
+        // Readers: every stored reader must precede the writer; preceding
+        // readers are removed (subsumed by the new writer), racy readers
+        // are kept, as in the paper, so later accesses also check them.
+        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
+        let mut kept = Readers::Empty;
+        for x in readers.iter() {
+            if self.dtrg.precede(x, task) {
+                // removed
+            } else {
+                self.report(loc, x, AccessKind::Read, task, AccessKind::Write);
+                kept.push(x);
+            }
+        }
+
+        // Previous writer must precede.
+        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
+        if let Some(w) = prev_w {
+            if !self.dtrg.precede(w, task) {
+                self.report(loc, w, AccessKind::Write, task, AccessKind::Write);
+            }
+        }
+
+        let cell = self.shadow.cell_mut(loc);
+        cell.readers = kept;
+        cell.writer = Some(task);
+        self.access_index += 1;
+    }
+
+    /// Algorithm 9: read check (reader-set rule as reconstructed in the
+    /// module docs).
+    fn read(&mut self, task: TaskId, loc: LocId) {
+        self.stats.reads += 1;
+        if !self.checking() {
+            self.access_index += 1;
+            return;
+        }
+        self.sample_readers(loc);
+
+        // Previous writer must precede the reader.
+        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
+        if let Some(w) = prev_w {
+            if !self.dtrg.precede(w, task) {
+                self.report(loc, w, AccessKind::Write, task, AccessKind::Read);
+            }
+        }
+
+        let cur_is_future = self.dtrg.is_future(task);
+        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
+        let mut kept = Readers::Empty;
+        let mut add = true;
+        for x in readers.iter() {
+            if self.dtrg.precede(x, task) {
+                // Superseded: any future conflict with x is also a conflict
+                // with the current reader (Lemma 3).
+            } else {
+                kept.push(x);
+                if !cur_is_future && !self.dtrg.is_future(x) {
+                    // Parallel async pair: Lemma 4 makes the stored async
+                    // reader a sufficient representative.
+                    add = false;
+                }
+            }
+        }
+        if add {
+            kept.push(task);
+        }
+        self.shadow.cell_mut(loc).readers = kept;
+        self.access_index += 1;
+    }
+}
+
+/// Runs `f` under serial depth-first execution with a fresh
+/// default-configured [`RaceDetector`] and returns the report.
+///
+/// ```
+/// use futrace_detector::detect_races;
+/// use futrace_runtime::TaskCtx;
+///
+/// // Unsynchronized future write vs parent read: a race.
+/// let report = detect_races(|ctx| {
+///     let x = ctx.shared_var(0u64, "x");
+///     let x2 = x.clone();
+///     let _f = ctx.future(move |ctx| x2.write(ctx, 1));
+///     let _ = x.read(ctx); // no get() before the read
+/// });
+/// assert!(report.has_races());
+///
+/// // With the get() the program is race-free.
+/// let report = detect_races(|ctx| {
+///     let x = ctx.shared_var(0u64, "x");
+///     let x2 = x.clone();
+///     let f = ctx.future(move |ctx| x2.write(ctx, 1));
+///     ctx.get(&f);
+///     let _ = x.read(ctx);
+/// });
+/// assert!(!report.has_races());
+/// ```
+pub fn detect_races<F>(f: F) -> RaceReport
+where
+    F: FnOnce(&mut SerialCtx<RaceDetector>),
+{
+    let mut det = RaceDetector::new();
+    run_serial(&mut det, f);
+    det.into_report()
+}
+
+/// As [`detect_races`] but also returns the run's statistics (Table 2's
+/// structural columns).
+pub fn detect_races_with_stats<F>(f: F) -> (RaceReport, DetectorStats)
+where
+    F: FnOnce(&mut SerialCtx<RaceDetector>),
+{
+    let mut det = RaceDetector::new();
+    run_serial(&mut det, f);
+    let stats = det.stats();
+    (det.into_report(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futrace_runtime::TaskCtx;
+
+    #[test]
+    fn race_free_empty_program() {
+        let report = detect_races(|_| {});
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn async_write_write_race() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            ctx.finish(|ctx| {
+                let xa = x.clone();
+                ctx.async_task(move |ctx| xa.write(ctx, 1));
+                let xb = x.clone();
+                ctx.async_task(move |ctx| xb.write(ctx, 2));
+            });
+        });
+        assert!(report.has_races());
+        let r = report.first().unwrap();
+        assert_eq!(r.prev_task, TaskId(1));
+        assert_eq!(r.cur_task, TaskId(2));
+        assert_eq!(r.prev_kind, AccessKind::Write);
+        assert_eq!(r.cur_kind, AccessKind::Write);
+        assert_eq!(r.loc_name, "x");
+    }
+
+    #[test]
+    fn sequential_accesses_no_race() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            x.write(ctx, 1);
+            let _ = x.read(ctx);
+            x.write(ctx, 2);
+        });
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn finish_synchronizes() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            ctx.finish(|ctx| {
+                let xa = x.clone();
+                ctx.async_task(move |ctx| xa.write(ctx, 1));
+            });
+            x.write(ctx, 2);
+        });
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn future_get_synchronizes_sibling() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            let xa = x.clone();
+            let a = ctx.future(move |ctx| xa.write(ctx, 1));
+            let xb = x.clone();
+            let _b = ctx.future(move |ctx| {
+                ctx.get(&a);
+                let _ = xb.read(ctx);
+            });
+        });
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn sibling_without_get_races() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            let xa = x.clone();
+            let _a = ctx.future(move |ctx| xa.write(ctx, 1));
+            let xb = x.clone();
+            let _b = ctx.future(move |ctx| {
+                let _ = xb.read(ctx);
+            });
+        });
+        assert!(report.has_races());
+        let r = report.first().unwrap();
+        assert_eq!(r.prev_kind, AccessKind::Write);
+        assert_eq!(r.cur_kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn parallel_reads_then_joined_write_no_race() {
+        // Two future readers in parallel (both get the producer), then the
+        // parent gets both and writes: no race anywhere.
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            x.write(ctx, 7);
+            let xa = x.clone();
+            let ra = ctx.future(move |ctx| xa.read(ctx));
+            let xb = x.clone();
+            let rb = ctx.future(move |ctx| xb.read(ctx));
+            ctx.get(&ra);
+            ctx.get(&rb);
+            x.write(ctx, 8);
+        });
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn unjoined_parallel_reader_races_with_write() {
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            x.write(ctx, 7);
+            let xa = x.clone();
+            let ra = ctx.future(move |ctx| xa.read(ctx));
+            let xb = x.clone();
+            let _rb = ctx.future(move |ctx| xb.read(ctx)); // never joined
+            ctx.get(&ra);
+            x.write(ctx, 8); // races with rb's read
+        });
+        assert!(report.has_races());
+        let r = report.first().unwrap();
+        assert_eq!(r.prev_kind, AccessKind::Read);
+        assert_eq!(r.cur_kind, AccessKind::Write);
+        assert_eq!(r.prev_task, TaskId(2));
+    }
+
+    #[test]
+    fn transitive_get_chain_no_race() {
+        // Figure 1's shape: main only joins C, but B is ordered before main
+        // transitively (C got B).
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            let xb = x.clone();
+            let b = ctx.future(move |ctx| xb.write(ctx, 3));
+            let c = ctx.future(move |ctx| {
+                ctx.get(&b);
+            });
+            ctx.get(&c);
+            let _ = x.read(ctx);
+        });
+        assert!(!report.has_races());
+    }
+
+    #[test]
+    fn async_read_replacement_keeps_detection() {
+        // Async A reads, async B reads in parallel (only one is stored);
+        // a later parallel write must still race.
+        let report = detect_races(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            ctx.finish(|ctx| {
+                let xa = x.clone();
+                ctx.async_task(move |ctx| {
+                    let _ = xa.read(ctx);
+                });
+                let xb = x.clone();
+                ctx.async_task(move |ctx| {
+                    let _ = xb.read(ctx);
+                });
+                let xc = x.clone();
+                ctx.async_task(move |ctx| xc.write(ctx, 1));
+            });
+        });
+        assert!(report.has_races());
+    }
+
+    #[test]
+    fn stats_count_structure() {
+        let (report, stats) = detect_races_with_stats(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            let xa = x.clone();
+            let a = ctx.future(move |ctx| xa.write(ctx, 1));
+            let xb = x.clone();
+            let ab = a.clone();
+            let _b = ctx.future(move |ctx| {
+                ctx.get(&ab);
+                let _ = xb.read(ctx);
+            });
+            ctx.async_task(|_| {});
+            ctx.get(&a);
+        });
+        assert!(!report.has_races());
+        assert_eq!(stats.tasks, 3);
+        assert_eq!(stats.future_tasks, 2);
+        assert_eq!(stats.async_tasks, 1);
+        assert_eq!(stats.shared_mem(), 2);
+        assert_eq!(stats.nt_joins(), 1, "only B's get is a non-tree join");
+        assert_eq!(stats.dtrg.gets, 2);
+    }
+
+    #[test]
+    fn dedup_and_cap() {
+        let mut det = RaceDetector::with_config(DetectorConfig {
+            max_reports: 2,
+            ..Default::default()
+        });
+        run_serial(&mut det, |ctx| {
+            let a = ctx.shared_array(8, 0i64, "a");
+            for i in 0..8 {
+                let aw = a.clone();
+                ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+            }
+            for i in 0..8 {
+                // Main writes everything again: 8 distinct racy locations,
+                // but only 2 reports stored.
+                a.write(ctx, i, 2);
+            }
+        });
+        let report = det.into_report();
+        assert_eq!(report.races.len(), 2);
+        assert!(report.total_detected >= 8);
+    }
+
+    #[test]
+    fn first_race_only_reports_exactly_one() {
+        let mut det = RaceDetector::with_config(DetectorConfig {
+            first_race_only: true,
+            ..Default::default()
+        });
+        run_serial(&mut det, |ctx| {
+            let a = ctx.shared_array(4, 0i64, "a");
+            for i in 0..4 {
+                let aw = a.clone();
+                ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+            }
+            for i in 0..4 {
+                a.write(ctx, i, 2); // 4 distinct racy locations
+            }
+        });
+        let report = det.into_report();
+        assert!(report.has_races());
+        assert_eq!(report.total_detected, 1, "checking stops at the first race");
+        assert_eq!(report.races.len(), 1);
+    }
+
+    #[test]
+    fn first_race_only_verdict_matches_default() {
+        // Same verdict for racy and race-free programs.
+        for racy in [false, true] {
+            let run = |cfg: DetectorConfig| {
+                let mut det = RaceDetector::with_config(cfg);
+                run_serial(&mut det, |ctx| {
+                    let x = ctx.shared_var(0i64, "x");
+                    let xw = x.clone();
+                    let f = ctx.future(move |ctx| xw.write(ctx, 1));
+                    if !racy {
+                        ctx.get(&f);
+                    }
+                    let _ = x.read(ctx);
+                });
+                det.has_races()
+            };
+            assert_eq!(
+                run(DetectorConfig::default()),
+                run(DetectorConfig {
+                    first_race_only: true,
+                    ..Default::default()
+                }),
+                "racy={racy}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_footprint_accounts_structures() {
+        let mut det = RaceDetector::new();
+        run_serial(&mut det, |ctx| {
+            let x = ctx.shared_array(8, 0u64, "x");
+            let xa = x.clone();
+            let a = ctx.future(move |ctx| xa.read(ctx, 0));
+            let xb = x.clone();
+            let _b = ctx.future(move |ctx| {
+                ctx.get(&a); // one stored non-tree edge
+                let _ = xb.read(ctx, 0);
+            });
+        });
+        let fp = det.memory_footprint();
+        assert_eq!(fp.dtrg_tasks, 3, "main + 2 futures");
+        assert_eq!(fp.shadow_cells, 8);
+        assert!(fp.stored_readers >= 1);
+        assert!(fp.stored_nt_edges >= 1);
+        assert!(fp.to_string().contains("shadow cells: 8"));
+    }
+
+    #[test]
+    fn avg_readers_zero_for_write_only() {
+        let (_, stats) = detect_races_with_stats(|ctx| {
+            let x = ctx.shared_var(0i64, "x");
+            x.write(ctx, 1);
+            x.write(ctx, 2);
+        });
+        assert_eq!(stats.avg_readers(), 0.0);
+    }
+
+    #[test]
+    fn avg_readers_counts_future_readers() {
+        let (_, stats) = detect_races_with_stats(|ctx| {
+            let x = ctx.shared_var(1i64, "x");
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let xr = x.clone();
+                handles.push(ctx.future(move |ctx| xr.read(ctx)));
+            }
+            for h in &handles {
+                ctx.get(h);
+            }
+            // At this final read, 4 parallel future readers are stored.
+            let _ = x.read(ctx);
+        });
+        assert!(stats.avg_readers() > 0.5, "got {}", stats.avg_readers());
+        assert!(stats.readers_at_access.max().unwrap() >= 4.0);
+    }
+}
+
+/// Offline detection: decodes a binary trace (see
+/// [`futrace_runtime::trace`]) and replays it into a fresh detector,
+/// returning the report and statistics. The verdict is identical to the
+/// online run that recorded the trace.
+pub fn detect_races_in_trace(
+    blob: &[u8],
+) -> Result<(RaceReport, DetectorStats), futrace_runtime::trace::DecodeError> {
+    let events = futrace_runtime::trace::decode(blob)?;
+    let mut det = RaceDetector::new();
+    futrace_runtime::replay(&events, &mut det);
+    let stats = det.stats();
+    Ok((det.into_report(), stats))
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use futrace_runtime::{trace, EventLog, TaskCtx};
+
+    #[test]
+    fn offline_detection_matches_online() {
+        let program = |ctx: &mut SerialCtx<EventLog>| {
+            let x = ctx.shared_var(0u64, "x");
+            let xw = x.clone();
+            let _f = ctx.future(move |ctx| xw.write(ctx, 1));
+            let _ = x.read(ctx); // racy: no get
+        };
+        let mut log = EventLog::new();
+        run_serial(&mut log, program);
+        let blob = trace::encode(&log.events);
+        let (report, stats) = detect_races_in_trace(&blob).unwrap();
+        assert!(report.has_races());
+        assert_eq!(stats.shared_mem(), 2);
+        assert!(detect_races_in_trace(&[0xFF]).is_err());
+    }
+}

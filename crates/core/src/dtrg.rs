@@ -1,0 +1,687 @@
+//! The dynamic task reachability graph (DTRG) — §4.1 and Algorithms 1–7,
+//! 10 of the paper.
+//!
+//! The DTRG answers, during a serial depth-first execution, the query
+//! *"must every already-executed step of task `A` precede the currently
+//! executing step of task `B`?"* ([`Dtrg::precede`], the paper's
+//! `Precede`). It encodes reachability at task granularity with three
+//! mechanisms:
+//!
+//! 1. **Disjoint sets over tree joins.** Tasks connected to an ancestor by
+//!    tree-join + continue edges share a set ([`futrace_util::UnionFind`]);
+//!    `Merge` (Algorithm 7) keeps the ancestor-most label and `lsa`, and
+//!    unions the non-tree predecessor lists.
+//! 2. **Interval labels.** Each set carries a `[pre, post]` spawn-tree
+//!    interval ([`futrace_util::interval`]); subsumption answers
+//!    ancestor-reachability in O(1).
+//! 3. **Non-tree predecessors + lowest significant ancestor.** Non-tree
+//!    join edges (future `get`s that cannot merge) are stored per set
+//!    (`nt`), and each task remembers its lowest ancestor that performed a
+//!    non-tree join (`lsa`), so `Visit` (Algorithm 10) only walks the
+//!    "significant" part of the spawn path.
+//!
+//! `Precede` is implemented iteratively (explicit work stack + visited set
+//! keyed by set representative) rather than recursively: a wavefront
+//! program like Smith-Waterman can chain thousands of non-tree edges, which
+//! would overflow the call stack, and the visited set gives the
+//! "each non-tree edge visited once" bound of Theorem 1.
+
+use futrace_runtime::monitor::TaskKind;
+use futrace_util::ids::TaskId;
+use futrace_util::interval::{Interval, IntervalLabeler};
+use futrace_util::{FxHashSet, UnionFind};
+
+/// Per-set attributes (the record the paper attaches to every disjoint
+/// set: `pre`/`post`, `nt`, `lsa`; `parent` lives per task).
+#[derive(Clone, Debug)]
+pub struct SetData {
+    /// Interval label of the set — the label of the member closest to the
+    /// spawn-tree root.
+    pub interval: Interval,
+    /// Sources of non-tree join edges into any member of this set.
+    pub nt: Vec<TaskId>,
+    /// Lowest significant ancestor: the nearest ancestor task whose set had
+    /// performed a non-tree join when this task was spawned.
+    pub lsa: Option<TaskId>,
+}
+
+/// Per-task immutable facts.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskMeta {
+    /// Spawn-tree parent (`None` for main).
+    pub parent: Option<TaskId>,
+    /// Async vs future vs main.
+    pub kind: TaskKind,
+    /// The task's *own* interval label (distinct from its set's label once
+    /// merged); used for exact ancestor queries and statistics.
+    pub own: Interval,
+}
+
+/// Counters the DTRG maintains for Theorem-1 style accounting and for
+/// Table 2's structural columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DtrgCounters {
+    /// `get()` operations observed.
+    pub gets: u64,
+    /// Gets that merged disjoint sets (Algorithm 4's then-branch).
+    pub merging_gets: u64,
+    /// Gets recorded as non-tree predecessors (Algorithm 4's else-branch).
+    pub nt_edges: u64,
+    /// Non-tree joins in the computation-graph sense: gets whose waiter is
+    /// *not* an ancestor of the awaited task (Table 2's #NTJoins).
+    pub graph_nt_joins: u64,
+    /// Set merges performed (gets + finish joins).
+    pub merges: u64,
+    /// `Precede` queries answered.
+    pub precede_calls: u64,
+    /// Nodes expanded across all `Visit` traversals.
+    pub visit_expansions: u64,
+}
+
+/// The dynamic task reachability graph.
+#[derive(Clone, Debug)]
+pub struct Dtrg {
+    labeler: IntervalLabeler,
+    sets: UnionFind<SetData>,
+    tasks: Vec<TaskMeta>,
+    /// Scratch for `precede` (kept to avoid per-query allocation).
+    visit_stack: Vec<TaskId>,
+    /// Visited-set fast path: realistic queries (paper §5: producers and
+    /// consumers sit 1–2 non-tree hops apart) expand a handful of nodes,
+    /// so a linear-scanned small vector beats hashing; the hash set only
+    /// takes over when a query blows past the inline capacity.
+    visited_small: Vec<usize>,
+    visited: FxHashSet<usize>,
+    /// Counters.
+    pub counters: DtrgCounters,
+}
+
+impl Default for Dtrg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dtrg {
+    /// Algorithm 1: initialization with the main task. Main gets the label
+    /// `[0, MAXINT]`, no parent, no `lsa`.
+    pub fn new() -> Self {
+        let mut labeler = IntervalLabeler::new();
+        let own = labeler.on_spawn();
+        let mut sets = UnionFind::with_capacity(1024);
+        let key = sets.make_set(SetData {
+            interval: own,
+            nt: Vec::new(),
+            lsa: None,
+        });
+        debug_assert_eq!(key, TaskId::MAIN.index());
+        Dtrg {
+            labeler,
+            sets,
+            tasks: vec![TaskMeta {
+                parent: None,
+                kind: TaskKind::Main,
+                own,
+            }],
+            visit_stack: Vec::new(),
+            visited_small: Vec::new(),
+            visited: FxHashSet::default(),
+            counters: DtrgCounters::default(),
+        }
+    }
+
+    /// Number of tasks known (including main).
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Per-task facts.
+    pub fn meta(&self, t: TaskId) -> &TaskMeta {
+        &self.tasks[t.index()]
+    }
+
+    /// The paper's `IsFuture`.
+    #[inline]
+    pub fn is_future(&self, t: TaskId) -> bool {
+        self.tasks[t.index()].kind.is_future()
+    }
+
+    /// Set attributes of the set currently containing `t`.
+    pub fn set_data(&mut self, t: TaskId) -> &SetData {
+        self.sets.payload(t.index())
+    }
+
+    /// True if `a` and `b` currently share a disjoint set.
+    pub fn same_set(&mut self, a: TaskId, b: TaskId) -> bool {
+        self.sets.same_set(a.index(), b.index())
+    }
+
+    /// Exact spawn-tree ancestry from the tasks' own labels: `a` is a weak
+    /// ancestor of `d`.
+    #[inline]
+    pub fn is_ancestor(&self, a: TaskId, d: TaskId) -> bool {
+        self.tasks[a.index()].own.contains(&self.tasks[d.index()].own)
+    }
+
+    /// Algorithm 2: task creation. Assigns the child its preorder value and
+    /// a temporary postorder value, creates its singleton set, and derives
+    /// its `lsa` from the parent's set.
+    pub fn on_task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind) {
+        debug_assert_eq!(child.index(), self.tasks.len(), "dense spawn-order ids");
+        let own = self.labeler.on_spawn();
+        let pdata = self.sets.payload(parent.index());
+        let lsa = if pdata.nt.is_empty() {
+            pdata.lsa
+        } else {
+            Some(parent)
+        };
+        let key = self.sets.make_set(SetData {
+            interval: own,
+            nt: Vec::new(),
+            lsa,
+        });
+        debug_assert_eq!(key, child.index());
+        self.tasks.push(TaskMeta {
+            parent: Some(parent),
+            kind,
+            own,
+        });
+    }
+
+    /// Algorithm 3: task termination. Replaces the temporary postorder with
+    /// the final one, on both the task's own label and its set's label (at
+    /// termination the task is the ancestor-most member of its set, so the
+    /// set's label is its label).
+    pub fn on_task_end(&mut self, task: TaskId) {
+        let post = self.labeler.on_terminate();
+        self.tasks[task.index()].own.post = post;
+        let data = self.sets.payload_mut(task.index());
+        debug_assert_eq!(data.interval.pre, self.tasks[task.index()].own.pre);
+        data.interval.post = post;
+    }
+
+    /// Algorithm 7: `Merge(S_A, S_B)` — union keeping `S_A`'s label and
+    /// `lsa`, with `nt` the union of both sides.
+    fn merge(&mut self, a: TaskId, b: TaskId) {
+        self.counters.merges += 1;
+        self.sets.union_with(a.index(), b.index(), |pa, pb| {
+            let mut nt = pa.nt;
+            for t in pb.nt {
+                if !nt.contains(&t) {
+                    nt.push(t);
+                }
+            }
+            SetData {
+                interval: pa.interval,
+                nt,
+                lsa: pa.lsa,
+            }
+        });
+    }
+
+    /// Algorithm 4: `get()` by task `a` on future task `b`. Merges when the
+    /// whole ancestor chain between them has already joined (`Find-Set(a) ==
+    /// Find-Set(b.parent)`), otherwise records a non-tree predecessor.
+    pub fn on_get(&mut self, a: TaskId, b: TaskId) {
+        self.counters.gets += 1;
+        if !self.is_ancestor(a, b) {
+            self.counters.graph_nt_joins += 1;
+        }
+        let bparent = self.tasks[b.index()]
+            .parent
+            .expect("future task has a parent");
+        if self.sets.same_set(a.index(), bparent.index()) {
+            self.counters.merging_gets += 1;
+            self.merge(a, b);
+        } else {
+            self.counters.nt_edges += 1;
+            let data = self.sets.payload_mut(a.index());
+            if !data.nt.contains(&b) {
+                data.nt.push(b);
+            }
+        }
+    }
+
+    /// Algorithm 6: end of finish `F` executed by `a`; every task in
+    /// `F.joins` (tasks whose IEF is `F`) merges into `a`'s set.
+    pub fn on_finish_end(&mut self, a: TaskId, joined: &[TaskId]) {
+        for &b in joined {
+            self.merge(a, b);
+        }
+    }
+
+    /// The paper's `Precede(T_A, T_B)` (Algorithm 10), asked while `b` is
+    /// the currently executing task (or, recursively, a recorded
+    /// predecessor): true iff every step of `a` executed so far must
+    /// precede `b`'s current step in the computation graph.
+    ///
+    /// Iterative `Visit`: expands `b`, then `b`'s non-tree predecessors and
+    /// the non-tree predecessors of `b`'s significant-ancestor chain,
+    /// transitively, pruning nodes whose set preorder is below `a`'s
+    /// (non-tree sources always have lower preorder than their sinks in a
+    /// race-free execution) and nodes already visited.
+    pub fn precede(&mut self, a: TaskId, b: TaskId) -> bool {
+        self.counters.precede_calls += 1;
+        if a == b {
+            return true;
+        }
+        let ra = self.sets.find(a.index());
+        let la = self.sets.payload_no_compress(ra).interval;
+
+        debug_assert!(self.visit_stack.is_empty());
+        self.visited_small.clear();
+        let mut spilled = false;
+        self.visit_stack.push(b);
+
+        // Inline capacity of the small visited set; past this, spill into
+        // the hash set (rare: only adversarially long non-tree chains).
+        const SMALL: usize = 24;
+
+        // Breadth-first examination order (index walk = FIFO): the paper
+        // observes producers and consumers sit 1–2 non-tree hops apart, so
+        // the target is almost always among the nearest predecessors —
+        // depth-first order would wander into older regions of the graph
+        // before examining near siblings (measured 5–50× more expansions
+        // on the Jacobi wavefront).
+        let mut head = 0usize;
+        let mut found = false;
+        while head < self.visit_stack.len() {
+            let t = self.visit_stack[head];
+            head += 1;
+            let rt = self.sets.find(t.index());
+            // Visited check: linear scan of the small vec, hash set once
+            // spilled.
+            if spilled {
+                if !self.visited.insert(rt) {
+                    continue;
+                }
+            } else if self.visited_small.contains(&rt) {
+                continue;
+            } else if self.visited_small.len() < SMALL {
+                self.visited_small.push(rt);
+            } else {
+                self.visited.clear();
+                self.visited.extend(self.visited_small.iter().copied());
+                self.visited.insert(rt);
+                spilled = true;
+            }
+            self.counters.visit_expansions += 1;
+            if rt == ra {
+                found = true;
+                break;
+            }
+            let data = self.sets.payload_no_compress(rt);
+            let lt = data.interval;
+            // Lines 6–11: the interval of A's set subsumes the interval of
+            // B's set — A's set is an ancestor along tree joins.
+            if la.contains(&lt) {
+                found = true;
+                break;
+            }
+            // Lines 12–14 (prune): if this set finished before A's set was
+            // even spawned, no step of A can reach into it (paths respect
+            // serial execution order, Lemma 2), so its predecessors cannot
+            // lead back to A either. Note the comparison uses the set's
+            // *final* postorder: a live set carries a temporary postorder
+            // far above every preorder, so live sets are never pruned. The
+            // paper prunes on preorder ("the source of a non-tree join edge
+            // has a lower preorder than the sink"), which holds for task
+            // labels but not for merged-set labels — a set merged into a
+            // low-preorder ancestor would be pruned while still carrying
+            // explorable non-tree predecessors, so we prune on the
+            // completion-order test instead.
+            if lt.post < la.pre {
+                continue;
+            }
+            // Lines 15–20: immediate non-tree predecessors of this node.
+            // (`visit_stack` and `sets` are disjoint fields, so the borrows
+            // split.)
+            self.visit_stack.extend_from_slice(&data.nt);
+            // Lines 21–29: walk the significant-ancestor chain, exploring
+            // each significant set's non-tree predecessors.
+            let mut anc = data.lsa;
+            while let Some(x) = anc {
+                let rx = self.sets.find_no_compress(x.index());
+                if spilled {
+                    if !self.visited.insert(rx) {
+                        break; // chain tail already explored
+                    }
+                } else if self.visited_small.contains(&rx) {
+                    break;
+                } else if self.visited_small.len() < SMALL {
+                    self.visited_small.push(rx);
+                } else {
+                    self.visited.clear();
+                    self.visited.extend(self.visited_small.iter().copied());
+                    self.visited.insert(rx);
+                    spilled = true;
+                }
+                self.counters.visit_expansions += 1;
+                let adata = self.sets.payload_no_compress(rx);
+                self.visit_stack.extend_from_slice(&adata.nt);
+                anc = adata.lsa;
+            }
+        }
+        self.visit_stack.clear();
+        found
+    }
+
+    /// `Precede` lifted to an optional previous accessor (`None` = no
+    /// previous writer, which trivially precedes everything).
+    pub fn precede_opt(&mut self, a: Option<TaskId>, b: TaskId) -> bool {
+        match a {
+            None => true,
+            Some(a) => self.precede(a, b),
+        }
+    }
+
+    /// Exact ancestor query by walking parent pointers — the naive
+    /// alternative to the O(1) interval-label subsumption test, kept for
+    /// the ablation bench (`benches/ablation.rs`) that quantifies what the
+    /// labeling scheme buys.
+    pub fn is_ancestor_walk(&self, a: TaskId, d: TaskId) -> bool {
+        let mut cur = d;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.tasks[cur.index()].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Total non-tree predecessor entries currently stored across all sets
+    /// — the `O(n)` term of Theorem 1's space bound.
+    pub fn stored_nt_edges(&self) -> usize {
+        self.sets.sets().map(|(_, d)| d.nt.len()).sum()
+    }
+
+    /// The spawn path from the main task to `t` (inclusive), for race
+    /// reports: "who created the racing task".
+    pub fn spawn_path(&self, t: TaskId) -> Vec<TaskId> {
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.tasks[cur.index()].parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper mirroring the executor's event order for hand-built
+    /// scenarios: spawn a child, run `body`-style events, end it.
+    struct Driver {
+        g: Dtrg,
+        next: u32,
+    }
+
+    impl Driver {
+        fn new() -> Self {
+            Driver {
+                g: Dtrg::new(),
+                next: 1,
+            }
+        }
+        fn spawn(&mut self, parent: TaskId, kind: TaskKind) -> TaskId {
+            let c = TaskId(self.next);
+            self.next += 1;
+            self.g.on_task_create(parent, c, kind);
+            c
+        }
+    }
+
+    const M: TaskId = TaskId::MAIN;
+
+    #[test]
+    fn init_state() {
+        let mut g = Dtrg::new();
+        assert_eq!(g.task_count(), 1);
+        assert!(!g.is_future(M));
+        assert_eq!(g.meta(M).parent, None);
+        assert_eq!(g.set_data(M).lsa, None);
+        assert!(g.set_data(M).nt.is_empty());
+        assert_eq!(g.set_data(M).interval.pre, 0);
+    }
+
+    #[test]
+    fn precede_same_task() {
+        let mut g = Dtrg::new();
+        assert!(g.precede(M, M));
+        assert!(g.precede_opt(None, M));
+    }
+
+    #[test]
+    fn ancestor_precedes_running_descendant() {
+        // main spawns A (still running): main's completed steps precede A.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        assert!(d.g.precede(M, a), "ancestor set contains descendant");
+        assert!(!d.g.precede(a, M), "running child is parallel to parent");
+    }
+
+    #[test]
+    fn completed_unjoined_future_is_parallel() {
+        // main spawns future A; A ends; no get. A's steps are parallel to
+        // main's continuation.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        assert!(!d.g.precede(a, M));
+        assert!(d.g.precede(M, a)); // main's earlier steps precede A
+    }
+
+    #[test]
+    fn parent_get_merges_and_orders() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        d.g.on_get(M, a); // Find-Set(M) == Find-Set(A.parent=M): merge
+        assert!(d.g.same_set(M, a));
+        assert!(d.g.precede(a, M), "after get, A precedes main");
+        assert_eq!(d.g.counters.merging_gets, 1);
+        assert_eq!(d.g.counters.nt_edges, 0);
+        assert_eq!(d.g.counters.graph_nt_joins, 0, "ancestor get is a tree join");
+    }
+
+    #[test]
+    fn sibling_get_records_non_tree_edge() {
+        // main spawns future A (ends), then future B which gets A.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a); // Find-Set(B) != Find-Set(A.parent=M)
+        assert!(!d.g.same_set(a, b));
+        assert_eq!(d.g.counters.nt_edges, 1);
+        assert_eq!(d.g.counters.graph_nt_joins, 1);
+        assert!(d.g.precede(a, b), "A precedes B via the non-tree edge");
+        assert!(!d.g.precede(b, a));
+        // Main's completed steps (before spawning B) also precede B.
+        assert!(d.g.precede(M, b));
+    }
+
+    #[test]
+    fn finish_end_merges_all_ief_tasks() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Async);
+        let b = d.spawn(a, TaskKind::Async); // same IEF as a
+        d.g.on_task_end(b);
+        d.g.on_task_end(a);
+        assert!(!d.g.precede(a, M));
+        assert!(!d.g.precede(b, M));
+        d.g.on_finish_end(M, &[a, b]);
+        assert!(d.g.same_set(M, a));
+        assert!(d.g.same_set(M, b));
+        assert!(d.g.precede(a, M));
+        assert!(d.g.precede(b, M));
+    }
+
+    #[test]
+    fn transitive_non_tree_paths() {
+        // Figure-1 shape: A; B gets A; C gets B; main gets C.
+        // Then A must precede main transitively.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a);
+        d.g.on_task_end(b);
+        let c = d.spawn(M, TaskKind::Future);
+        d.g.on_get(c, b);
+        d.g.on_task_end(c);
+        d.g.on_get(M, c); // merge C into main's set
+        assert!(d.g.precede(c, M));
+        assert!(d.g.precede(b, M), "via C's non-tree predecessor");
+        assert!(d.g.precede(a, M), "two non-tree hops");
+        assert_eq!(d.g.counters.nt_edges, 2);
+    }
+
+    #[test]
+    fn lsa_chain_orders_descendants_of_getter() {
+        // A ends; main gets A via... no: main spawns A (future, ends),
+        // then B gets A (non-tree), B spawns C. A must precede C because
+        // C's lsa is B and B's nt contains A.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a);
+        let c = d.spawn(b, TaskKind::Future);
+        assert_eq!(d.g.set_data(c).lsa, Some(b));
+        assert!(d.g.precede(a, c), "join into ancestor B precedes C");
+        // And deeper descendants inherit the lsa (C performed no non-tree
+        // join itself, so E's lsa is still B).
+        let e = d.spawn(c, TaskKind::Async);
+        assert_eq!(d.g.set_data(e).lsa, Some(b));
+    }
+
+    #[test]
+    fn lsa_inherited_when_parent_has_no_nt() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a); // b.nt = {a}
+        let c = d.spawn(b, TaskKind::Future); // lsa = b (b has nt)
+        let e = d.spawn(c, TaskKind::Future); // c has no nt: lsa inherited = b
+        assert_eq!(d.g.set_data(c).lsa, Some(b));
+        assert_eq!(d.g.set_data(e).lsa, Some(b));
+        assert!(d.g.precede(a, e), "a -> b join visible from e via lsa chain");
+    }
+
+    #[test]
+    fn unrelated_siblings_are_parallel() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        assert!(!d.g.precede(a, b));
+        assert!(!d.g.precede(b, a));
+    }
+
+    #[test]
+    fn merge_keeps_ancestor_label() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let main_label = d.g.set_data(M).interval;
+        d.g.on_get(M, a);
+        assert_eq!(d.g.set_data(a).interval, main_label, "merged set keeps main's label");
+    }
+
+    #[test]
+    fn merge_unions_nt_lists() {
+        // B gets A (nt edge), then main gets B (merge B into main's set):
+        // main's set must inherit B's nt predecessor A.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a);
+        d.g.on_task_end(b);
+        d.g.on_get(M, b);
+        assert!(d.g.set_data(M).nt.contains(&a));
+    }
+
+    #[test]
+    fn repeated_gets_on_same_future_are_idempotent() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a);
+        d.g.on_get(b, a);
+        assert_eq!(d.g.set_data(b).nt.len(), 1);
+        assert_eq!(d.g.counters.gets, 2);
+    }
+
+    #[test]
+    fn preorder_prune_blocks_later_tasks() {
+        // B spawned after A ended and never joined: B cannot precede A's
+        // set members, and precede(B, anything-earlier) is false quickly.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(b);
+        assert!(!d.g.precede(b, a));
+    }
+
+    #[test]
+    fn counters_track_queries() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let before = d.g.counters.precede_calls;
+        let _ = d.g.precede(a, M);
+        let _ = d.g.precede(M, a);
+        assert_eq!(d.g.counters.precede_calls, before + 2);
+        assert!(d.g.counters.visit_expansions > 0);
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+    use futrace_runtime::monitor::TaskKind;
+
+    /// Builds a long pure non-tree chain (future i gets future i−1) plus a
+    /// disconnected straggler, forcing `precede`'s small-visited-set to
+    /// spill into the hash set on the negative query.
+    #[test]
+    fn visited_set_spill_path_is_correct() {
+        let mut g = Dtrg::new();
+        let main = TaskId::MAIN;
+        let n = 200u32;
+        for i in 1..=n {
+            g.on_task_create(main, TaskId(i), TaskKind::Future);
+            if i > 1 {
+                g.on_get(TaskId(i), TaskId(i - 1));
+            }
+            g.on_task_end(TaskId(i));
+        }
+        // Straggler future created last, never joined to the chain.
+        let straggler = TaskId(n + 1);
+        g.on_task_create(main, straggler, TaskKind::Future);
+        g.on_task_end(straggler);
+
+        // Positive long-range query: walks (and spills) the whole chain.
+        assert!(g.precede(TaskId(1), TaskId(n)));
+        // Negative query from the straggler: nothing reaches it.
+        assert!(!g.precede(straggler, TaskId(n)));
+        // Negative long-range reverse query: must visit every chain node
+        // (spilling) and still answer false.
+        assert!(!g.precede(TaskId(n), TaskId(1)));
+        // Re-querying after spills stays consistent (scratch reuse).
+        assert!(g.precede(TaskId(7), TaskId(n)));
+        assert!(!g.precede(TaskId(n), TaskId(7)));
+    }
+}

@@ -1,0 +1,143 @@
+//! Race reports.
+
+use futrace_util::ids::{LocId, TaskId};
+
+/// Read or write, for describing the two sides of a race.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessKind {
+    /// Shared-memory read.
+    Read,
+    /// Shared-memory write.
+    Write,
+}
+
+impl std::fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// One detected determinacy race: the current access conflicts with a
+/// recorded shadow-memory access that may logically execute in parallel
+/// with it (Definition 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// The location both accesses touch.
+    pub loc: LocId,
+    /// Human-readable location name (`array[index]` / variable name).
+    pub loc_name: String,
+    /// The earlier (recorded) access.
+    pub prev_task: TaskId,
+    /// Kind of the earlier access.
+    pub prev_kind: AccessKind,
+    /// The current access (later in serial execution order).
+    pub cur_task: TaskId,
+    /// Kind of the current access.
+    pub cur_kind: AccessKind,
+    /// Index of the current access in the global access stream (0-based),
+    /// letting tests align detector races with oracle races.
+    pub access_index: u64,
+    /// Spawn path of the earlier accessor (main → … → `prev_task`),
+    /// pre-rendered for the report.
+    pub prev_path: String,
+    /// Spawn path of the current accessor.
+    pub cur_path: String,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "determinacy race on {}: {} by {} [{}] may execute in parallel with {} by {} [{}] (access #{})",
+            self.loc_name,
+            self.prev_kind,
+            self.prev_task,
+            self.prev_path,
+            self.cur_kind,
+            self.cur_task,
+            self.cur_path,
+            self.access_index
+        )
+    }
+}
+
+/// The outcome of a detector run.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Reported races in detection order, deduplicated by
+    /// (location, task pair, kind pair) and capped at the configured
+    /// maximum.
+    pub races: Vec<Race>,
+    /// Total number of race checks that failed, including deduplicated and
+    /// over-cap ones.
+    pub total_detected: u64,
+}
+
+impl RaceReport {
+    /// True iff at least one determinacy race was detected. By Theorem 2
+    /// this is input-deterministic: the same program and input always
+    /// produce the same verdict.
+    pub fn has_races(&self) -> bool {
+        self.total_detected > 0
+    }
+
+    /// The first race detected (the one with the earliest conflicting
+    /// second access), if any.
+    pub fn first(&self) -> Option<&Race> {
+        self.races.first()
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.has_races() {
+            return write!(f, "no determinacy races detected");
+        }
+        writeln!(
+            f,
+            "{} determinacy race(s) detected ({} distinct reported):",
+            self.total_detected,
+            self.races.len()
+        )?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let race = Race {
+            loc: LocId(3),
+            loc_name: "grid[3]".into(),
+            prev_task: TaskId(1),
+            prev_kind: AccessKind::Write,
+            cur_task: TaskId(2),
+            cur_kind: AccessKind::Read,
+            access_index: 17,
+            prev_path: "T0→T1".into(),
+            cur_path: "T0→T2".into(),
+        };
+        let s = race.to_string();
+        assert!(s.contains("grid[3]"));
+        assert!(s.contains("write by T1 [T0→T1]"));
+        assert!(s.contains("read by T2 [T0→T2]"));
+
+        let mut rep = RaceReport::default();
+        assert!(!rep.has_races());
+        assert_eq!(rep.to_string(), "no determinacy races detected");
+        rep.races.push(race);
+        rep.total_detected = 5;
+        assert!(rep.has_races());
+        assert!(rep.first().is_some());
+        assert!(rep.to_string().contains("5 determinacy race(s)"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Shadow memory (§4.2 of the paper).
+//!
+//! For every shared location `M` the detector keeps a shadow cell `M_s`
+//! with:
+//!
+//! * `w` — the task that last wrote `M` (`None` before the first write);
+//! * `r` — a set of reader tasks: *all* future tasks that read `M` in
+//!   parallel since the last write, plus **at most one** async task
+//!   (Lemma 4 shows one async representative suffices).
+//!
+//! Location ids are dense (the executor allocates them sequentially), so
+//! shadow memory is a flat vector rather than a hash map — the lookup is on
+//! the per-access hot path. The reader set is an inline-small enum:
+//! async-finish programs never store more than one reader (the paper's
+//! #AvgReaders is ≤ 1 there), so the common cases avoid heap allocation
+//! entirely.
+
+use futrace_util::ids::{LocId, TaskId};
+
+/// Compact reader set: zero or one readers inline, spilling to a boxed
+/// vector only when multiple parallel future readers accumulate.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Readers {
+    /// No readers since the last write.
+    #[default]
+    Empty,
+    /// Exactly one reader.
+    One(TaskId),
+    /// Two or more readers (all parallel; at most one async among them).
+    Many(Box<Vec<TaskId>>),
+}
+
+impl Readers {
+    /// Number of stored readers.
+    pub fn len(&self) -> usize {
+        match self {
+            Readers::Empty => 0,
+            Readers::One(_) => 1,
+            Readers::Many(v) => v.len(),
+        }
+    }
+
+    /// True if no reader is stored.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Readers::Empty)
+    }
+
+    /// Iterates over the stored readers.
+    pub fn iter(&self) -> ReadersIter<'_> {
+        match self {
+            Readers::Empty => ReadersIter::Slice([].iter()),
+            Readers::One(t) => ReadersIter::Once(Some(*t)),
+            Readers::Many(v) => ReadersIter::Slice(v.iter()),
+        }
+    }
+
+    /// Adds a reader (does not deduplicate; callers remove superseded
+    /// readers first, as Algorithms 8–9 do).
+    pub fn push(&mut self, t: TaskId) {
+        match self {
+            Readers::Empty => *self = Readers::One(t),
+            Readers::One(prev) => *self = Readers::Many(Box::new(vec![*prev, t])),
+            Readers::Many(v) => v.push(t),
+        }
+    }
+
+    /// Keeps only readers for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(TaskId) -> bool) {
+        match self {
+            Readers::Empty => {}
+            Readers::One(t) => {
+                if !keep(*t) {
+                    *self = Readers::Empty;
+                }
+            }
+            Readers::Many(v) => {
+                v.retain(|&t| keep(t));
+                match v.len() {
+                    0 => *self = Readers::Empty,
+                    1 => *self = Readers::One(v[0]),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Drops all readers.
+    pub fn clear(&mut self) {
+        *self = Readers::Empty;
+    }
+}
+
+/// Iterator over a [`Readers`] set.
+pub enum ReadersIter<'a> {
+    /// One inline element.
+    Once(Option<TaskId>),
+    /// Spilled storage.
+    Slice(std::slice::Iter<'a, TaskId>),
+}
+
+impl Iterator for ReadersIter<'_> {
+    type Item = TaskId;
+    fn next(&mut self) -> Option<TaskId> {
+        match self {
+            ReadersIter::Once(t) => t.take(),
+            ReadersIter::Slice(it) => it.next().copied(),
+        }
+    }
+}
+
+/// One shadow cell `M_s` (§4.2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShadowCell {
+    /// The last writer (`M_s.w`).
+    pub writer: Option<TaskId>,
+    /// The stored readers (`M_s.r`).
+    pub readers: Readers,
+}
+
+/// Flat shadow memory indexed by dense location ids.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowMemory {
+    cells: Vec<ShadowCell>,
+    names: Vec<(LocId, u32, String)>,
+}
+
+impl ShadowMemory {
+    /// Empty shadow memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an allocation of `n` locations starting at `base` (from
+    /// the executor's `alloc` event) so cells exist and race reports can
+    /// name locations.
+    pub fn register(&mut self, base: LocId, n: u32, name: &str) {
+        let end = base.index() + n as usize;
+        if self.cells.len() < end {
+            self.cells.resize_with(end, ShadowCell::default);
+        }
+        self.names.push((base, n, name.to_string()));
+    }
+
+    /// Mutable access to the cell for `loc`, growing the vector if an
+    /// access arrives for an unregistered location.
+    #[inline]
+    pub fn cell_mut(&mut self, loc: LocId) -> &mut ShadowCell {
+        let i = loc.index();
+        if i >= self.cells.len() {
+            self.cells.resize_with(i + 1, ShadowCell::default);
+        }
+        &mut self.cells[i]
+    }
+
+    /// Read-only access (None if never touched/registered).
+    pub fn cell(&self, loc: LocId) -> Option<&ShadowCell> {
+        self.cells.get(loc.index())
+    }
+
+    /// Number of allocated shadow cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell exists.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total readers stored across all cells right now — the `O(v·(f+1))`
+    /// term of Theorem 1's space bound.
+    pub fn stored_readers(&self) -> usize {
+        self.cells.iter().map(|c| c.readers.len()).sum()
+    }
+
+    /// Cells with a recorded writer (diagnostics).
+    pub fn written_cells(&self) -> usize {
+        self.cells.iter().filter(|c| c.writer.is_some()).count()
+    }
+
+    /// Human-readable name for a location: `"name[offset]"` if it falls in
+    /// a registered allocation, else `"L<id>"`.
+    pub fn describe(&self, loc: LocId) -> String {
+        for (base, n, name) in &self.names {
+            if loc.0 >= base.0 && loc.0 < base.0 + n {
+                return if *n == 1 {
+                    name.clone()
+                } else {
+                    format!("{name}[{}]", loc.0 - base.0)
+                };
+            }
+        }
+        format!("{loc}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_grow_and_shrink() {
+        let mut r = Readers::default();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        r.push(TaskId(1));
+        assert_eq!(r.len(), 1);
+        r.push(TaskId(2));
+        r.push(TaskId(3));
+        assert_eq!(r.len(), 3);
+        let all: Vec<TaskId> = r.iter().collect();
+        assert_eq!(all, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        r.retain(|t| t != TaskId(2));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![TaskId(1), TaskId(3)]);
+        r.retain(|t| t == TaskId(3));
+        assert_eq!(r, Readers::One(TaskId(3)));
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn retain_on_one() {
+        let mut r = Readers::One(TaskId(9));
+        r.retain(|_| true);
+        assert_eq!(r, Readers::One(TaskId(9)));
+        r.retain(|_| false);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn register_and_describe() {
+        let mut m = ShadowMemory::new();
+        m.register(LocId(0), 4, "grid");
+        m.register(LocId(4), 1, "sum");
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.describe(LocId(2)), "grid[2]");
+        assert_eq!(m.describe(LocId(4)), "sum");
+        assert_eq!(m.describe(LocId(99)), "L99");
+    }
+
+    #[test]
+    fn cell_mut_grows_on_demand() {
+        let mut m = ShadowMemory::new();
+        m.cell_mut(LocId(10)).writer = Some(TaskId(3));
+        assert_eq!(m.len(), 11);
+        assert_eq!(m.cell(LocId(10)).unwrap().writer, Some(TaskId(3)));
+        assert_eq!(m.cell(LocId(3)).unwrap().writer, None);
+        assert!(m.cell(LocId(11)).is_none());
+        assert!(!m.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Operations on a reader set, mirrored against a plain Vec model.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Push(u32),
+        RetainEven,
+        RetainOdd,
+        Clear,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..64).prop_map(Op::Push),
+            Just(Op::RetainEven),
+            Just(Op::RetainOdd),
+            Just(Op::Clear),
+        ]
+    }
+
+    proptest! {
+        /// The inline-small Readers container behaves exactly like a Vec
+        /// under pushes, retains, and clears (order preserved).
+        #[test]
+        fn readers_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+            let mut readers = Readers::default();
+            let mut model: Vec<TaskId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Push(t) => {
+                        readers.push(TaskId(t));
+                        model.push(TaskId(t));
+                    }
+                    Op::RetainEven => {
+                        readers.retain(|t| t.0 % 2 == 0);
+                        model.retain(|t| t.0 % 2 == 0);
+                    }
+                    Op::RetainOdd => {
+                        readers.retain(|t| t.0 % 2 == 1);
+                        model.retain(|t| t.0 % 2 == 1);
+                    }
+                    Op::Clear => {
+                        readers.clear();
+                        model.clear();
+                    }
+                }
+                prop_assert_eq!(readers.len(), model.len());
+                prop_assert_eq!(readers.is_empty(), model.is_empty());
+                prop_assert_eq!(readers.iter().collect::<Vec<_>>(), model.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Empirical Theorem-1 checks: the detector's internal counters grow the
+//! way the complexity analysis says they should.
+
+use futrace_detector::{DetectorConfig, RaceDetector};
+use futrace_runtime::{run_serial, TaskCtx};
+
+/// Pipeline of `n` futures, each getting the previous one, each touching
+/// one location pair. Non-tree edges form a chain of length `n−1`.
+fn chain_program(ctx: &mut futrace_runtime::SerialCtx<RaceDetector>, n: usize) {
+    let cells = ctx.shared_array(n + 1, 0u64, "cells");
+    let mut prev: Option<_> = None;
+    for i in 0..n {
+        let cells = cells.clone();
+        let dep = prev.clone();
+        prev = Some(ctx.future(move |ctx| {
+            if let Some(d) = &dep {
+                ctx.get(d);
+            }
+            let v = cells.read(ctx, i);
+            cells.write(ctx, i + 1, v + 1);
+        }));
+    }
+    ctx.get(prev.as_ref().unwrap());
+    let _ = cells.read(ctx, n);
+}
+
+#[test]
+fn precede_queries_stay_local_on_chains() {
+    // The paper's §5 locality claim: producers and consumers are 1–2
+    // non-tree hops apart, so Visit expands O(1) nodes per query even
+    // though the chain of non-tree edges is long. Check that the average
+    // expansions per Precede call stay bounded as the chain grows 8×.
+    let avg_expansions = |n: usize| -> f64 {
+        let mut det = RaceDetector::new();
+        run_serial(&mut det, |ctx| chain_program(ctx, n));
+        assert!(!det.has_races());
+        let s = det.stats();
+        s.dtrg.visit_expansions as f64 / s.dtrg.precede_calls as f64
+    };
+    let small = avg_expansions(32);
+    let large = avg_expansions(256);
+    assert!(
+        large <= small * 2.0 + 2.0,
+        "per-query expansion must not grow with chain length: {small:.2} -> {large:.2}"
+    );
+    assert!(large < 8.0, "chain queries are 1–2 hops: {large:.2}");
+}
+
+#[test]
+fn precede_calls_track_accesses_and_readers() {
+    // Theorem 1's `(f+1)` factor made concrete: every access to a location
+    // performs one `Precede` per stored reader (plus one for the writer).
+    // With k parallel future readers accumulating on one location, the
+    // i-th read checks i−1 stored readers — Θ(k²) checks total; the final
+    // write checks all k.
+    let mut det = RaceDetector::new();
+    let readers = 32u64;
+    run_serial(&mut det, |ctx| {
+        let x = ctx.shared_var(1u64, "x");
+        let hs: Vec<_> = (0..readers)
+            .map(|_| {
+                let xr = x.clone();
+                ctx.future(move |ctx| xr.read(ctx))
+            })
+            .collect();
+        for h in &hs {
+            ctx.get(h);
+        }
+        x.write(ctx, 2); // checks all `readers` stored readers
+    });
+    assert!(!det.has_races());
+    let s = det.stats();
+    // Lower bound: the final write alone performs `readers` checks.
+    assert!(
+        s.dtrg.precede_calls >= readers,
+        "got {}",
+        s.dtrg.precede_calls
+    );
+    // Upper bound: the quadratic reader-set term dominates.
+    let quad = readers * (readers - 1) / 2;
+    assert!(
+        s.dtrg.precede_calls <= s.shared_mem() + quad + readers + 4,
+        "got {} for {} accesses (quad bound {})",
+        s.dtrg.precede_calls,
+        s.shared_mem(),
+        quad
+    );
+}
+
+#[test]
+fn first_race_only_skips_remaining_queries() {
+    let run = |first_only: bool| -> u64 {
+        let mut det = RaceDetector::with_config(DetectorConfig {
+            first_race_only: first_only,
+            ..Default::default()
+        });
+        run_serial(&mut det, |ctx| {
+            let a = ctx.shared_array(64, 0u64, "a");
+            // Race immediately, then do lots of accesses.
+            let aw = a.clone();
+            ctx.async_task(move |ctx| aw.write(ctx, 0, 1));
+            a.write(ctx, 0, 2);
+            for _ in 0..100 {
+                for i in 0..64 {
+                    let _ = a.read(ctx, i);
+                }
+            }
+        });
+        assert!(det.has_races());
+        det.stats().dtrg.precede_calls
+    };
+    let full = run(false);
+    let first_only = run(true);
+    assert!(
+        first_only * 10 < full,
+        "first-race mode must skip the bulk of checks: {first_only} vs {full}"
+    );
+}
+
+#[test]
+fn space_grows_linearly_with_tasks_and_locations() {
+    let footprint = |tasks: usize, locs: usize| {
+        let mut det = RaceDetector::new();
+        run_serial(&mut det, |ctx| {
+            let a = ctx.shared_array(locs, 0u64, "a");
+            ctx.finish(|ctx| {
+                let a2 = a.clone();
+                ctx.forasync(0..tasks, move |ctx, i| {
+                    a2.write(ctx, i % locs, i as u64);
+                });
+            });
+        });
+        det.memory_footprint()
+    };
+    let f1 = footprint(100, 50);
+    let f2 = footprint(400, 200);
+    assert_eq!(f1.dtrg_tasks, 101);
+    assert_eq!(f2.dtrg_tasks, 401);
+    assert_eq!(f1.shadow_cells, 50);
+    assert_eq!(f2.shadow_cells, 200);
+    assert_eq!(f1.stored_nt_edges, 0, "async-finish stores no nt edges");
+    assert_eq!(f2.stored_nt_edges, 0);
+}

@@ -1,0 +1,315 @@
+//! Compact binary serialization of instrumentation event streams.
+//!
+//! [`encode`]/[`decode`] turn an [`Event`] stream into a varint-packed
+//! byte buffer and back, enabling *offline* race detection: record a
+//! production run cheaply (an [`crate::monitor::EventLog`] or a streaming writer), ship
+//! the trace, and replay it into the detector elsewhere
+//! ([`crate::monitor::replay`]). The detector is a pure function of the
+//! serial depth-first event stream, so the offline verdict is identical
+//! to the online one (asserted by `tests/replay.rs`).
+//!
+//! Format: one tag byte per event followed by LEB128-varint fields; `Alloc`
+//! carries a length-prefixed UTF-8 name. At paper scale (10⁹ accesses) a
+//! read/write event costs 2–6 bytes.
+
+use crate::monitor::{Event, TaskKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use futrace_util::ids::{FinishId, LocId, StepId, TaskId};
+
+const TAG_TASK_CREATE: u8 = 1;
+const TAG_TASK_END: u8 = 2;
+const TAG_FINISH_START: u8 = 3;
+const TAG_FINISH_END: u8 = 4;
+const TAG_GET: u8 = 5;
+const TAG_READ: u8 = 6;
+const TAG_WRITE: u8 = 7;
+const TAG_ALLOC: u8 = 8;
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::Truncated);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DecodeError::Malformed("varint too long"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Decoding failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Buffer ended mid-event.
+    Truncated,
+    /// Structurally invalid data.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "trace truncated"),
+            DecodeError::Malformed(what) => write!(f, "malformed trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn kind_code(k: TaskKind) -> u64 {
+    match k {
+        TaskKind::Main => 0,
+        TaskKind::Async => 1,
+        TaskKind::Future => 2,
+    }
+}
+
+fn kind_from(code: u64) -> Result<TaskKind, DecodeError> {
+    Ok(match code {
+        0 => TaskKind::Main,
+        1 => TaskKind::Async,
+        2 => TaskKind::Future,
+        _ => return Err(DecodeError::Malformed("task kind")),
+    })
+}
+
+/// Serializes an event stream.
+pub fn encode(events: &[Event]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(events.len() * 4);
+    for e in events {
+        match e {
+            Event::TaskCreate {
+                parent,
+                child,
+                kind,
+                ief,
+            } => {
+                buf.put_u8(TAG_TASK_CREATE);
+                put_varint(&mut buf, u64::from(parent.0));
+                put_varint(&mut buf, u64::from(child.0));
+                put_varint(&mut buf, kind_code(*kind));
+                put_varint(&mut buf, u64::from(ief.0));
+            }
+            Event::TaskEnd(t) => {
+                buf.put_u8(TAG_TASK_END);
+                put_varint(&mut buf, u64::from(t.0));
+            }
+            Event::FinishStart(t, f) => {
+                buf.put_u8(TAG_FINISH_START);
+                put_varint(&mut buf, u64::from(t.0));
+                put_varint(&mut buf, u64::from(f.0));
+            }
+            Event::FinishEnd(t, f, joined) => {
+                buf.put_u8(TAG_FINISH_END);
+                put_varint(&mut buf, u64::from(t.0));
+                put_varint(&mut buf, u64::from(f.0));
+                put_varint(&mut buf, joined.len() as u64);
+                for j in joined {
+                    put_varint(&mut buf, u64::from(j.0));
+                }
+            }
+            Event::Get { waiter, awaited } => {
+                buf.put_u8(TAG_GET);
+                put_varint(&mut buf, u64::from(waiter.0));
+                put_varint(&mut buf, u64::from(awaited.0));
+            }
+            Event::Read(t, l) => {
+                buf.put_u8(TAG_READ);
+                put_varint(&mut buf, u64::from(t.0));
+                put_varint(&mut buf, u64::from(l.0));
+            }
+            Event::Write(t, l) => {
+                buf.put_u8(TAG_WRITE);
+                put_varint(&mut buf, u64::from(t.0));
+                put_varint(&mut buf, u64::from(l.0));
+            }
+            Event::Alloc(base, n, name) => {
+                buf.put_u8(TAG_ALLOC);
+                put_varint(&mut buf, u64::from(base.0));
+                put_varint(&mut buf, u64::from(*n));
+                put_varint(&mut buf, name.len() as u64);
+                buf.put_slice(name.as_bytes());
+            }
+        }
+    }
+    buf.to_vec()
+}
+
+fn id32(v: u64, what: &'static str) -> Result<u32, DecodeError> {
+    u32::try_from(v).map_err(|_| DecodeError::Malformed(what))
+}
+
+/// Deserializes an event stream produced by [`encode`].
+pub fn decode(data: &[u8]) -> Result<Vec<Event>, DecodeError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        let tag = buf.get_u8();
+        let e = match tag {
+            TAG_TASK_CREATE => Event::TaskCreate {
+                parent: TaskId(id32(get_varint(&mut buf)?, "parent")?),
+                child: TaskId(id32(get_varint(&mut buf)?, "child")?),
+                kind: kind_from(get_varint(&mut buf)?)?,
+                ief: FinishId(id32(get_varint(&mut buf)?, "ief")?),
+            },
+            TAG_TASK_END => Event::TaskEnd(TaskId(id32(get_varint(&mut buf)?, "task")?)),
+            TAG_FINISH_START => Event::FinishStart(
+                TaskId(id32(get_varint(&mut buf)?, "task")?),
+                FinishId(id32(get_varint(&mut buf)?, "finish")?),
+            ),
+            TAG_FINISH_END => {
+                let t = TaskId(id32(get_varint(&mut buf)?, "task")?);
+                let f = FinishId(id32(get_varint(&mut buf)?, "finish")?);
+                let n = get_varint(&mut buf)?;
+                let mut joined = Vec::with_capacity(n.min(1 << 20) as usize);
+                for _ in 0..n {
+                    joined.push(TaskId(id32(get_varint(&mut buf)?, "joined")?));
+                }
+                Event::FinishEnd(t, f, joined)
+            }
+            TAG_GET => Event::Get {
+                waiter: TaskId(id32(get_varint(&mut buf)?, "waiter")?),
+                awaited: TaskId(id32(get_varint(&mut buf)?, "awaited")?),
+            },
+            TAG_READ => Event::Read(
+                TaskId(id32(get_varint(&mut buf)?, "task")?),
+                LocId(id32(get_varint(&mut buf)?, "loc")?),
+            ),
+            TAG_WRITE => Event::Write(
+                TaskId(id32(get_varint(&mut buf)?, "task")?),
+                LocId(id32(get_varint(&mut buf)?, "loc")?),
+            ),
+            TAG_ALLOC => {
+                let base = LocId(id32(get_varint(&mut buf)?, "base")?);
+                let n = id32(get_varint(&mut buf)?, "len")?;
+                let name_len = get_varint(&mut buf)? as usize;
+                if buf.remaining() < name_len {
+                    return Err(DecodeError::Truncated);
+                }
+                let name_bytes = buf.copy_to_bytes(name_len);
+                let name = std::str::from_utf8(&name_bytes)
+                    .map_err(|_| DecodeError::Malformed("alloc name utf8"))?
+                    .to_string();
+                Event::Alloc(base, n, name)
+            }
+            _ => return Err(DecodeError::Malformed("unknown tag")),
+        };
+        out.push(e);
+    }
+    let _ = StepId(0); // (steps are derived, never serialized)
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::EventLog;
+    use crate::{run_serial, TaskCtx};
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_real_program() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(4, 0u64, "grid");
+            ctx.finish(|ctx| {
+                let a2 = a.clone();
+                ctx.async_task(move |ctx| a2.write(ctx, 0, 1));
+            });
+            let f = ctx.future(|_| 7u8);
+            ctx.get(&f);
+            let _ = a.read(ctx, 0);
+        });
+        let bytes = encode(&log.events);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, log.events);
+        // The format is compact: a handful of bytes per event.
+        assert!(bytes.len() <= log.events.len() * 12 + 16);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let v = ctx.shared_var(0u64, "v");
+            v.write(ctx, 1);
+        });
+        let bytes = encode(&log.events);
+        for cut in 1..bytes.len() {
+            // Every strict prefix either decodes fewer events or errors —
+            // never panics.
+            let _ = decode(&bytes[..cut]);
+        }
+        assert_eq!(decode(&[99]), Err(DecodeError::Malformed("unknown tag")));
+        assert!(decode(&[TAG_READ]).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = Bytes::from(buf.to_vec());
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    proptest! {
+        /// Arbitrary event streams round-trip losslessly.
+        #[test]
+        fn roundtrip_arbitrary(seed_events in proptest::collection::vec(
+            (0u8..8, 0u32..1000, 0u32..1000, 0u32..100), 0..200)
+        ) {
+            // Build a syntactically arbitrary (not necessarily well-formed)
+            // event stream; the codec must not care about well-formedness.
+            let events: Vec<Event> = seed_events
+                .into_iter()
+                .map(|(k, a, b, c)| match k {
+                    0 => Event::TaskCreate {
+                        parent: TaskId(a),
+                        child: TaskId(b),
+                        kind: TaskKind::Future,
+                        ief: FinishId(c),
+                    },
+                    1 => Event::TaskEnd(TaskId(a)),
+                    2 => Event::FinishStart(TaskId(a), FinishId(c)),
+                    3 => Event::FinishEnd(
+                        TaskId(a),
+                        FinishId(c),
+                        vec![TaskId(b), TaskId(b + 1)],
+                    ),
+                    4 => Event::Get {
+                        waiter: TaskId(a),
+                        awaited: TaskId(b),
+                    },
+                    5 => Event::Read(TaskId(a), LocId(b)),
+                    6 => Event::Write(TaskId(a), LocId(b)),
+                    _ => Event::Alloc(LocId(a), c, format!("alloc{b}")),
+                })
+                .collect();
+            let bytes = encode(&events);
+            prop_assert_eq!(decode(&bytes).unwrap(), events);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers shared across the `futrace` crates.
+//!
+//! All identifiers are dense `u32`-backed indices handed out in creation
+//! order by the serial depth-first executor. Using newtypes (rather than raw
+//! integers) prevents the classic confusion between task ids, step ids and
+//! shadow-memory location ids, at zero runtime cost.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the underlying dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a dense index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                Self(u32::try_from(idx).expect("id space exhausted"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a dynamic task instance (main task, `async` task, or
+    /// future task). The main task is always `TaskId(0)`; children are
+    /// numbered in spawn order, which under serial depth-first execution is
+    /// exactly the preorder of the spawn tree.
+    TaskId,
+    "T"
+);
+
+define_id!(
+    /// Identifier of a *step* (Definition 1 of the paper): a maximal
+    /// sequence of statement instances containing no task/finish/get
+    /// boundary. Steps are numbered in serial execution order.
+    StepId,
+    "S"
+);
+
+define_id!(
+    /// Identifier of a shared-memory location tracked by shadow memory.
+    /// Shared scalars get one `LocId`; shared arrays get one per element.
+    LocId,
+    "L"
+);
+
+define_id!(
+    /// Identifier of a dynamic `finish` scope instance.
+    FinishId,
+    "F"
+);
+
+impl TaskId {
+    /// The main (root) task of every execution.
+    pub const MAIN: TaskId = TaskId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_indices() {
+        for i in [0usize, 1, 7, 1 << 20] {
+            assert_eq!(TaskId::from_index(i).index(), i);
+            assert_eq!(StepId::from_index(i).index(), i);
+            assert_eq!(LocId::from_index(i).index(), i);
+            assert_eq!(FinishId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(StepId(0) < StepId(10));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TaskId(3).to_string(), "T3");
+        assert_eq!(StepId(12).to_string(), "S12");
+        assert_eq!(LocId(5).to_string(), "L5");
+        assert_eq!(FinishId(1).to_string(), "F1");
+        assert_eq!(format!("{:?}", TaskId(3)), "T3");
+    }
+
+    #[test]
+    fn main_task_is_zero() {
+        assert_eq!(TaskId::MAIN, TaskId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "id space exhausted")]
+    fn overflow_panics() {
+        let _ = TaskId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,36 @@
+//! Support data structures for the `futrace` project.
+//!
+//! This crate contains the domain-independent building blocks used by the
+//! dynamic task reachability graph (DTRG) race detector and its substrates:
+//!
+//! * [`unionfind`] — a disjoint-set forest with user payloads attached to set
+//!   representatives, implementing the `Make-Set` / `Union` / `Find-Set`
+//!   interface of the paper (§4.1, "Disjoint set representation of tree
+//!   joins") with path compression and union by rank.
+//! * [`interval`] — the dynamic preorder/postorder *interval labeling* of the
+//!   spawn tree (§4.1, "Interval encoding of spawn tree"), including the
+//!   temporary-postorder scheme of Algorithms 1–3.
+//! * [`fxhash`] — an FxHash-style hasher plus map/set aliases keyed by small
+//!   integers; shadow-memory lookups dominate detector cost, so the default
+//!   SipHash tables are replaced throughout.
+//! * [`ids`] — strongly-typed identifiers shared by all crates
+//!   ([`ids::TaskId`], [`ids::StepId`], [`ids::LocId`], [`ids::FinishId`]).
+//! * [`stats`] — running statistics (mean/min/max, counters) used both by the
+//!   detector's Table-2 instrumentation and by the bench harness.
+//! * [`rng`] — small deterministic RNG used by workload generators so every
+//!   experiment is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fxhash;
+pub mod ids;
+pub mod interval;
+pub mod rng;
+pub mod stats;
+pub mod unionfind;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use ids::{FinishId, LocId, StepId, TaskId};
+pub use interval::{Interval, IntervalLabeler};
+pub use unionfind::UnionFind;

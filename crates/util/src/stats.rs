@@ -1,0 +1,218 @@
+//! Running statistics and timing helpers shared by the detector's
+//! instrumentation counters and the Table-2 bench harness.
+
+use std::time::{Duration, Instant};
+
+/// Online accumulator for count/mean/min/max of a stream of `f64` samples
+/// (Welford's algorithm for the mean; variance tracked for bench reporting).
+#[derive(Clone, Debug, Default)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples (0.0 if empty — convenient for the #AvgReaders
+    /// column, which is defined as an average over accesses and is zero when
+    /// no access occurred).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (`n-1` denominator); 0.0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Wall-clock timer for the Seq/Racedet columns of Table 2.
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since `start`.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64` (Table 2's unit).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+/// Runs `f` a total of `reps` times and returns the mean wall-clock
+/// milliseconds, mirroring the paper's "mean execution time of 10 runs
+/// repeated in the same JVM instance".
+pub fn mean_time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(reps > 0);
+    let mut acc = Running::new();
+    for _ in 0..reps {
+        let t = Timer::start();
+        let out = f();
+        acc.push(t.elapsed_ms());
+        std::hint::black_box(out);
+    }
+    acc.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_running() {
+        let r = Running::new();
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert!(r.min().is_none());
+        assert!(r.max().is_none());
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 6.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 3);
+        assert!((r.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(6.0));
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert!((r.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for &x in &xs[..20] {
+            left.push(x);
+        }
+        for &x in &xs[20..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&Running::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_time_measures_something() {
+        let ms = mean_time_ms(3, || {
+            let mut s = 0u64;
+            for i in 0..10_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(ms >= 0.0);
+        assert!(ms < 10_000.0);
+    }
+}

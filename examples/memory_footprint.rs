@@ -1,0 +1,60 @@
+//! Theorem 1's space bound, measured: the DTRG detector's footprint is
+//! `O(a + f + n + v·(f+1))`, while a vector-clock detector's clocks grow
+//! with the task count — the paper's §1 argument made concrete.
+//!
+//! ```text
+//! cargo run --release --example memory_footprint
+//! ```
+
+use futrace::baselines::{run_baseline, BaselineDetector, VectorClockDetector};
+use futrace::detector::RaceDetector;
+use futrace::prelude::*;
+use futrace::runtime::TaskCtx;
+
+/// `n` future tasks all reading one location, then joined by the parent —
+/// the worst case for reader storage (`v·(f+1)`) and for clock width.
+fn fan<C: TaskCtx>(ctx: &mut C, n: usize) {
+    let x = ctx.shared_var(1u64, "x");
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let xr = x.clone();
+            ctx.future(move |ctx| xr.read(ctx))
+        })
+        .collect();
+    for h in &handles {
+        ctx.get(h);
+    }
+    x.write(ctx, 2);
+}
+
+fn main() {
+    println!("{:>8} | {:>40} | {:>22}", "futures", "DTRG footprint", "vector-clock");
+    println!("{:->8}-+-{:->40}-+-{:->22}", "", "", "");
+    for n in [64usize, 256, 1024, 4096] {
+        let mut det = RaceDetector::new();
+        run_serial(&mut det, |ctx| fan(ctx, n));
+        assert!(!det.has_races());
+        let fp = det.memory_footprint();
+
+        let mut vc = VectorClockDetector::new();
+        run_baseline(&mut vc, |ctx| fan(ctx, n));
+        assert!(!vc.has_races());
+
+        println!(
+            "{:>8} | tasks {:>5}, nt {:>3}, cells {:>2}, readers {:>5} | width {:>5}, entries {:>9}",
+            n,
+            fp.dtrg_tasks,
+            fp.stored_nt_edges,
+            fp.shadow_cells,
+            fp.stored_readers,
+            vc.peak_clock_width,
+            vc.total_clock_entries,
+        );
+    }
+    println!(
+        "\nThe DTRG side grows linearly in tasks with constant-size labels; the\n\
+         vector-clock side allocates Θ(tasks) clock entries *per task*\n\
+         (total_clock_entries grows quadratically) — the reason §1 rules\n\
+         vector clocks out for dynamic task parallelism."
+    );
+}

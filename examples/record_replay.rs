@@ -1,0 +1,64 @@
+//! Offline (trace-based) race detection: record an execution's event
+//! stream once, then run the detector over the serialized trace — the
+//! verdict is identical to the online run, because the detector is a pure
+//! function of the serial depth-first event stream.
+//!
+//! ```text
+//! cargo run --release --example record_replay
+//! ```
+
+use futrace::benchsuite::smithwaterman::{sw_run, SwParams};
+use futrace::detector::RaceDetector;
+use futrace::runtime::{replay, run_serial, trace, EventLog};
+use futrace_util::stats::Timer;
+
+fn main() {
+    let p = SwParams {
+        n: 200,
+        tiles: 10,
+        seed: 0xac97,
+    };
+
+    // --- Record: run the program once with only the cheap event logger.
+    let t = Timer::start();
+    let mut log = EventLog::new();
+    run_serial(&mut log, |ctx| {
+        // Record the *buggy* variant so the offline pass has something
+        // to find.
+        let _ = sw_run(ctx, &p, true);
+    });
+    println!(
+        "recorded {} events in {:.1} ms",
+        log.events.len(),
+        t.elapsed_ms()
+    );
+
+    // --- Serialize: compact varint encoding (bytes-backed).
+    let t = Timer::start();
+    let blob = trace::encode(&log.events);
+    println!(
+        "encoded to {} bytes ({:.2} bytes/event) in {:.1} ms",
+        blob.len(),
+        blob.len() as f64 / log.events.len() as f64,
+        t.elapsed_ms()
+    );
+
+    // --- Offline detection: decode and replay into a fresh detector.
+    let t = Timer::start();
+    let events = trace::decode(&blob).expect("valid trace");
+    let mut det = RaceDetector::new();
+    replay(&events, &mut det);
+    println!("offline detection in {:.1} ms", t.elapsed_ms());
+
+    assert!(det.has_races(), "the planted wavefront race must be found");
+    println!("\noffline verdict: {} race(s); first:", det.races().len());
+    println!("  {}", det.races()[0]);
+
+    // --- Cross-check against the live run.
+    let mut live = RaceDetector::new();
+    run_serial(&mut live, |ctx| {
+        let _ = sw_run(ctx, &p, true);
+    });
+    assert_eq!(live.races(), det.races(), "offline == online, exactly");
+    println!("\nonline run agrees exactly (same reports, same order).");
+}

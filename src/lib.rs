@@ -1,0 +1,57 @@
+//! # futrace — determinacy race detection for task parallelism with futures
+//!
+//! Umbrella crate re-exporting the whole `futrace` workspace: a Rust
+//! reproduction of *"Dynamic Determinacy Race Detection for Task Parallelism
+//! with Futures"* (Surendran & Sarkar, SPAA 2016).
+//!
+//! Quick tour:
+//!
+//! * [`runtime`] — the async/finish/future programming model (serial
+//!   depth-first executor with instrumentation, plus a parallel
+//!   work-stealing executor).
+//! * [`detector`] — the paper's contribution: the dynamic task reachability
+//!   graph (DTRG) on-the-fly race detector.
+//! * [`compgraph`] — step-level computation graphs and the ground-truth
+//!   reachability oracle.
+//! * [`baselines`] — SP-bags, ESP-bags, vector-clock, and transitive-closure
+//!   detectors for comparison.
+//! * [`benchsuite`] — the Table-2 benchmarks (Series, Crypt, Jacobi,
+//!   Smith-Waterman, Strassen) and random-program generators.
+//! * [`util`] — union-find, interval labels, hashing, stats.
+//!
+//! ```
+//! use futrace::prelude::*;
+//!
+//! // A racy program: two async tasks write the same shared cell without
+//! // synchronization.
+//! let report = detect_races(|ctx| {
+//!     let x = ctx.shared_var(0i64, "x");
+//!     ctx.finish(|ctx| {
+//!         let xa = x.clone();
+//!         ctx.async_task(move |ctx| xa.write(ctx, 1));
+//!         let xb = x.clone();
+//!         ctx.async_task(move |ctx| xb.write(ctx, 2));
+//!     });
+//! });
+//! assert!(report.has_races());
+//! ```
+
+pub use futrace_baselines as baselines;
+pub use futrace_benchsuite as benchsuite;
+pub use futrace_compgraph as compgraph;
+pub use futrace_detector as detector;
+pub use futrace_runtime as runtime;
+pub use futrace_util as util;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use futrace_detector::{
+        detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig,
+        MemoryFootprint, RaceDetector, RaceReport,
+    };
+    pub use futrace_runtime::accumulator::Accumulator;
+    pub use futrace_runtime::memory::{SharedArray, SharedVar};
+    pub use futrace_runtime::serial::{run_serial, FutureHandle, SerialCtx};
+    pub use futrace_runtime::{run_parallel, TaskCtx};
+    pub use futrace_util::ids::{LocId, StepId, TaskId};
+}

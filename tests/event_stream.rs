@@ -1,0 +1,135 @@
+//! Well-formedness of the serial executor's event stream — the contract
+//! every monitor (detector, baselines, graph builder) relies on.
+
+use futrace::benchsuite::randomprog::{execute, generate, GenParams};
+use futrace::runtime::{run_serial, Event, EventLog};
+use futrace_util::ids::{FinishId, TaskId};
+use std::collections::{HashMap, HashSet};
+
+fn stream_for(seed: u64, params: &GenParams) -> Vec<Event> {
+    let mut log = EventLog::new();
+    run_serial(&mut log, |ctx| {
+        execute(ctx, &prog_for(seed, params));
+    });
+    log.events
+}
+
+fn prog_for(seed: u64, params: &GenParams) -> futrace::benchsuite::randomprog::Program {
+    generate(seed, params)
+}
+
+#[test]
+fn every_task_is_created_once_and_ended_once() {
+    for seed in 0..100u64 {
+        let events = stream_for(seed, &GenParams::default());
+        let mut created: HashMap<TaskId, usize> = HashMap::new();
+        let mut ended: HashMap<TaskId, usize> = HashMap::new();
+        for e in &events {
+            match e {
+                Event::TaskCreate { child, .. } => *created.entry(*child).or_default() += 1,
+                Event::TaskEnd(t) => *ended.entry(*t).or_default() += 1,
+                _ => {}
+            }
+        }
+        // Main is never "created" but is ended exactly once.
+        assert_eq!(ended.get(&TaskId::MAIN), Some(&1), "seed {seed}");
+        for (t, n) in &created {
+            assert_eq!(*n, 1, "seed {seed}: {t} created once");
+            assert_eq!(ended.get(t), Some(&1), "seed {seed}: {t} ended once");
+        }
+        assert_eq!(ended.len(), created.len() + 1, "seed {seed}");
+    }
+}
+
+#[test]
+fn task_ids_are_dense_in_spawn_order() {
+    for seed in 0..100u64 {
+        let events = stream_for(seed, &GenParams::future_heavy());
+        let mut next = 1u32;
+        for e in &events {
+            if let Event::TaskCreate { child, .. } = e {
+                assert_eq!(child.0, next, "seed {seed}");
+                next += 1;
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_first_nesting_of_task_lifetimes() {
+    // Under serial depth-first execution, TaskCreate/TaskEnd pairs nest
+    // like parentheses.
+    for seed in 0..100u64 {
+        let events = stream_for(seed, &GenParams::default());
+        let mut stack = vec![TaskId::MAIN];
+        for e in &events {
+            match e {
+                Event::TaskCreate { parent, child, .. } => {
+                    assert_eq!(stack.last(), Some(parent), "seed {seed}");
+                    stack.push(*child);
+                }
+                Event::TaskEnd(t) => {
+                    assert_eq!(stack.pop(), Some(*t), "seed {seed}");
+                }
+                Event::Read(t, _) | Event::Write(t, _) => {
+                    assert_eq!(stack.last(), Some(t), "seed {seed}: access attribution");
+                }
+                Event::Get { waiter, .. } => {
+                    assert_eq!(stack.last(), Some(waiter), "seed {seed}");
+                }
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "seed {seed}: main ended last");
+    }
+}
+
+#[test]
+fn finish_end_joins_exactly_its_ief_registrants() {
+    for seed in 0..100u64 {
+        let events = stream_for(seed, &GenParams::default());
+        // Expected joins per finish, from the creation events.
+        let mut expected: HashMap<FinishId, Vec<TaskId>> = HashMap::new();
+        for e in &events {
+            if let Event::TaskCreate { child, ief, .. } = e {
+                expected.entry(*ief).or_default().push(*child);
+            }
+        }
+        let mut seen_finishes = HashSet::new();
+        for e in &events {
+            if let Event::FinishEnd(_, f, joined) = e {
+                assert!(seen_finishes.insert(*f), "seed {seed}: {f} ends once");
+                assert_eq!(
+                    joined,
+                    &expected.remove(f).unwrap_or_default(),
+                    "seed {seed}: {f} joins its IEF registrants in spawn order"
+                );
+            }
+        }
+        assert!(
+            expected.is_empty(),
+            "seed {seed}: every IEF with registrants must end"
+        );
+    }
+}
+
+#[test]
+fn gets_target_completed_futures() {
+    // In serial depth-first order a future always completed before any
+    // get on it (the executor never blocks).
+    for seed in 0..100u64 {
+        let events = stream_for(seed, &GenParams::future_heavy());
+        let mut ended: HashSet<TaskId> = HashSet::new();
+        for e in &events {
+            match e {
+                Event::TaskEnd(t) => {
+                    ended.insert(*t);
+                }
+                Event::Get { awaited, .. } => {
+                    assert!(ended.contains(awaited), "seed {seed}: get after completion");
+                }
+                _ => {}
+            }
+        }
+    }
+}
