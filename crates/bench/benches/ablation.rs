@@ -13,14 +13,14 @@
 //!   stored parallel future readers (Theorem 1's `O(f+1)` factor; one
 //!   `Precede` per stored reader).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futrace_bench::runner::{BenchmarkId, Runner};
 use futrace_benchsuite::jacobi::{jacobi_run, JacobiParams};
 use futrace_detector::{Dtrg, RaceDetector};
 use futrace_runtime::monitor::TaskKind;
 use futrace_runtime::{run_serial, TaskCtx};
 use futrace_util::ids::TaskId;
 
-fn nt_join_sweep(c: &mut Criterion) {
+fn nt_join_sweep(c: &mut Runner) {
     let mut g = c.benchmark_group("nt-join-sweep");
     g.sample_size(10);
     for sweeps in [1usize, 2, 4, 8] {
@@ -70,7 +70,7 @@ fn nt_chain(k: usize) -> (Dtrg, TaskId, TaskId) {
     (g, first, last)
 }
 
-fn precede_chain(c: &mut Criterion) {
+fn precede_chain(c: &mut Runner) {
     let mut g = c.benchmark_group("precede-chain");
     g.sample_size(10);
     for k in [2usize, 8, 64, 512] {
@@ -85,7 +85,7 @@ fn precede_chain(c: &mut Criterion) {
     g.finish();
 }
 
-fn reader_fanout(c: &mut Criterion) {
+fn reader_fanout(c: &mut Runner) {
     let mut g = c.benchmark_group("reader-fanout");
     g.sample_size(10);
     for readers in [1usize, 8, 64, 256] {
@@ -115,7 +115,7 @@ fn reader_fanout(c: &mut Criterion) {
 /// Interval-label subsumption vs. walking parent pointers for ancestor
 /// queries (the DESIGN.md ablation (a)): build a deep spawn chain and
 /// time both answers for near/far pairs.
-fn ancestor_query(c: &mut Criterion) {
+fn ancestor_query(c: &mut Runner) {
     let mut g = c.benchmark_group("ancestor-query");
     g.sample_size(10);
     for depth in [16usize, 256, 4096] {
@@ -149,11 +149,4 @@ fn ancestor_query(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    nt_join_sweep,
-    precede_chain,
-    reader_fanout,
-    ancestor_query
-);
-criterion_main!(benches);
+futrace_bench::bench_main!(nt_join_sweep, precede_chain, reader_fanout, ancestor_query);

@@ -15,14 +15,14 @@
 //!    inherent Θ(readers²) reader-set maintenance on a single-location
 //!    fan-out, plus the closure detector's Θ(steps²) blow-up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use futrace_bench::runner::{BenchmarkId, Runner};
 use futrace_baselines::{run_baseline, BaselineDetector, ClosureDetector, EspBags, SpBags, VectorClockDetector};
 use futrace_benchsuite::crypt::{crypt_run, CryptParams, CryptVariant};
 use futrace_benchsuite::series::{series_af, SeriesParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, TaskCtx};
 
-fn async_finish_overhead(c: &mut Criterion) {
+fn async_finish_overhead(c: &mut Runner) {
     let sp = SeriesParams {
         n: 200,
         intervals: 50,
@@ -94,7 +94,7 @@ fn fan<C: TaskCtx>(ctx: &mut C, n: usize) {
     x.write(ctx, 2);
 }
 
-fn future_scaling(c: &mut Criterion) {
+fn future_scaling(c: &mut Runner) {
     let mut g = c.benchmark_group("future-scaling");
     g.sample_size(10);
     for n in [256usize, 1024, 4096] {
@@ -125,5 +125,4 @@ fn future_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, async_finish_overhead, future_scaling);
-criterion_main!(benches);
+futrace_bench::bench_main!(async_finish_overhead, future_scaling);

@@ -1,8 +1,8 @@
-//! Criterion bench for Table 2's Crypt rows. Crypt has the paper's
+//! Microbenchmark for Table 2's Crypt rows. Crypt has the paper's
 //! smallest work-per-task, hence the largest async-finish slowdown
 //! (7.77–8.26×): the detector's per-access and per-task costs dominate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::crypt::{crypt_run, crypt_seq, CryptParams, CryptVariant};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
@@ -14,7 +14,7 @@ fn bench_params() -> CryptParams {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Runner) {
     let p = bench_params();
     let mut g = c.benchmark_group("crypt");
     g.sample_size(10);
@@ -48,5 +48,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(bench);

@@ -1,12 +1,12 @@
-//! Criterion benches for the extension workloads (blocked LU, pipeline).
+//! Microbenchmarks for the extension workloads (blocked LU, pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::lu::{lu_run, lu_seq_blocked, LuParams};
 use futrace_benchsuite::pipeline::{pipeline_run, pipeline_seq, PipelineParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
 
-fn lu_bench(c: &mut Criterion) {
+fn lu_bench(c: &mut Runner) {
     let p = LuParams { nb: 6, bs: 12, seed: 0x1f };
     let mut g = c.benchmark_group("blocked-lu");
     g.sample_size(10);
@@ -31,7 +31,7 @@ fn lu_bench(c: &mut Criterion) {
     g.finish();
 }
 
-fn pipeline_bench(c: &mut Criterion) {
+fn pipeline_bench(c: &mut Runner) {
     let p = PipelineParams {
         stages: 6,
         items: 128,
@@ -53,5 +53,4 @@ fn pipeline_bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, lu_bench, pipeline_bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(lu_bench, pipeline_bench);

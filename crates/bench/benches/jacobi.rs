@@ -1,7 +1,7 @@
-//! Criterion bench for Table 2's Jacobi row (futures with `depends`-style
+//! Microbenchmark for Table 2's Jacobi row (futures with `depends`-style
 //! point-to-point synchronization; non-tree joins throughout).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::jacobi::{jacobi_run, jacobi_seq, JacobiParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
@@ -15,7 +15,7 @@ fn bench_params() -> JacobiParams {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Runner) {
     let p = bench_params();
     let mut g = c.benchmark_group("jacobi");
     g.sample_size(10);
@@ -40,5 +40,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(bench);

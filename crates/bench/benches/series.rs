@@ -1,7 +1,7 @@
-//! Criterion bench for Table 2's Series rows: serial elision vs. plain DSL
+//! Microbenchmark for Table 2's Series rows: serial elision vs. plain DSL
 //! vs. DSL + DTRG detector (af and future variants).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::series::{series_af, series_future, series_seq, SeriesParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
@@ -13,7 +13,7 @@ fn bench_params() -> SeriesParams {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Runner) {
     let p = bench_params();
     let mut g = c.benchmark_group("series");
     g.sample_size(10);
@@ -47,5 +47,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(bench);

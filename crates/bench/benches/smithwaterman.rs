@@ -1,8 +1,8 @@
-//! Criterion bench for Table 2's Smith-Waterman row — the paper's worst
+//! Microbenchmark for Table 2's Smith-Waterman row — the paper's worst
 //! slowdown (9.92×): maximal #SharedMem and #AvgReaders (tile boundaries
 //! are watched by two parallel future readers).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::smithwaterman::{sw_run, sw_seq, SwParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
@@ -15,7 +15,7 @@ fn bench_params() -> SwParams {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Runner) {
     let p = bench_params();
     let mut g = c.benchmark_group("smithwaterman");
     g.sample_size(10);
@@ -40,5 +40,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(bench);

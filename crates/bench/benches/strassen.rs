@@ -1,7 +1,7 @@
-//! Criterion bench for Table 2's Strassen row (7 product + 4 combine
+//! Microbenchmark for Table 2's Strassen row (7 product + 4 combine
 //! futures per recursion node; 12 non-tree joins per node).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use futrace_bench::runner::Runner;
 use futrace_benchsuite::strassen::{inputs, strassen_run, strassen_seq, StrassenParams};
 use futrace_detector::RaceDetector;
 use futrace_runtime::{run_serial, NullMonitor};
@@ -14,7 +14,7 @@ fn bench_params() -> StrassenParams {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Runner) {
     let p = bench_params();
     let (a, b) = inputs(&p);
     let mut g = c.benchmark_group("strassen");
@@ -42,5 +42,4 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+futrace_bench::bench_main!(bench);

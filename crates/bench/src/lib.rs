@@ -1,4 +1,4 @@
-//! Shared harness for the Table-2 reproduction and the Criterion benches.
+//! Shared harness for the Table-2 reproduction and the microbenchmarks.
 //!
 //! [`run_row`] measures one benchmark exactly the way the paper does
 //! (§5): `Seq` is the mean wall-clock time of the serial elision (the
@@ -10,6 +10,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod runner;
 
 use futrace_benchsuite::{crypt, jacobi, lu, pipeline, series, smithwaterman, sor, strassen};
 use futrace_detector::{DetectorStats, RaceDetector};

@@ -1,0 +1,363 @@
+//! Deterministic in-tree microbenchmark runner (std-only).
+//!
+//! A minimal replacement for the external benchmark harness the `benches/`
+//! targets used to depend on, keeping its call-site surface —
+//! [`Runner::benchmark_group`], [`Group::sample_size`],
+//! [`Group::bench_function`], [`Group::bench_with_input`],
+//! [`BenchmarkId::new`], [`Group::finish`] — so bench files read the same
+//! way, but with a fixed, configuration-driven measurement protocol:
+//!
+//! 1. `warmup` untimed iterations (default 3, `FUTRACE_BENCH_WARMUP`);
+//! 2. `samples` timed iterations (default 10, `FUTRACE_BENCH_SAMPLES`,
+//!    or per-group [`Group::sample_size`]);
+//! 3. one JSON line per benchmark with `min`/`median`/`mean`/`MAD`
+//!    nanoseconds, to stdout and (if `FUTRACE_BENCH_OUT` is set) appended
+//!    to that file.
+//!
+//! Median and MAD (median absolute deviation) are the headline statistics:
+//! both are robust to the occasional scheduling outlier, which matters for
+//! the short deterministic runs used in CI. No statistical stopping rule,
+//! no plotting, no timer calibration — runs are exactly reproducible in
+//! iteration count, which is what a zero-dependency offline harness needs.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Identifier `"function/parameter"` for parameterized benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("racedet", 64)` → `"racedet/64"`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// One measured benchmark, as serialized to a JSON line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Group name (from [`Runner::benchmark_group`]).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Timed iterations contributing to the statistics.
+    pub iters: u64,
+    /// Untimed warmup iterations that preceded them.
+    pub warmup: u64,
+    /// Fastest sample (ns).
+    pub min_ns: u64,
+    /// Median sample (ns).
+    pub median_ns: u64,
+    /// Mean sample (ns).
+    pub mean_ns: u64,
+    /// Median absolute deviation from the median (ns).
+    pub mad_ns: u64,
+}
+
+impl Record {
+    /// The JSON-line form (flat object, no escaping needed: group/bench
+    /// names are code-controlled identifiers).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"warmup\":{},",
+                "\"min_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"mad_ns\":{}}}"
+            ),
+            self.group,
+            self.bench,
+            self.iters,
+            self.warmup,
+            self.min_ns,
+            self.median_ns,
+            self.mean_ns,
+            self.mad_ns
+        )
+    }
+
+    /// Parses a line produced by [`Record::to_json_line`]. Hand-rolled flat
+    /// parser (the schema is fixed); returns `None` on any mismatch.
+    pub fn parse_json_line(line: &str) -> Option<Record> {
+        let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut group = None;
+        let mut bench = None;
+        let mut nums = std::collections::HashMap::new();
+        for field in body.split(',') {
+            let (k, v) = field.split_once(':')?;
+            let k = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let v = v.trim();
+            if let Some(s) = v.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                match k {
+                    "group" => group = Some(s.to_string()),
+                    "bench" => bench = Some(s.to_string()),
+                    _ => return None,
+                }
+            } else {
+                nums.insert(k.to_string(), v.parse::<u64>().ok()?);
+            }
+        }
+        Some(Record {
+            group: group?,
+            bench: bench?,
+            iters: *nums.get("iters")?,
+            warmup: *nums.get("warmup")?,
+            min_ns: *nums.get("min_ns")?,
+            median_ns: *nums.get("median_ns")?,
+            mean_ns: *nums.get("mean_ns")?,
+            mad_ns: *nums.get("mad_ns")?,
+        })
+    }
+}
+
+/// Top-level handle a bench `main` threads through its bench functions (the
+/// role the external harness's `Criterion` struct used to play).
+pub struct Runner {
+    default_samples: u64,
+    warmup: u64,
+    quiet: bool,
+    records: Vec<Record>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+impl Runner {
+    /// A runner configured from `FUTRACE_BENCH_SAMPLES` /
+    /// `FUTRACE_BENCH_WARMUP` (defaults 10 / 3).
+    pub fn from_env() -> Self {
+        let env_u64 = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v >= 1)
+                .unwrap_or(d)
+        };
+        Runner {
+            default_samples: env_u64("FUTRACE_BENCH_SAMPLES", 10),
+            warmup: env_u64("FUTRACE_BENCH_WARMUP", 3),
+            quiet: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// A silent runner for tests: nothing printed, records only collected.
+    pub fn quiet(samples: u64, warmup: u64) -> Self {
+        Runner {
+            default_samples: samples.max(1),
+            warmup,
+            quiet: true,
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            name: name.into(),
+            samples: self.default_samples,
+            runner: self,
+        }
+    }
+
+    /// Every record measured so far, in execution order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    fn emit(&mut self, record: Record) {
+        if !self.quiet {
+            println!("{}", record.to_json_line());
+            if let Ok(path) = std::env::var("FUTRACE_BENCH_OUT") {
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(f, "{}", record.to_json_line());
+                }
+            }
+        }
+        self.records.push(record);
+    }
+}
+
+/// A named group of related benchmarks sharing a sample count.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+    samples: u64,
+}
+
+impl Group<'_> {
+    /// Overrides the timed-iteration count for this group.
+    pub fn sample_size(&mut self, n: u64) {
+        self.samples = n.max(1);
+    }
+
+    /// Measures `f` under the id `id` (a `&str` or a [`BenchmarkId`]).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warmup: self.runner.warmup,
+            samples: self.samples,
+            durations_ns: Vec::new(),
+        };
+        f(&mut b);
+        let record = b.into_record(&self.name, &id.id);
+        self.runner.emit(record);
+    }
+
+    /// Measures `f` with an input threaded through (parameterized sweeps).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group. (A no-op — records are emitted as they complete —
+    /// but kept so bench files read identically to the old harness.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the measuring.
+pub struct Bencher {
+    warmup: u64,
+    samples: u64,
+    durations_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured warmup + timed iterations, timing each
+    /// timed call individually. The return value is passed through
+    /// [`std::hint::black_box`] so computing it cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        self.durations_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            self.durations_ns
+                .push(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    fn into_record(self, group: &str, bench: &str) -> Record {
+        let mut sorted = self.durations_ns.clone();
+        sorted.sort_unstable();
+        assert!(
+            !sorted.is_empty(),
+            "benchmark {group}/{bench} never called Bencher::iter"
+        );
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
+        let mut devs: Vec<u64> = sorted.iter().map(|&d| d.abs_diff(median)).collect();
+        devs.sort_unstable();
+        let mad = devs[devs.len() / 2];
+        Record {
+            group: group.to_string(),
+            bench: bench.to_string(),
+            iters: sorted.len() as u64,
+            warmup: self.warmup,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            mad_ns: mad,
+        }
+    }
+}
+
+/// Generates `fn main()` for a bench target: runs each listed bench
+/// function against one [`Runner`] configured from the environment.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut runner = $crate::runner::Runner::from_env();
+            $($f(&mut runner);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let r = Record {
+            group: "g".into(),
+            bench: "b/32".into(),
+            iters: 10,
+            warmup: 3,
+            min_ns: 100,
+            median_ns: 150,
+            mean_ns: 160,
+            mad_ns: 5,
+        };
+        let line = r.to_json_line();
+        assert_eq!(Record::parse_json_line(&line), Some(r));
+        assert!(Record::parse_json_line("not json").is_none());
+        assert!(Record::parse_json_line("{\"group\":\"g\"}").is_none());
+    }
+
+    #[test]
+    fn bencher_measures_and_orders_stats() {
+        let mut runner = Runner::quiet(7, 1);
+        let mut g = runner.benchmark_group("unit");
+        let mut calls = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 8); // 1 warmup + 7 timed
+        let rec = &runner.records()[0];
+        assert_eq!((rec.group.as_str(), rec.bench.as_str()), ("unit", "count"));
+        assert_eq!(rec.iters, 7);
+        assert!(rec.min_ns <= rec.median_ns);
+        assert!(rec.median_ns <= *[rec.mean_ns, rec.median_ns].iter().max().unwrap());
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("sweep", 128);
+        let mut runner = Runner::quiet(2, 0);
+        let mut g = runner.benchmark_group("ids");
+        g.bench_with_input(id, &128usize, |b, &n| b.iter(|| n * 2));
+        g.finish();
+        assert_eq!(runner.records()[0].bench, "sweep/128");
+    }
+
+    #[test]
+    fn sample_size_overrides_default() {
+        let mut runner = Runner::quiet(50, 0);
+        let mut g = runner.benchmark_group("sized");
+        g.sample_size(4);
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(runner.records()[0].iters, 4);
+    }
+}

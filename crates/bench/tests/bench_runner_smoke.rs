@@ -1,0 +1,50 @@
+//! Smoke test for the in-tree bench runner: measure a real (trivially
+//! sized) Series workload end to end, then check that every emitted
+//! JSON line parses back and the statistics are internally consistent.
+
+use futrace_bench::runner::{BenchmarkId, Record, Runner};
+use futrace_benchsuite::series::{series_af, series_seq, SeriesParams};
+use futrace_detector::RaceDetector;
+use futrace_runtime::run_serial;
+
+#[test]
+fn series_bench_produces_consistent_json_records() {
+    let p = SeriesParams { n: 8, intervals: 8 };
+    let mut runner = Runner::quiet(5, 1);
+    let mut g = runner.benchmark_group("series-smoke");
+    g.bench_function("seq", |b| b.iter(|| series_seq(&p)));
+    g.bench_function("racedet-af", |b| {
+        b.iter(|| {
+            let mut det = RaceDetector::new();
+            run_serial(&mut det, |ctx| {
+                series_af(ctx, &p);
+            });
+            assert!(!det.has_races());
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("seq-sized", p.n), &p, |b, p| {
+        b.iter(|| series_seq(p))
+    });
+    g.finish();
+
+    let records = runner.records();
+    assert_eq!(records.len(), 3);
+    let names: Vec<&str> = records.iter().map(|r| r.bench.as_str()).collect();
+    assert_eq!(names, ["seq", "racedet-af", "seq-sized/8"]);
+    for rec in records {
+        assert_eq!(rec.group, "series-smoke");
+        assert!(rec.iters >= 1, "{}: no timed iterations", rec.bench);
+        assert_eq!(rec.iters, 5);
+        assert!(
+            rec.median_ns >= rec.min_ns,
+            "{}: median {} < min {}",
+            rec.bench,
+            rec.median_ns,
+            rec.min_ns
+        );
+        assert!(rec.mean_ns >= rec.min_ns);
+        // The JSON line round-trips through the hand-rolled parser.
+        let line = rec.to_json_line();
+        assert_eq!(Record::parse_json_line(&line).as_ref(), Some(rec));
+    }
+}

@@ -72,7 +72,6 @@ impl JacobiParams {
 
 /// Deterministic initial grid.
 pub fn initial_grid(p: &JacobiParams) -> Vec<f64> {
-    use rand::Rng;
     let mut rng = futrace_util::rng::seeded(p.seed);
     (0..p.n * p.n).map(|_| rng.gen_range(0.0..1.0)).collect()
 }

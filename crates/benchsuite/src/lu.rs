@@ -59,7 +59,6 @@ impl LuParams {
 
 /// Deterministic diagonally-dominant input (so unpivoted LU is stable).
 pub fn input(p: &LuParams) -> Vec<f64> {
-    use rand::Rng;
     let n = p.n();
     let mut rng = futrace_util::rng::seeded(p.seed);
     let mut a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();

@@ -17,7 +17,6 @@
 
 use crate::randomprog::Stmt::*;
 use futrace_runtime::TaskCtx;
-use rand::Rng;
 
 /// One statement of a generated program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -98,7 +97,7 @@ impl GenParams {
     }
 }
 
-fn gen_body(rng: &mut impl Rng, p: &GenParams, depth: usize, visible_futures: &mut usize) -> Vec<Stmt> {
+fn gen_body(rng: &mut futrace_util::rng::Rng, p: &GenParams, depth: usize, visible_futures: &mut usize) -> Vec<Stmt> {
     let n = rng.gen_range(1..=p.max_stmts);
     let mut body = Vec::with_capacity(n);
     let total: u32 = p.weights.iter().sum();
@@ -114,7 +113,7 @@ fn gen_body(rng: &mut impl Rng, p: &GenParams, depth: usize, visible_futures: &m
         }
         match kind {
             0 => body.push(Read(rng.gen_range(0..p.locs))),
-            1 => body.push(Write(rng.gen_range(0..p.locs), rng.gen())),
+            1 => body.push(Write(rng.gen_range(0..p.locs), rng.next_u64())),
             2 if depth < p.max_depth => {
                 // Children see the handles visible at their spawn point but
                 // must not leak their own futures upward (the parent holds

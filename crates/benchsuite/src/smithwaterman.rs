@@ -24,7 +24,6 @@
 
 use futrace_runtime::memory::SharedArray;
 use futrace_runtime::TaskCtx;
-use rand::Rng;
 
 /// Problem size for the Smith-Waterman benchmark.
 #[derive(Clone, Copy, Debug)]
@@ -91,8 +90,8 @@ fn sub(a: u8, b: u8) -> i32 {
 /// Deterministic random ACGT sequences for a parameter set.
 pub fn sequences(p: &SwParams) -> (Vec<u8>, Vec<u8>) {
     let mut rng = futrace_util::rng::seeded(p.seed);
-    let mk = |rng: &mut rand::rngs::SmallRng, n: usize| {
-        (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    let mk = |rng: &mut futrace_util::rng::Rng, n: usize| {
+        (0..n).map(|_| b"ACGT"[rng.gen_range(0usize..4)]).collect()
     };
     let a = mk(&mut rng, p.n);
     let b = mk(&mut rng, p.n);

@@ -58,7 +58,6 @@ impl SorParams {
 
 /// Deterministic initial grid.
 pub fn initial_grid(p: &SorParams) -> Vec<f64> {
-    use rand::Rng;
     let mut rng = futrace_util::rng::seeded(p.seed);
     (0..p.n * p.n).map(|_| rng.gen_range(0.0..1.0)).collect()
 }

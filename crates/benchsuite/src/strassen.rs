@@ -85,9 +85,8 @@ impl StrassenParams {
 
 /// Deterministic input matrices.
 pub fn inputs(p: &StrassenParams) -> (Vec<f64>, Vec<f64>) {
-    use rand::Rng;
     let mut rng = futrace_util::rng::seeded(p.seed);
-    let mk = |rng: &mut rand::rngs::SmallRng| {
+    let mk = |rng: &mut futrace_util::rng::Rng| {
         (0..p.n * p.n).map(|_| rng.gen_range(-1.0..1.0)).collect()
     };
     let a = mk(&mut rng);

@@ -253,7 +253,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use futrace_util::propcheck::{self, strategies, Config, Strategy};
 
     /// Operations on a reader set, mirrored against a plain Vec model.
     #[derive(Clone, Debug)]
@@ -264,20 +264,34 @@ mod proptests {
         Clear,
     }
 
-    fn op_strategy() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u32..64).prop_map(Op::Push),
-            Just(Op::RetainEven),
-            Just(Op::RetainOdd),
-            Just(Op::Clear),
-        ]
+    /// Ops are generated (and shrunk) as `(discriminant, payload)` pairs;
+    /// shrinking drives both toward Push(0), the simplest operation.
+    fn ops_strategy() -> impl Strategy<Repr = Vec<(u8, u32)>, Value = Vec<Op>> {
+        strategies::map(
+            strategies::vec_of(
+                strategies::tuple2(strategies::u8_range(0..4), strategies::u32_range(0..64)),
+                0,
+                60,
+            ),
+            |pairs| {
+                pairs
+                    .into_iter()
+                    .map(|(k, t)| match k {
+                        0 => Op::Push(t),
+                        1 => Op::RetainEven,
+                        2 => Op::RetainOdd,
+                        _ => Op::Clear,
+                    })
+                    .collect()
+            },
+        )
     }
 
-    proptest! {
-        /// The inline-small Readers container behaves exactly like a Vec
-        /// under pushes, retains, and clears (order preserved).
-        #[test]
-        fn readers_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+    /// The inline-small Readers container behaves exactly like a Vec model
+    /// under pushes, retains, and clears (order preserved).
+    #[test]
+    fn readers_matches_vec_model() {
+        propcheck::check(&Config::default(), &ops_strategy(), |ops| {
             let mut readers = Readers::default();
             let mut model: Vec<TaskId> = Vec::new();
             for op in ops {
@@ -299,10 +313,10 @@ mod proptests {
                         model.clear();
                     }
                 }
-                prop_assert_eq!(readers.len(), model.len());
-                prop_assert_eq!(readers.is_empty(), model.is_empty());
-                prop_assert_eq!(readers.iter().collect::<Vec<_>>(), model.clone());
+                assert_eq!(readers.len(), model.len());
+                assert_eq!(readers.is_empty(), model.is_empty());
+                assert_eq!(readers.iter().collect::<Vec<_>>(), model.clone());
             }
-        }
+        });
     }
 }

@@ -35,7 +35,7 @@
 //! assert_eq!(total, 5050);
 //! ```
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::marker::PhantomData;
 use std::sync::Arc;
 

@@ -20,7 +20,7 @@
 //! not strictly need them — the stricter bound is what makes the same
 //! program text valid under the parallel executor.
 
-use crate::memory::{MemCtx, SharedArray, SharedVar};
+use crate::memory::{MemCtx, SharedArray, SharedVar, Word};
 use futrace_util::ids::TaskId;
 
 /// The async/finish/future programming model. See the module docs for the
@@ -102,18 +102,13 @@ pub trait TaskCtx: MemCtx + Sized {
 
     /// Allocates an instrumented shared array (convenience for
     /// [`SharedArray::new`]).
-    fn shared_array<T: Copy + Send + 'static>(
-        &mut self,
-        len: usize,
-        fill: T,
-        name: &str,
-    ) -> SharedArray<T> {
+    fn shared_array<T: Word>(&mut self, len: usize, fill: T, name: &str) -> SharedArray<T> {
         SharedArray::new(self, len, fill, name)
     }
 
     /// Allocates an instrumented shared variable (convenience for
     /// [`SharedVar::new`]).
-    fn shared_var<T: Copy + Send + 'static>(&mut self, init: T, name: &str) -> SharedVar<T> {
+    fn shared_var<T: Word>(&mut self, init: T, name: &str) -> SharedVar<T> {
         SharedVar::new(self, init, name)
     }
 }

@@ -36,6 +36,7 @@ pub mod memory;
 pub mod monitor;
 pub mod parallel;
 pub mod serial;
+pub mod sync;
 pub mod trace;
 
 pub use api::TaskCtx;

@@ -7,18 +7,82 @@
 //! equivalent of the paper's bytecode pass instrumenting "reads and writes
 //! to shared memory locations".
 //!
-//! Storage is `crossbeam`'s `AtomicCell`, which is lock-free for the
-//! machine-word payloads the benchmarks use (`f64`, `u64`, `i64`, `u8`).
-//! That makes the same program runnable unchanged under the serial
-//! depth-first executor *and* the parallel work-stealing executor: for a
-//! program the detector proves race-free, the parallel execution is
-//! guaranteed to compute the serial elision's answer (the paper's
-//! determinism property, Appendix A), and even for racy demo programs a
-//! torn read can never occur.
+//! Storage is a plain `std::sync::atomic::AtomicU64` per cell, with element
+//! types bridged through the [`Word`] trait (every benchmark payload —
+//! `f64`, `u64`, `i64`, `u8`, … — is a machine word, stored via a lossless
+//! bit conversion). That makes the same program runnable unchanged under
+//! the serial depth-first executor *and* the parallel work-stealing
+//! executor: for a program the detector proves race-free, the parallel
+//! execution is guaranteed to compute the serial elision's answer (the
+//! paper's determinism property, Appendix A), and even for racy demo
+//! programs a torn read can never occur. Accesses use `Relaxed` ordering —
+//! cross-task ordering is established by the runtime's own synchronization
+//! (finish joins, future gets), and word-sized atomics rule out tearing
+//! regardless of ordering.
 
-use crossbeam::atomic::AtomicCell;
 use futrace_util::ids::LocId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A value storable in one shared-memory cell: any `Copy` type with a
+/// lossless round-trip through `u64` bits. Implemented for the primitive
+/// integer and float types up to 64 bits, plus `bool`.
+pub trait Word: Copy + Send + Sync + 'static {
+    /// Encodes the value into a 64-bit word.
+    fn to_word(self) -> u64;
+    /// Decodes a value previously produced by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+macro_rules! impl_word_int {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            #[inline]
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    )*};
+}
+
+impl_word_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Word for f64 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        f64::from_bits(w)
+    }
+}
+
+impl Word for f32 {
+    #[inline]
+    fn to_word(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        f32::from_bits(w as u32)
+    }
+}
+
+impl Word for bool {
+    #[inline]
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline]
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
 
 /// Executor-side hooks shared memory needs: location allocation and access
 /// notification. Implemented by the serial executor (forwarding to its
@@ -41,7 +105,8 @@ pub trait MemCtx {
 /// task closures.
 pub struct SharedArray<T> {
     base: LocId,
-    cells: Arc<[AtomicCell<T>]>,
+    cells: Arc<[AtomicU64]>,
+    _marker: std::marker::PhantomData<T>,
 }
 
 impl<T> Clone for SharedArray<T> {
@@ -49,11 +114,12 @@ impl<T> Clone for SharedArray<T> {
         SharedArray {
             base: self.base,
             cells: Arc::clone(&self.cells),
+            _marker: std::marker::PhantomData,
         }
     }
 }
 
-impl<T: Copy + Send + 'static> SharedArray<T> {
+impl<T: Word> SharedArray<T> {
     /// Allocates a shared array of `len` copies of `fill` under `ctx`.
     ///
     /// # Panics
@@ -61,8 +127,12 @@ impl<T: Copy + Send + 'static> SharedArray<T> {
     pub fn new(ctx: &mut impl MemCtx, len: usize, fill: T, name: &str) -> Self {
         let n = u32::try_from(len).expect("shared array too large");
         let base = ctx.alloc(n, name);
-        let cells: Arc<[AtomicCell<T>]> = (0..len).map(|_| AtomicCell::new(fill)).collect();
-        SharedArray { base, cells }
+        let cells: Arc<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(fill.to_word())).collect();
+        SharedArray {
+            base,
+            cells,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Number of elements.
@@ -91,32 +161,35 @@ impl<T: Copy + Send + 'static> SharedArray<T> {
     #[inline]
     pub fn read(&self, ctx: &mut impl MemCtx, i: usize) -> T {
         ctx.on_read(self.loc(i));
-        self.cells[i].load()
+        T::from_word(self.cells[i].load(Ordering::Relaxed))
     }
 
     /// Instrumented write of element `i`.
     #[inline]
     pub fn write(&self, ctx: &mut impl MemCtx, i: usize, v: T) {
         ctx.on_write(self.loc(i));
-        self.cells[i].store(v);
+        self.cells[i].store(v.to_word(), Ordering::Relaxed);
     }
 
     /// Uninstrumented read, for verifying results *after* a run. Using this
     /// inside a task body would hide the access from the race detector.
     pub fn peek(&self, i: usize) -> T {
-        self.cells[i].load()
+        T::from_word(self.cells[i].load(Ordering::Relaxed))
     }
 
     /// Uninstrumented write, for seeding inputs *before* a run (e.g. from a
     /// workload generator whose writes are not part of the program under
     /// analysis).
     pub fn poke(&self, i: usize, v: T) {
-        self.cells[i].store(v);
+        self.cells[i].store(v.to_word(), Ordering::Relaxed);
     }
 
     /// Copies the whole array out (uninstrumented; for result checking).
     pub fn snapshot(&self) -> Vec<T> {
-        self.cells.iter().map(|c| c.load()).collect()
+        self.cells
+            .iter()
+            .map(|c| T::from_word(c.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -134,7 +207,7 @@ impl<T> Clone for SharedVar<T> {
     }
 }
 
-impl<T: Copy + Send + 'static> SharedVar<T> {
+impl<T: Word> SharedVar<T> {
     /// Allocates a shared variable initialized to `init`.
     pub fn new(ctx: &mut impl MemCtx, init: T, name: &str) -> Self {
         SharedVar {
@@ -257,5 +330,36 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SharedArray<f64>>();
         assert_send_sync::<SharedVar<u64>>();
+    }
+
+    #[test]
+    fn word_roundtrips_every_element_type() {
+        fn rt<T: Word + PartialEq + std::fmt::Debug>(vals: &[T]) {
+            for &v in vals {
+                assert_eq!(T::from_word(v.to_word()), v);
+            }
+        }
+        rt(&[0u8, 1, 255]);
+        rt(&[0u16, u16::MAX]);
+        rt(&[0u32, u32::MAX]);
+        rt(&[0u64, u64::MAX]);
+        rt(&[0i32, -1, i32::MIN, i32::MAX]);
+        rt(&[0i64, -1, i64::MIN, i64::MAX]);
+        rt(&[0.0f64, -0.0, 1.5, f64::MIN, f64::MAX, f64::INFINITY]);
+        rt(&[0.0f32, -2.25, f32::MAX]);
+        rt(&[true, false]);
+        // NaN round-trips bit-exactly even though NaN != NaN.
+        assert!(f64::from_word(f64::NAN.to_word()).is_nan());
+    }
+
+    #[test]
+    fn negative_values_survive_storage() {
+        let mut ctx = CountingCtx::default();
+        let a: SharedArray<i64> = SharedArray::new(&mut ctx, 1, -5, "a");
+        assert_eq!(a.peek(0), -5);
+        a.poke(0, i64::MIN);
+        assert_eq!(a.peek(0), i64::MIN);
+        let f: SharedArray<f64> = SharedArray::new(&mut ctx, 1, -0.5, "f");
+        assert_eq!(f.peek(0), -0.5);
     }
 }

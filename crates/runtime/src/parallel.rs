@@ -30,13 +30,42 @@
 
 use crate::api::TaskCtx;
 use crate::memory::MemCtx;
-use crossbeam::deque::{Injector, Steal};
+use crate::sync::{Condvar, Mutex};
 use futrace_util::ids::{LocId, TaskId};
-use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A shared FIFO job queue (the std-only replacement for a work-stealing
+/// deque). All submissions and steals go through one mutex; contention is
+/// acceptable because jobs in this runtime are coarse (task bodies), and
+/// FIFO order preserves the help-first submission semantics the pool
+/// relies on.
+struct Injector<T> {
+    q: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    fn new() -> Self {
+        Injector {
+            q: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, item: T) {
+        self.q.lock().push_back(item);
+    }
+
+    fn steal(&self) -> Option<T> {
+        self.q.lock().pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.q.lock().is_empty()
+    }
+}
 
 /// The computation deadlocked: no task was runnable or running and at
 /// least one `get()`/`finish` was still waiting. Corresponds to a cycle
@@ -156,7 +185,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
         // active still zero would be a spurious freeze).
         shared.active.fetch_add(1, Ordering::SeqCst);
         match shared.queue.steal() {
-            Steal::Success(job) => {
+            Some(job) => {
                 let mut ctx = ParCtx {
                     shared: Arc::clone(&shared),
                     cur: TaskId::MAIN, // each job installs its own id
@@ -174,17 +203,11 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 }
                 shared.notify();
             }
-            Steal::Retry => {
+            None => {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
-                continue;
-            }
-            Steal::Empty => {
-                shared.active.fetch_sub(1, Ordering::SeqCst);
-                let mut g = shared.lock.lock();
+                let g = shared.lock.lock();
                 if shared.queue.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                    shared
-                        .cv
-                        .wait_for(&mut g, Duration::from_micros(500));
+                    drop(shared.cv.wait_timeout(g, Duration::from_micros(500)));
                 }
             }
         }
@@ -325,7 +348,7 @@ impl ParCtx {
                 shared.cv.notify_all();
                 std::panic::resume_unwind(Box::new(PoisonUnwind));
             }
-            shared.cv.wait_for(&mut g, Duration::from_micros(500));
+            drop(shared.cv.wait_timeout(g, Duration::from_micros(500)));
         }
     }
 }

@@ -28,7 +28,7 @@ use crate::api::TaskCtx;
 use crate::memory::MemCtx;
 use crate::monitor::{Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 
 /// Handle to a future task under the serial executor. The value is always

@@ -13,7 +13,6 @@
 //! read/write event costs 2–6 bytes.
 
 use crate::monitor::{Event, TaskKind};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use futrace_util::ids::{FinishId, LocId, StepId, TaskId};
 
 const TAG_TASK_CREATE: u8 = 1;
@@ -25,26 +24,60 @@ const TAG_READ: u8 = 6;
 const TAG_WRITE: u8 = 7;
 const TAG_ALLOC: u8 = 8;
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, DecodeError> {
+/// A read-only position over the input slice (std-only replacement for
+/// `bytes::Bytes`): all reads bounds-check and surface
+/// [`DecodeError::Truncated`] instead of panicking.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+fn get_varint(buf: &mut Cursor<'_>) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        if !buf.has_remaining() {
-            return Err(DecodeError::Truncated);
-        }
-        let byte = buf.get_u8();
+        let byte = buf.get_u8()?;
         if shift >= 64 {
             return Err(DecodeError::Malformed("varint too long"));
         }
@@ -95,7 +128,7 @@ fn kind_from(code: u64) -> Result<TaskKind, DecodeError> {
 
 /// Serializes an event stream.
 pub fn encode(events: &[Event]) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(events.len() * 4);
+    let mut buf = Vec::with_capacity(events.len() * 4);
     for e in events {
         match e {
             Event::TaskCreate {
@@ -104,23 +137,23 @@ pub fn encode(events: &[Event]) -> Vec<u8> {
                 kind,
                 ief,
             } => {
-                buf.put_u8(TAG_TASK_CREATE);
+                buf.push(TAG_TASK_CREATE);
                 put_varint(&mut buf, u64::from(parent.0));
                 put_varint(&mut buf, u64::from(child.0));
                 put_varint(&mut buf, kind_code(*kind));
                 put_varint(&mut buf, u64::from(ief.0));
             }
             Event::TaskEnd(t) => {
-                buf.put_u8(TAG_TASK_END);
+                buf.push(TAG_TASK_END);
                 put_varint(&mut buf, u64::from(t.0));
             }
             Event::FinishStart(t, f) => {
-                buf.put_u8(TAG_FINISH_START);
+                buf.push(TAG_FINISH_START);
                 put_varint(&mut buf, u64::from(t.0));
                 put_varint(&mut buf, u64::from(f.0));
             }
             Event::FinishEnd(t, f, joined) => {
-                buf.put_u8(TAG_FINISH_END);
+                buf.push(TAG_FINISH_END);
                 put_varint(&mut buf, u64::from(t.0));
                 put_varint(&mut buf, u64::from(f.0));
                 put_varint(&mut buf, joined.len() as u64);
@@ -129,30 +162,30 @@ pub fn encode(events: &[Event]) -> Vec<u8> {
                 }
             }
             Event::Get { waiter, awaited } => {
-                buf.put_u8(TAG_GET);
+                buf.push(TAG_GET);
                 put_varint(&mut buf, u64::from(waiter.0));
                 put_varint(&mut buf, u64::from(awaited.0));
             }
             Event::Read(t, l) => {
-                buf.put_u8(TAG_READ);
+                buf.push(TAG_READ);
                 put_varint(&mut buf, u64::from(t.0));
                 put_varint(&mut buf, u64::from(l.0));
             }
             Event::Write(t, l) => {
-                buf.put_u8(TAG_WRITE);
+                buf.push(TAG_WRITE);
                 put_varint(&mut buf, u64::from(t.0));
                 put_varint(&mut buf, u64::from(l.0));
             }
             Event::Alloc(base, n, name) => {
-                buf.put_u8(TAG_ALLOC);
+                buf.push(TAG_ALLOC);
                 put_varint(&mut buf, u64::from(base.0));
                 put_varint(&mut buf, u64::from(*n));
                 put_varint(&mut buf, name.len() as u64);
-                buf.put_slice(name.as_bytes());
+                buf.extend_from_slice(name.as_bytes());
             }
         }
     }
-    buf.to_vec()
+    buf
 }
 
 fn id32(v: u64, what: &'static str) -> Result<u32, DecodeError> {
@@ -161,10 +194,10 @@ fn id32(v: u64, what: &'static str) -> Result<u32, DecodeError> {
 
 /// Deserializes an event stream produced by [`encode`].
 pub fn decode(data: &[u8]) -> Result<Vec<Event>, DecodeError> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = Cursor::new(data);
     let mut out = Vec::new();
     while buf.has_remaining() {
-        let tag = buf.get_u8();
+        let tag = buf.get_u8()?;
         let e = match tag {
             TAG_TASK_CREATE => Event::TaskCreate {
                 parent: TaskId(id32(get_varint(&mut buf)?, "parent")?),
@@ -203,11 +236,8 @@ pub fn decode(data: &[u8]) -> Result<Vec<Event>, DecodeError> {
                 let base = LocId(id32(get_varint(&mut buf)?, "base")?);
                 let n = id32(get_varint(&mut buf)?, "len")?;
                 let name_len = get_varint(&mut buf)? as usize;
-                if buf.remaining() < name_len {
-                    return Err(DecodeError::Truncated);
-                }
-                let name_bytes = buf.copy_to_bytes(name_len);
-                let name = std::str::from_utf8(&name_bytes)
+                let name_bytes = buf.take(name_len)?;
+                let name = std::str::from_utf8(name_bytes)
                     .map_err(|_| DecodeError::Malformed("alloc name utf8"))?
                     .to_string();
                 Event::Alloc(base, n, name)
@@ -225,7 +255,7 @@ mod tests {
     use super::*;
     use crate::monitor::EventLog;
     use crate::{run_serial, TaskCtx};
-    use proptest::prelude::*;
+    use futrace_util::propcheck::{self, strategies, Config};
 
     #[test]
     fn roundtrip_real_program() {
@@ -266,23 +296,37 @@ mod tests {
 
     #[test]
     fn varint_boundaries() {
-        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64] {
-            let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
             put_varint(&mut buf, v);
-            let mut bytes = Bytes::from(buf.to_vec());
-            assert_eq!(get_varint(&mut bytes).unwrap(), v);
-            assert!(!bytes.has_remaining());
+            let mut cursor = Cursor::new(&buf);
+            assert_eq!(get_varint(&mut cursor).unwrap(), v);
+            assert!(!cursor.has_remaining());
         }
+        // An unterminated continuation chain longer than 10 bytes is
+        // malformed, not an infinite loop.
+        assert_eq!(
+            get_varint(&mut Cursor::new(&[0x80; 11])),
+            Err(DecodeError::Malformed("varint too long"))
+        );
     }
 
-    proptest! {
-        /// Arbitrary event streams round-trip losslessly.
-        #[test]
-        fn roundtrip_arbitrary(seed_events in proptest::collection::vec(
-            (0u8..8, 0u32..1000, 0u32..1000, 0u32..100), 0..200)
-        ) {
-            // Build a syntactically arbitrary (not necessarily well-formed)
-            // event stream; the codec must not care about well-formedness.
+    /// Arbitrary event streams round-trip losslessly. The generated streams
+    /// are syntactically arbitrary (not necessarily well-formed programs);
+    /// the codec must not care about well-formedness.
+    #[test]
+    fn roundtrip_arbitrary() {
+        let strat = strategies::vec_of(
+            strategies::tuple4(
+                strategies::u8_range(0..8),
+                strategies::u32_range(0..1000),
+                strategies::u32_range(0..1000),
+                strategies::u32_range(0..100),
+            ),
+            0,
+            200,
+        );
+        propcheck::check(&Config::default(), &strat, |seed_events| {
             let events: Vec<Event> = seed_events
                 .into_iter()
                 .map(|(k, a, b, c)| match k {
@@ -294,11 +338,7 @@ mod tests {
                     },
                     1 => Event::TaskEnd(TaskId(a)),
                     2 => Event::FinishStart(TaskId(a), FinishId(c)),
-                    3 => Event::FinishEnd(
-                        TaskId(a),
-                        FinishId(c),
-                        vec![TaskId(b), TaskId(b + 1)],
-                    ),
+                    3 => Event::FinishEnd(TaskId(a), FinishId(c), vec![TaskId(b), TaskId(b + 1)]),
                     4 => Event::Get {
                         waiter: TaskId(a),
                         awaited: TaskId(b),
@@ -309,7 +349,7 @@ mod tests {
                 })
                 .collect();
             let bytes = encode(&events);
-            prop_assert_eq!(decode(&bytes).unwrap(), events);
-        }
+            assert_eq!(decode(&bytes).unwrap(), events);
+        });
     }
 }

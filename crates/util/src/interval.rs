@@ -116,7 +116,7 @@ impl IntervalLabeler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::propcheck::{self, strategies, Config};
 
     #[test]
     fn main_task_label() {
@@ -226,59 +226,69 @@ mod tests {
         assert_eq!(l.tmpid(), t0, "tmpid is released on termination");
     }
 
-    /// Random bracket strings (random depth-first spawn trees).
-    fn bracket_strategy() -> impl Strategy<Value = String> {
-        proptest::collection::vec(prop_oneof![Just('('), Just(')')], 0..120).prop_map(|chars| {
-            // Repair into a balanced-prefix sequence: drop unmatched ')'.
-            let mut depth = 0i32;
-            let mut s = String::new();
-            for c in chars {
-                match c {
-                    '(' => {
-                        depth += 1;
-                        s.push('(');
+    /// Random bracket strings (random depth-first spawn trees): random
+    /// open/close soup repaired into a balanced-prefix sequence by
+    /// dropping unmatched ')'. Shrinking drops/shrinks soup characters,
+    /// so counterexamples minimize to the smallest failing tree.
+    fn bracket_strategy(
+    ) -> impl propcheck::Strategy<Repr = Vec<u8>, Value = String> {
+        strategies::map(
+            strategies::vec_of(strategies::u8_range(0..2), 0, 120),
+            |bits: Vec<u8>| {
+                let mut depth = 0i32;
+                let mut s = String::new();
+                for b in bits {
+                    match b {
+                        1 => {
+                            depth += 1;
+                            s.push('(');
+                        }
+                        _ if depth > 0 => {
+                            depth -= 1;
+                            s.push(')');
+                        }
+                        _ => {}
                     }
-                    ')' if depth > 0 => {
-                        depth -= 1;
-                        s.push(')');
-                    }
-                    _ => {}
                 }
-            }
-            s
-        })
+                s
+            },
+        )
     }
 
-    proptest! {
-        /// The laminar-family property: at any point of any depth-first
-        /// execution, any two task intervals are nested or disjoint, and
-        /// containment coincides with spawn-tree ancestry.
-        #[test]
-        fn interval_labels_are_laminar_and_exact(brackets in bracket_strategy()) {
+    /// The laminar-family property: at any point of any depth-first
+    /// execution, any two task intervals are nested or disjoint, and
+    /// containment coincides with spawn-tree ancestry.
+    #[test]
+    fn interval_labels_are_laminar_and_exact() {
+        propcheck::check(&Config::default(), &bracket_strategy(), |brackets| {
             let (labels, parents) = run_tree(&brackets);
             let n = labels.len();
             for a in 0..n {
                 for d in 0..n {
-                    prop_assert_eq!(
+                    assert_eq!(
                         labels[a].contains(&labels[d]),
-                        is_ancestor(&parents, a, d)
+                        is_ancestor(&parents, a, d),
+                        "brackets {brackets:?}: tasks {a} vs {d}"
                     );
-                    prop_assert!(
+                    assert!(
                         labels[a].contains(&labels[d])
                             || labels[d].contains(&labels[a])
-                            || labels[a].disjoint(&labels[d])
+                            || labels[a].disjoint(&labels[d]),
+                        "brackets {brackets:?}: not laminar for {a} vs {d}"
                     );
                 }
             }
-        }
+        });
+    }
 
-        /// Preorder values are unique and assigned in spawn order.
-        #[test]
-        fn preorders_strictly_increase(brackets in bracket_strategy()) {
+    /// Preorder values are unique and assigned in spawn order.
+    #[test]
+    fn preorders_strictly_increase() {
+        propcheck::check(&Config::default(), &bracket_strategy(), |brackets| {
             let (labels, _) = run_tree(&brackets);
             for w in labels.windows(2) {
-                prop_assert!(w[0].pre < w[1].pre);
+                assert!(w[0].pre < w[1].pre, "brackets {brackets:?}");
             }
-        }
+        });
     }
 }

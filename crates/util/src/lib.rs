@@ -17,8 +17,14 @@
 //!   ([`ids::TaskId`], [`ids::StepId`], [`ids::LocId`], [`ids::FinishId`]).
 //! * [`stats`] — running statistics (mean/min/max, counters) used both by the
 //!   detector's Table-2 instrumentation and by the bench harness.
-//! * [`rng`] — small deterministic RNG used by workload generators so every
-//!   experiment is reproducible from a seed.
+//! * [`rng`] — small deterministic RNG (splitmix64 + xoshiro256++, std-only)
+//!   used by workload generators so every experiment is reproducible from a
+//!   seed.
+//! * [`propcheck`] — a minimal in-tree property-testing framework (seeded
+//!   generation, configurable case counts, deterministic shrinking with
+//!   replayable counterexample seeds) used by every randomized suite in the
+//!   workspace; the repository builds and tests fully offline with zero
+//!   external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +32,7 @@
 pub mod fxhash;
 pub mod ids;
 pub mod interval;
+pub mod propcheck;
 pub mod rng;
 pub mod stats;
 pub mod unionfind;

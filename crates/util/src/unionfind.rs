@@ -178,7 +178,7 @@ impl<P> UnionFind<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::propcheck::{self, strategies, Config};
 
     #[test]
     fn singletons_are_their_own_reps() {
@@ -310,11 +310,19 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Union-find agrees with a naive model on arbitrary operation
-        /// sequences: same-set relation and set count match after each op.
-        #[test]
-        fn matches_naive_model(ops in proptest::collection::vec((0usize..64, 0usize..64), 1..200)) {
+    /// Union-find agrees with a naive model on arbitrary operation
+    /// sequences: same-set relation and set count match after each op.
+    #[test]
+    fn matches_naive_model() {
+        let ops_strategy = strategies::vec_of(
+            strategies::tuple2(
+                strategies::usize_range(0..64),
+                strategies::usize_range(0..64),
+            ),
+            1,
+            200,
+        );
+        propcheck::check(&Config::default(), &ops_strategy, |ops| {
             let mut uf: UnionFind<()> = UnionFind::new();
             let mut model = Model::default();
             for _ in 0..64 {
@@ -324,14 +332,14 @@ mod tests {
             for (a, b) in ops {
                 uf.union_with(a, b, |x, _| x);
                 model.union(a, b);
-                prop_assert_eq!(uf.set_count(), model.sets.len());
-                prop_assert_eq!(uf.same_set(a, b), true);
+                assert_eq!(uf.set_count(), model.sets.len());
+                assert!(uf.same_set(a, b));
             }
             for a in 0..64 {
                 for b in 0..64 {
-                    prop_assert_eq!(uf.same_set(a, b), model.same(a, b));
+                    assert_eq!(uf.same_set(a, b), model.same(a, b));
                 }
             }
-        }
+        });
     }
 }

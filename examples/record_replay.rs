@@ -33,7 +33,7 @@ fn main() {
         t.elapsed_ms()
     );
 
-    // --- Serialize: compact varint encoding (bytes-backed).
+    // --- Serialize: compact varint encoding (plain Vec<u8>).
     let t = Timer::start();
     let blob = trace::encode(&log.events);
     println!(

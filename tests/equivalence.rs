@@ -12,7 +12,7 @@ use futrace::benchsuite::randomprog::{execute, generate, GenParams};
 use futrace::compgraph::oracle::Reachability;
 use futrace::compgraph::CompGraph;
 use futrace::detector::detect_races;
-use proptest::prelude::*;
+use futrace::util::propcheck::{self, strategies, Config};
 
 /// Index (in the global access stream) of the earliest access that
 /// completes a racing pair, or None if the program is race-free.
@@ -57,29 +57,36 @@ fn check_seed(seed: u64, params: &GenParams) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+/// 256 cases per family (the old harness ran 200); each case is a fresh
+/// program seed drawn from the full `u64` space, shrunk toward 0 on
+/// failure, and replayable via the printed `FUTRACE_PROPCHECK_SEED`.
+const CASES: u32 = 256;
 
-    #[test]
-    fn detector_matches_oracle_default_mix(seed in any::<u64>()) {
+#[test]
+fn detector_matches_oracle_default_mix() {
+    propcheck::check(&Config::with_cases(CASES), &strategies::any_u64(), |seed| {
         check_seed(seed, &GenParams::default());
-    }
+    });
+}
 
-    #[test]
-    fn detector_matches_oracle_future_heavy(seed in any::<u64>()) {
+#[test]
+fn detector_matches_oracle_future_heavy() {
+    propcheck::check(&Config::with_cases(CASES), &strategies::any_u64(), |seed| {
         check_seed(seed, &GenParams::future_heavy());
-    }
+    });
+}
 
-    #[test]
-    fn detector_matches_oracle_async_finish(seed in any::<u64>()) {
+#[test]
+fn detector_matches_oracle_async_finish() {
+    propcheck::check(&Config::with_cases(CASES), &strategies::any_u64(), |seed| {
         check_seed(seed, &GenParams::async_finish_only());
-    }
+    });
 }
 
 #[test]
 fn fixed_seed_regression_sweep() {
-    // A deterministic sweep that always runs, independent of proptest's
-    // RNG: the first 500 seeds of each parameter family.
+    // A deterministic sweep that always runs, independent of the property
+    // harness's RNG: the first 500 seeds of each parameter family.
     for seed in 0..500u64 {
         check_seed(seed, &GenParams::default());
         check_seed(seed, &GenParams::future_heavy());
