@@ -1,65 +1,59 @@
 //! Record and analyze execution traces.
 //!
 //! ```text
-//! # record a benchmark's event stream to a compact binary trace:
-//! tracetool record --bench jacobi --out /tmp/jacobi.trace [--tiny|--scaled] [--planted]
+//! # record a benchmark's event stream to a compact binary trace
+//! # (--stream writes the framed v2 format incrementally, with bounded
+//! # memory; default buffers an event log and writes flat v1):
+//! tracetool record --bench jacobi --out /tmp/jacobi.trace \
+//!     [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]
 //!
-//! # offline race detection + statistics over a trace:
-//! tracetool analyze /tmp/jacobi.trace [--graph] [--dot /tmp/graph.dot]
+//! # offline race detection + statistics over a trace (either format;
+//! # --shards N runs the parallel pipeline, verdict identical to serial):
+//! tracetool analyze /tmp/jacobi.trace [--shards N] [--lenient]
+//!     [--graph] [--dot /tmp/graph.dot]
+//!
+//! # structural summary / full integrity check of a trace file:
+//! tracetool info /tmp/jacobi.trace
+//! tracetool verify /tmp/jacobi.trace
 //! ```
 //!
-//! `analyze` replays the trace into the DTRG detector (identical verdict
-//! to the online run); `--graph` additionally rebuilds the step-level
-//! computation graph for work/span analytics (memory-heavy on large
-//! traces), and `--dot` writes its Graphviz rendering.
+//! Exit codes: 0 clean, 1 invalid/damaged trace, 2 usage error, 3 races
+//! detected by `analyze`.
 
+use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, RecordArgs};
 use futrace_benchsuite::{jacobi, lu, pipeline, smithwaterman};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
-use futrace_detector::RaceDetector;
-use futrace_runtime::{replay, run_serial, trace, EventLog};
+use futrace_detector::{RaceDetector, RaceReport};
+use futrace_offline::framed::{self, DEFAULT_CHUNK_BYTES};
+use futrace_offline::{detect_sharded, trace_events, ShardOptions, StreamWriter};
+use futrace_runtime::{replay, run_serial, trace, Event, EventLog, Monitor, SerialCtx};
+use std::io::BufWriter;
 
-fn usage() -> ! {
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
     eprintln!("usage:");
-    eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE [--tiny|--scaled] [--planted]");
-    eprintln!("  tracetool analyze FILE [--graph] [--dot FILE]");
+    eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE");
+    eprintln!("                   [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]");
+    eprintln!("  tracetool analyze FILE [--shards N] [--lenient] [--graph] [--dot FILE]");
+    eprintln!("  tracetool info FILE");
+    eprintln!("  tracetool verify FILE");
     std::process::exit(2);
 }
 
-fn record(args: &[String]) {
-    let mut bench = None;
-    let mut out = None;
-    let mut tiny = true;
-    let mut planted = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--bench" => {
-                i += 1;
-                bench = Some(args[i].clone());
-            }
-            "--out" => {
-                i += 1;
-                out = Some(args[i].clone());
-            }
-            "--tiny" => tiny = true,
-            "--scaled" => tiny = false,
-            "--planted" => planted = true,
-            _ => usage(),
-        }
-        i += 1;
+/// Drives the selected benchmark against any monitor — an [`EventLog`]
+/// for buffered v1 recording, a [`StreamWriter`] for direct-to-disk v2.
+fn run_bench<M: Monitor>(mon: &mut M, bench: &str, tiny: bool, planted: bool) {
+    fn go<M: Monitor>(mon: &mut M, f: impl FnOnce(&mut SerialCtx<'_, M>)) {
+        run_serial(mon, f);
     }
-    let (Some(bench), Some(out)) = (bench, out) else {
-        usage()
-    };
-    let mut log = EventLog::new();
-    match bench.as_str() {
+    match bench {
         "jacobi" => {
             let p = if tiny {
                 jacobi::JacobiParams::tiny()
             } else {
                 jacobi::JacobiParams::scaled()
             };
-            run_serial(&mut log, |ctx| {
+            go(mon, |ctx| {
                 jacobi::jacobi_run(ctx, &p, planted);
             });
         }
@@ -69,7 +63,7 @@ fn record(args: &[String]) {
             } else {
                 smithwaterman::SwParams::scaled()
             };
-            run_serial(&mut log, |ctx| {
+            go(mon, |ctx| {
                 smithwaterman::sw_run(ctx, &p, planted);
             });
         }
@@ -79,7 +73,7 @@ fn record(args: &[String]) {
             } else {
                 lu::LuParams::scaled()
             };
-            run_serial(&mut log, |ctx| {
+            go(mon, |ctx| {
                 lu::lu_run(ctx, &p, planted);
             });
         }
@@ -89,104 +83,238 @@ fn record(args: &[String]) {
             } else {
                 pipeline::PipelineParams::scaled()
             };
-            run_serial(&mut log, |ctx| {
+            go(mon, |ctx| {
                 pipeline::pipeline_run(ctx, &p, planted);
             });
         }
-        other => {
-            eprintln!("unknown benchmark {other}");
-            usage()
-        }
+        other => unreachable!("parser admits only known benches, got {other}"),
     }
-    let blob = trace::encode(&log.events);
-    std::fs::write(&out, &blob).expect("write trace file");
-    eprintln!(
-        "recorded {} events ({} bytes, {:.2} B/event) to {out}",
-        log.events.len(),
-        blob.len(),
-        blob.len() as f64 / log.events.len().max(1) as f64
-    );
 }
 
-fn analyze(args: &[String]) {
-    let mut file = None;
-    let mut want_graph = false;
-    let mut dot_out = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--graph" => want_graph = true,
-            "--dot" => {
-                i += 1;
-                dot_out = Some(args[i].clone());
-                want_graph = true;
-            }
-            f if file.is_none() => file = Some(f.to_string()),
-            _ => usage(),
-        }
-        i += 1;
+fn record(args: RecordArgs) {
+    if args.stream {
+        let file = std::fs::File::create(&args.out).expect("create trace file");
+        let chunk = args.chunk_bytes.unwrap_or(DEFAULT_CHUNK_BYTES);
+        let mut writer = StreamWriter::with_chunk_bytes(BufWriter::new(file), chunk)
+            .expect("write trace header");
+        run_bench(&mut writer, &args.bench, args.tiny, args.planted);
+        let (_, stats) = writer.finish().expect("flush trace file");
+        eprintln!(
+            "recorded {} events in {} framed chunks ({} bytes, {:.2} B/event) to {}",
+            stats.events,
+            stats.chunks,
+            stats.bytes_written,
+            stats.bytes_written as f64 / stats.events.max(1) as f64,
+            args.out
+        );
+    } else {
+        let mut log = EventLog::new();
+        run_bench(&mut log, &args.bench, args.tiny, args.planted);
+        let blob = trace::encode(&log.events);
+        std::fs::write(&args.out, &blob).expect("write trace file");
+        eprintln!(
+            "recorded {} events ({} bytes, {:.2} B/event) to {}",
+            log.events.len(),
+            blob.len(),
+            blob.len() as f64 / log.events.len().max(1) as f64,
+            args.out
+        );
     }
-    let Some(file) = file else { usage() };
-    let blob = std::fs::read(&file).expect("read trace file");
-    let events = match trace::decode(&blob) {
-        Ok(e) => e,
+}
+
+fn read_trace(file: &str) -> Vec<u8> {
+    match std::fs::read(file) {
+        Ok(b) => b,
         Err(e) => {
-            eprintln!("invalid trace: {e}");
+            eprintln!("cannot read {file}: {e}");
             std::process::exit(1);
         }
-    };
-    println!("{}: {} events", file, events.len());
+    }
+}
 
-    let mut det = RaceDetector::new();
-    replay(&events, &mut det);
-    let stats = det.stats();
-    println!("\n-- detector --");
-    println!("{stats}");
-    println!("footprint:   {}", det.memory_footprint());
-    let report_races = det.races().to_vec();
-    let report = det.into_report();
+/// Prints the race verdict. This section must stay byte-identical between
+/// the serial and sharded paths — CI's smoke test diffs it.
+fn print_verdict(report: &RaceReport) -> bool {
     if report.has_races() {
         println!(
             "\n{} determinacy race(s); first {}:",
             report.total_detected,
-            report_races.len().min(5)
+            report.races.len().min(5)
         );
-        for r in report_races.iter().take(5) {
+        for r in report.races.iter().take(5) {
             println!("  {r}");
         }
-        std::process::exit(3);
+        true
+    } else {
+        println!("\nno determinacy races: the traced program is determinate");
+        false
     }
-    println!("\nno determinacy races: the traced program is determinate");
+}
 
-    if want_graph {
-        let mut builder = GraphBuilder::new();
-        replay(&events, &mut builder);
-        let graph = builder.into_graph();
-        let gstats = GraphStats::compute(&graph);
-        println!("\n-- computation graph --");
-        println!("{gstats}");
-        println!("parallelism:    {:.2}", gstats.parallelism());
-        let mhp = futrace_compgraph::mhp::summarize(&graph);
-        println!(
-            "MHP:            {:.1}% of step pairs parallel ({} of {}); {} of {} task pairs",
-            100.0 * mhp.step_parallel_fraction(),
-            mhp.parallel_step_pairs,
-            mhp.total_step_pairs,
-            mhp.parallel_task_pairs,
-            mhp.total_task_pairs
-        );
-        if let Some(path) = dot_out {
-            std::fs::write(&path, dot::to_dot(&graph, &file)).expect("write dot");
-            println!("wrote {path}");
+fn decode_all(file: &str, blob: &[u8], lenient: bool) -> (Vec<Event>, u64) {
+    let mut it = trace_events(blob, lenient);
+    let mut events = Vec::new();
+    for item in it.by_ref() {
+        match item {
+            Ok(e) => events.push(e),
+            Err(e) => {
+                eprintln!("invalid trace {file}: {e}");
+                std::process::exit(1);
+            }
         }
     }
+    (events, it.skipped_chunks())
+}
+
+fn analyze(args: AnalyzeArgs) {
+    let blob = read_trace(&args.file);
+
+    let racy = if let Some(shards) = args.shards {
+        let opts = ShardOptions::with_shards(shards);
+        let outcome = match detect_sharded(&blob, &opts, args.lenient) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("invalid trace {}: {e}", args.file);
+                std::process::exit(1);
+            }
+        };
+        let s = &outcome.stats;
+        println!("{}: {} events", args.file, s.events);
+        if s.skipped_chunks > 0 {
+            eprintln!("warning: skipped {} damaged chunk(s)", s.skipped_chunks);
+        }
+        println!("\n-- sharded pipeline --");
+        println!("shards:      {}", s.shards);
+        println!(
+            "events:      {} ({} control broadcast, {} accesses routed)",
+            s.events, s.control_events, s.accesses
+        );
+        println!(
+            "accesses:    {} reads, {} writes; per shard: {:?}",
+            s.reads, s.writes, s.per_shard_accesses
+        );
+        print_verdict(&outcome.report)
+    } else {
+        let (events, skipped) = decode_all(&args.file, &blob, args.lenient);
+        println!("{}: {} events", args.file, events.len());
+        if skipped > 0 {
+            eprintln!("warning: skipped {skipped} damaged chunk(s)");
+        }
+        let mut det = RaceDetector::new();
+        replay(&events, &mut det);
+        println!("\n-- detector --");
+        println!("{}", det.stats());
+        println!("footprint:   {}", det.memory_footprint());
+        let report = det.into_report();
+        let racy = print_verdict(&report);
+
+        if args.graph {
+            let mut builder = GraphBuilder::new();
+            replay(&events, &mut builder);
+            let graph = builder.into_graph();
+            let gstats = GraphStats::compute(&graph);
+            println!("\n-- computation graph --");
+            println!("{gstats}");
+            println!("parallelism:    {:.2}", gstats.parallelism());
+            let mhp = futrace_compgraph::mhp::summarize(&graph);
+            println!(
+                "MHP:            {:.1}% of step pairs parallel ({} of {}); {} of {} task pairs",
+                100.0 * mhp.step_parallel_fraction(),
+                mhp.parallel_step_pairs,
+                mhp.total_step_pairs,
+                mhp.parallel_task_pairs,
+                mhp.total_task_pairs
+            );
+            if let Some(path) = args.dot {
+                std::fs::write(&path, dot::to_dot(&graph, &args.file)).expect("write dot");
+                println!("wrote {path}");
+            }
+        }
+        racy
+    };
+
+    if racy {
+        std::process::exit(3);
+    }
+}
+
+fn info(file: &str) {
+    let blob = read_trace(file);
+    if framed::is_framed(&blob) {
+        println!("{file}: framed trace (format v2), {} bytes", blob.len());
+        let mut good = 0u64;
+        let mut damaged = 0u64;
+        let mut events = 0u64;
+        let mut payload = 0u64;
+        for chunk in framed::chunks(&blob) {
+            match chunk {
+                Ok(c) => {
+                    good += 1;
+                    events += u64::from(c.event_count);
+                    payload += c.payload.len() as u64;
+                }
+                Err(e) => {
+                    damaged += 1;
+                    eprintln!("  damaged: {e}");
+                }
+            }
+        }
+        println!("chunks:      {good} intact, {damaged} damaged");
+        println!("events:      {events} (declared by intact chunks)");
+        println!(
+            "payload:     {payload} bytes ({:.2} B/event)",
+            payload as f64 / events.max(1) as f64
+        );
+        if damaged > 0 {
+            std::process::exit(1);
+        }
+    } else {
+        // v1 flat: the only structure is the event stream itself.
+        let mut events = 0u64;
+        for item in trace::decode_iter(&blob) {
+            match item {
+                Ok(_) => events += 1,
+                Err(e) => {
+                    println!("{file}: flat trace (format v1), {} bytes", blob.len());
+                    eprintln!("damaged after {events} events: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("{file}: flat trace (format v1), {} bytes", blob.len());
+        println!("events:      {events}");
+        println!(
+            "bytes/event: {:.2}",
+            blob.len() as f64 / events.max(1) as f64
+        );
+    }
+}
+
+fn verify(file: &str) {
+    let blob = read_trace(file);
+    // Strict full pass: every chunk CRC, every event decode, every
+    // declared event count. Any damage → exit 1.
+    let mut events = 0u64;
+    for item in trace_events(&blob, false) {
+        match item {
+            Ok(_) => events += 1,
+            Err(e) => {
+                eprintln!("{file}: FAILED after {events} events: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let format = if framed::is_framed(&blob) { "v2" } else { "v1" };
+    println!("{file}: OK ({format}, {events} events, {} bytes)", blob.len());
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("record") => record(&args[1..]),
-        Some("analyze") => analyze(&args[1..]),
-        _ => usage(),
+    match tracetool_cli::parse(&args) {
+        Ok(Command::Record(r)) => record(r),
+        Ok(Command::Analyze(a)) => analyze(a),
+        Ok(Command::Info { file }) => info(&file),
+        Ok(Command::Verify { file }) => verify(&file),
+        Err(e) => usage(&e),
     }
 }

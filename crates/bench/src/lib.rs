@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod runner;
+pub mod tracetool_cli;
 
 use futrace_benchsuite::{crypt, jacobi, lu, pipeline, series, smithwaterman, sor, strassen};
 use futrace_detector::{DetectorStats, RaceDetector};

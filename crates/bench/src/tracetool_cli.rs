@@ -1,0 +1,297 @@
+//! Argument parsing for the `tracetool` binary, kept out of the binary so
+//! it is unit-testable (the old inline parser silently accepted unknown
+//! benchmark names and only failed after flag processing).
+//!
+//! Conventions: unknown flags and missing values are errors (exit 2 via
+//! the binary); `--bench` is validated against [`BENCHES`] *at parse
+//! time*; when both `--tiny` and `--scaled` appear, the last one wins
+//! (explicitly tested, since scripts commonly append overrides).
+
+/// Benchmarks `tracetool record` can drive, in usage order.
+pub const BENCHES: &[&str] = &["jacobi", "smithwaterman", "lu", "pipeline"];
+
+/// A parsed `tracetool` invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `tracetool record …`
+    Record(RecordArgs),
+    /// `tracetool analyze …`
+    Analyze(AnalyzeArgs),
+    /// `tracetool info FILE`
+    Info {
+        /// Trace file to summarize.
+        file: String,
+    },
+    /// `tracetool verify FILE`
+    Verify {
+        /// Trace file to fully validate.
+        file: String,
+    },
+}
+
+/// Options for `tracetool record`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordArgs {
+    /// Benchmark name (guaranteed to be one of [`BENCHES`]).
+    pub bench: String,
+    /// Output trace path.
+    pub out: String,
+    /// Tiny input size (`--scaled` clears it; last flag wins).
+    pub tiny: bool,
+    /// Plant a determinacy race.
+    pub planted: bool,
+    /// Write the framed v2 format incrementally instead of buffering the
+    /// whole event log.
+    pub stream: bool,
+    /// Target chunk payload size for `--stream` (bytes).
+    pub chunk_bytes: Option<usize>,
+}
+
+/// Options for `tracetool analyze`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeArgs {
+    /// Trace file to analyze.
+    pub file: String,
+    /// Run the sharded offline pipeline with this many detect workers
+    /// instead of the serial replay.
+    pub shards: Option<usize>,
+    /// Skip damaged framed chunks instead of aborting.
+    pub lenient: bool,
+    /// Also rebuild the step-level computation graph.
+    pub graph: bool,
+    /// Write the computation graph as Graphviz to this path.
+    pub dot: Option<String>,
+}
+
+fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
+    let mut bench = None;
+    let mut out = None;
+    let mut tiny = true;
+    let mut planted = false;
+    let mut stream = false;
+    let mut chunk_bytes = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                let name = value(args, &mut i, "--bench")?;
+                if !BENCHES.contains(&name) {
+                    return Err(format!(
+                        "unknown benchmark `{name}` (expected one of: {})",
+                        BENCHES.join(", ")
+                    ));
+                }
+                bench = Some(name.to_string());
+            }
+            "--out" => out = Some(value(args, &mut i, "--out")?.to_string()),
+            "--tiny" => tiny = true,
+            "--scaled" => tiny = false,
+            "--planted" => planted = true,
+            "--stream" => stream = true,
+            "--chunk-bytes" => {
+                let v = value(args, &mut i, "--chunk-bytes")?;
+                chunk_bytes = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--chunk-bytes: invalid byte count `{v}`"))?,
+                );
+            }
+            other => return Err(format!("record: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if chunk_bytes.is_some() && !stream {
+        return Err("--chunk-bytes only applies to --stream recording".into());
+    }
+    let bench = bench.ok_or("record: --bench is required")?;
+    let out = out.ok_or("record: --out is required")?;
+    Ok(RecordArgs {
+        bench,
+        out,
+        tiny,
+        planted,
+        stream,
+        chunk_bytes,
+    })
+}
+
+fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
+    let mut file = None;
+    let mut shards = None;
+    let mut lenient = false;
+    let mut graph = false;
+    let mut dot = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                let v = value(args, &mut i, "--shards")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--shards: invalid count `{v}`"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
+            "--lenient" => lenient = true,
+            "--graph" => graph = true,
+            "--dot" => {
+                dot = Some(value(args, &mut i, "--dot")?.to_string());
+                graph = true;
+            }
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("analyze: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if graph && shards.is_some() {
+        return Err("--graph/--dot require the serial path; drop --shards".into());
+    }
+    Ok(AnalyzeArgs {
+        file: file.ok_or("analyze: trace file is required")?,
+        shards,
+        lenient,
+        graph,
+        dot,
+    })
+}
+
+fn parse_single_file(sub: &str, args: &[String]) -> Result<String, String> {
+    match args {
+        [f] if !f.starts_with('-') => Ok(f.clone()),
+        [] => Err(format!("{sub}: trace file is required")),
+        _ => Err(format!("{sub}: expected exactly one trace file")),
+    }
+}
+
+/// Parses a full `tracetool` argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    match args.split_first() {
+        Some((sub, rest)) => match sub.as_str() {
+            "record" => parse_record(rest).map(Command::Record),
+            "analyze" => parse_analyze(rest).map(Command::Analyze),
+            "info" => parse_single_file("info", rest).map(|file| Command::Info { file }),
+            "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
+            other => Err(format!("unknown subcommand `{other}`")),
+        },
+        None => Err("a subcommand is required".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn bench_name_is_validated_up_front() {
+        // Regression: the old parser deferred validation until after flag
+        // processing, so a typo'd bench name died with a generic usage
+        // message after side effects. Now it is a parse error naming the
+        // valid set — even when later flags are themselves broken.
+        let err = parse(&argv(
+            "record --bench jacobii --out t.trace --chunk-bytes nope",
+        ))
+        .unwrap_err();
+        assert!(err.contains("unknown benchmark `jacobii`"), "{err}");
+        assert!(err.contains("jacobi, smithwaterman, lu, pipeline"), "{err}");
+    }
+
+    #[test]
+    fn last_size_flag_wins() {
+        let Command::Record(r) =
+            parse(&argv("record --bench lu --out t --tiny --scaled")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(!r.tiny, "--scaled came last");
+        let Command::Record(r) =
+            parse(&argv("record --bench lu --out t --scaled --tiny")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(r.tiny, "--tiny came last");
+    }
+
+    #[test]
+    fn record_defaults_and_stream_flags() {
+        let Command::Record(r) = parse(&argv("record --bench jacobi --out x.trace")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(r.tiny && !r.planted && !r.stream && r.chunk_bytes.is_none());
+
+        let Command::Record(r) = parse(&argv(
+            "record --bench jacobi --out x.trace --stream --chunk-bytes 4096 --planted",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(r.stream && r.planted);
+        assert_eq!(r.chunk_bytes, Some(4096));
+
+        let err = parse(&argv("record --bench jacobi --out x --chunk-bytes 64")).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+    }
+
+    #[test]
+    fn record_missing_required_flags() {
+        assert!(parse(&argv("record --out t")).unwrap_err().contains("--bench"));
+        assert!(parse(&argv("record --bench lu"))
+            .unwrap_err()
+            .contains("--out"));
+        assert!(parse(&argv("record --bench")).unwrap_err().contains("value"));
+    }
+
+    #[test]
+    fn analyze_flags() {
+        let Command::Analyze(a) =
+            parse(&argv("analyze t.trace --shards 4 --lenient")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.file, "t.trace");
+        assert_eq!(a.shards, Some(4));
+        assert!(a.lenient && !a.graph);
+
+        assert!(parse(&argv("analyze t --shards 0"))
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&argv("analyze t --shards 2 --graph"))
+            .unwrap_err()
+            .contains("serial"));
+        let Command::Analyze(a) = parse(&argv("analyze t --dot g.dot")).unwrap() else {
+            panic!()
+        };
+        assert!(a.graph, "--dot implies --graph");
+    }
+
+    #[test]
+    fn info_verify_and_errors() {
+        assert_eq!(
+            parse(&argv("info t.trace")).unwrap(),
+            Command::Info {
+                file: "t.trace".into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("verify t.trace")).unwrap(),
+            Command::Verify {
+                file: "t.trace".into()
+            }
+        );
+        assert!(parse(&argv("verify")).unwrap_err().contains("required"));
+        assert!(parse(&argv("frobnicate x")).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&[]).unwrap_err().contains("subcommand"));
+    }
+}

@@ -38,7 +38,7 @@ use crate::dtrg::Dtrg;
 use crate::report::{AccessKind, Race, RaceReport};
 use crate::shadow::{Readers, ShadowMemory};
 use crate::stats::DetectorStats;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_runtime::{run_serial, SerialCtx};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use futrace_util::FxHashSet;
@@ -222,6 +222,117 @@ impl RaceDetector {
         }
     }
 
+    /// Applies the DTRG-maintenance half of the detector: control events
+    /// (task create/end, finish start/end, get, alloc) update the
+    /// reachability graph and shadow-memory registry but perform no
+    /// shadow-memory *checks*. Returns `false` for `Read`/`Write` events,
+    /// which callers must route through [`RaceDetector::check_read_at`] /
+    /// [`RaceDetector::check_write_at`] instead.
+    ///
+    /// This split is what makes offline sharding possible: control events
+    /// are cheap and can be broadcast to every shard (each maintains an
+    /// identical DTRG replica), while the hot access checks are independent
+    /// per location and can be partitioned.
+    pub fn apply_control(&mut self, e: &Event) -> bool {
+        match e {
+            Event::TaskCreate {
+                parent,
+                child,
+                kind,
+                ief,
+            } => self.task_create(*parent, *child, *kind, *ief),
+            Event::TaskEnd(t) => self.task_end(*t),
+            Event::FinishStart(t, f) => self.finish_start(*t, *f),
+            Event::FinishEnd(t, f, joined) => self.finish_end(*t, *f, joined),
+            Event::Get { waiter, awaited } => self.get(*waiter, *awaited),
+            Event::Alloc(base, n, name) => self.alloc(*base, *n, name),
+            Event::Read(..) | Event::Write(..) => return false,
+        }
+        true
+    }
+
+    /// Algorithm 8's write check at an explicit global access index.
+    ///
+    /// The online [`Monitor`] path numbers accesses itself; sharded offline
+    /// replay numbers them in the router (one global stream) so every
+    /// shard's race reports carry indices from the *same* sequence and the
+    /// merged report is identical to the serial one.
+    pub fn check_write_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+        self.access_index = index;
+        self.stats.writes += 1;
+        if !self.checking() {
+            return;
+        }
+        self.sample_readers(loc);
+
+        // Readers: every stored reader must precede the writer; preceding
+        // readers are removed (subsumed by the new writer), racy readers
+        // are kept, as in the paper, so later accesses also check them.
+        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
+        let mut kept = Readers::Empty;
+        for x in readers.iter() {
+            if self.dtrg.precede(x, task) {
+                // removed
+            } else {
+                self.report(loc, x, AccessKind::Read, task, AccessKind::Write);
+                kept.push(x);
+            }
+        }
+
+        // Previous writer must precede.
+        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
+        if let Some(w) = prev_w {
+            if !self.dtrg.precede(w, task) {
+                self.report(loc, w, AccessKind::Write, task, AccessKind::Write);
+            }
+        }
+
+        let cell = self.shadow.cell_mut(loc);
+        cell.readers = kept;
+        cell.writer = Some(task);
+    }
+
+    /// Algorithm 9's read check at an explicit global access index (see
+    /// [`RaceDetector::check_write_at`] for why the index is external).
+    pub fn check_read_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+        self.access_index = index;
+        self.stats.reads += 1;
+        if !self.checking() {
+            return;
+        }
+        self.sample_readers(loc);
+
+        // Previous writer must precede the reader.
+        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
+        if let Some(w) = prev_w {
+            if !self.dtrg.precede(w, task) {
+                self.report(loc, w, AccessKind::Write, task, AccessKind::Read);
+            }
+        }
+
+        let cur_is_future = self.dtrg.is_future(task);
+        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
+        let mut kept = Readers::Empty;
+        let mut add = true;
+        for x in readers.iter() {
+            if self.dtrg.precede(x, task) {
+                // Superseded: any future conflict with x is also a conflict
+                // with the current reader (Lemma 3).
+            } else {
+                kept.push(x);
+                if !cur_is_future && !self.dtrg.is_future(x) {
+                    // Parallel async pair: Lemma 4 makes the stored async
+                    // reader a sufficient representative.
+                    add = false;
+                }
+            }
+        }
+        if add {
+            kept.push(task);
+        }
+        self.shadow.cell_mut(loc).readers = kept;
+    }
+
     #[inline]
     fn sample_readers(&mut self, loc: LocId) {
         if self.config.track_avg_readers {
@@ -264,81 +375,17 @@ impl Monitor for RaceDetector {
 
     /// Algorithm 8: write check.
     fn write(&mut self, task: TaskId, loc: LocId) {
-        self.stats.writes += 1;
-        if !self.checking() {
-            self.access_index += 1;
-            return;
-        }
-        self.sample_readers(loc);
-
-        // Readers: every stored reader must precede the writer; preceding
-        // readers are removed (subsumed by the new writer), racy readers
-        // are kept, as in the paper, so later accesses also check them.
-        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
-        let mut kept = Readers::Empty;
-        for x in readers.iter() {
-            if self.dtrg.precede(x, task) {
-                // removed
-            } else {
-                self.report(loc, x, AccessKind::Read, task, AccessKind::Write);
-                kept.push(x);
-            }
-        }
-
-        // Previous writer must precede.
-        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
-        if let Some(w) = prev_w {
-            if !self.dtrg.precede(w, task) {
-                self.report(loc, w, AccessKind::Write, task, AccessKind::Write);
-            }
-        }
-
-        let cell = self.shadow.cell_mut(loc);
-        cell.readers = kept;
-        cell.writer = Some(task);
-        self.access_index += 1;
+        let index = self.access_index;
+        self.check_write_at(task, loc, index);
+        self.access_index = index + 1;
     }
 
     /// Algorithm 9: read check (reader-set rule as reconstructed in the
     /// module docs).
     fn read(&mut self, task: TaskId, loc: LocId) {
-        self.stats.reads += 1;
-        if !self.checking() {
-            self.access_index += 1;
-            return;
-        }
-        self.sample_readers(loc);
-
-        // Previous writer must precede the reader.
-        let prev_w = self.shadow.cell(loc).and_then(|c| c.writer);
-        if let Some(w) = prev_w {
-            if !self.dtrg.precede(w, task) {
-                self.report(loc, w, AccessKind::Write, task, AccessKind::Read);
-            }
-        }
-
-        let cur_is_future = self.dtrg.is_future(task);
-        let readers = std::mem::take(&mut self.shadow.cell_mut(loc).readers);
-        let mut kept = Readers::Empty;
-        let mut add = true;
-        for x in readers.iter() {
-            if self.dtrg.precede(x, task) {
-                // Superseded: any future conflict with x is also a conflict
-                // with the current reader (Lemma 3).
-            } else {
-                kept.push(x);
-                if !cur_is_future && !self.dtrg.is_future(x) {
-                    // Parallel async pair: Lemma 4 makes the stored async
-                    // reader a sufficient representative.
-                    add = false;
-                }
-            }
-        }
-        if add {
-            kept.push(task);
-        }
-        self.shadow.cell_mut(loc).readers = kept;
-        self.access_index += 1;
+        let index = self.access_index;
+        self.check_read_at(task, loc, index);
+        self.access_index = index + 1;
     }
 }
 
@@ -647,6 +694,45 @@ mod tests {
                 "racy={racy}"
             );
         }
+    }
+
+    #[test]
+    fn split_control_and_check_match_monitor_path() {
+        use futrace_runtime::EventLog;
+        // Record a racy program, then drive one detector through the
+        // Monitor interface and another through the split
+        // apply_control/check_*_at halves: identical reports.
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(4, 0i64, "a");
+            let aw = a.clone();
+            let _f = ctx.future(move |ctx| aw.write(ctx, 1, 5));
+            let _ = a.read(ctx, 1); // racy: no get
+            a.write(ctx, 2, 9);
+        });
+
+        let mut online = RaceDetector::new();
+        futrace_runtime::replay(&log.events, &mut online);
+
+        let mut split = RaceDetector::new();
+        let mut index = 0u64;
+        for e in &log.events {
+            if !split.apply_control(e) {
+                match e {
+                    Event::Read(t, l) => split.check_read_at(*t, *l, index),
+                    Event::Write(t, l) => split.check_write_at(*t, *l, index),
+                    _ => unreachable!(),
+                }
+                index += 1;
+            }
+        }
+
+        assert_eq!(online.stats().reads, split.stats().reads);
+        assert_eq!(online.stats().writes, split.stats().writes);
+        let (ra, rb) = (online.into_report(), split.into_report());
+        assert_eq!(ra.total_detected, rb.total_detected);
+        assert_eq!(ra.races, rb.races);
+        assert!(ra.has_races());
     }
 
     #[test]

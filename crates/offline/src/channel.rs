@@ -1,0 +1,212 @@
+//! Bounded blocking MPSC channel built on [`futrace_runtime::sync`]
+//! (std-only Mutex + Condvar), for the decode→detect pipeline.
+//!
+//! The decode stage can outrun the detect workers by orders of magnitude
+//! (varint decoding vs `Precede` queries), so the channel is *bounded*:
+//! [`Sender::send`] blocks when the queue is full, which backpressures
+//! the decoder and keeps pipeline memory at O(capacity × batch) instead
+//! of O(trace). Disconnection is graceful in both directions: senders see
+//! `Err` once the receiver is gone (a dead worker must not wedge the
+//! router), and [`Receiver::recv`] returns `None` once all senders are
+//! dropped and the queue drains.
+
+use futrace_runtime::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Sending half; clone for multiple producers.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half (single consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The item handed back by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// A bounded channel with room for `capacity` in-flight items
+/// (clamped to ≥ 1).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `item`. Returns the item
+    /// if the receiver has been dropped.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.receiver_alive {
+                return Err(SendError(item));
+            }
+            if st.queue.len() < st.capacity {
+                st.queue.push_back(item);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.shared.not_full.wait(st);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.senders -= 1;
+        let last = st.senders == 0;
+        drop(st);
+        if last {
+            // Wake a receiver blocked on an empty queue so it can observe
+            // disconnection and finish.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item arrives; `None` once every sender is dropped
+    /// and the queue is drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self.shared.not_empty.wait(st);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().receiver_alive = false;
+        // Unblock every sender stuck in a full-queue wait.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(
+            std::iter::from_fn(|| rx.recv()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(rx.recv(), None, "disconnected and drained");
+    }
+
+    #[test]
+    fn send_blocks_until_capacity_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).unwrap();
+        let t = thread::spawn(move || {
+            // This send must block until the main thread receives.
+            tx.send(2).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn dropped_receiver_fails_send() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn dropped_receiver_unblocks_full_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn multiple_producers_drain_completely() {
+        let (tx, rx) = bounded(2);
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..50u64 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        while let Some(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 200);
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 200, "no item lost or duplicated");
+    }
+}

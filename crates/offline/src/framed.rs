@@ -1,0 +1,643 @@
+//! Framed trace format **v2**: a streaming, corruption-tolerant layer
+//! over the v1 event codec.
+//!
+//! The v1 format ([`futrace_runtime::trace`]) is a bare concatenation of
+//! varint-packed events: compact, but it can only be written by
+//! materializing the whole event log, and one flipped byte poisons the
+//! decode of everything after it. v2 wraps the same per-event encoding in
+//! checksummed chunks:
+//!
+//! ```text
+//! "FTRC" 0x02                                  file header (5 bytes)
+//! repeated chunks:
+//!   payload_len: u32 LE                        bytes of payload
+//!   event_count: u32 LE                        events encoded in payload
+//!   crc32:       u32 LE                        CRC-32 of payload
+//!   payload:     payload_len bytes             v1-encoded events
+//! ```
+//!
+//! * [`StreamWriter`] is a [`Monitor`]: it encodes events into a bounded
+//!   buffer and emits a chunk whenever the buffer fills, so recording a
+//!   10⁹-access run needs O(chunk) memory, not O(trace).
+//! * [`FramedEvents`] iterates events chunk by chunk, validating each
+//!   CRC and event count. In strict mode the first damaged chunk ends the
+//!   stream with a structured [`FrameError`]; in lenient mode damaged
+//!   chunks are *skipped* (and counted) — the chunk length prefix makes
+//!   resynchronization trivial, which is the point of framing.
+//!
+//! The first byte of the magic (`0x46`) is not a valid v1 event tag, so
+//! format sniffing ([`is_framed`]) cannot misclassify a v1 trace.
+
+use crate::crc32;
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
+use futrace_runtime::trace::{self, DecodeError};
+use futrace_util::ids::{FinishId, LocId, TaskId};
+use std::io;
+
+/// File magic ("FTRC").
+pub const MAGIC: [u8; 4] = *b"FTRC";
+/// Format version carried after the magic.
+pub const VERSION: u8 = 2;
+/// File header length (magic + version).
+pub const HEADER_LEN: usize = 5;
+/// Per-chunk header length (payload_len + event_count + crc32).
+pub const CHUNK_HEADER_LEN: usize = 12;
+/// Default chunk payload target (bytes). Chunks close at the first event
+/// boundary past this size.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Framing-level failure. Event-codec failures inside an intact chunk are
+/// wrapped as [`FrameError::Decode`] so callers always know which chunk
+/// was bad.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The blob does not start with the v2 magic.
+    NotFramed,
+    /// Magic matched but the version byte is unknown.
+    BadVersion(u8),
+    /// The blob ends mid-chunk (short header or short payload).
+    TruncatedChunk {
+        /// Index of the incomplete chunk.
+        chunk: usize,
+    },
+    /// A chunk's payload does not match its stored CRC.
+    CorruptChunk {
+        /// Index of the damaged chunk.
+        chunk: usize,
+        /// CRC stored in the chunk header.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A CRC-intact chunk whose payload fails to decode, or whose decoded
+    /// event count disagrees with the header.
+    Decode {
+        /// Index of the offending chunk.
+        chunk: usize,
+        /// The codec-level error (`Malformed("event count mismatch")` for
+        /// count disagreements).
+        error: DecodeError,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::NotFramed => write!(f, "not a framed (v2) trace"),
+            FrameError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            FrameError::TruncatedChunk { chunk } => {
+                write!(f, "trace truncated inside chunk {chunk}")
+            }
+            FrameError::CorruptChunk {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "chunk {chunk} corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::Decode { chunk, error } => {
+                write!(f, "chunk {chunk} payload undecodable: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// True iff `data` begins with the v2 magic (version is checked later so
+/// a bad version is reported as [`FrameError::BadVersion`], not silently
+/// treated as v1).
+pub fn is_framed(data: &[u8]) -> bool {
+    data.len() >= 4 && data[..4] == MAGIC
+}
+
+fn read_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([data[at], data[at + 1], data[at + 2], data[at + 3]])
+}
+
+/// One intact chunk.
+#[derive(Clone, Copy, Debug)]
+pub struct Chunk<'a> {
+    /// 0-based chunk index within the file.
+    pub index: usize,
+    /// Events the writer declared for this payload.
+    pub event_count: u32,
+    /// The v1-encoded payload (CRC already validated).
+    pub payload: &'a [u8],
+}
+
+/// Iterates the chunks of a framed blob, validating structure and CRCs.
+///
+/// Yields `Err(CorruptChunk)` for a CRC mismatch and *continues* with the
+/// next chunk (the length prefix is trusted for resync); yields
+/// `Err(TruncatedChunk)` / header errors and fuses, since no further
+/// boundary is known.
+pub struct ChunkIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    index: usize,
+    state: IterState,
+}
+
+enum IterState {
+    Header,
+    Chunks,
+    Done,
+}
+
+/// Chunk iterator over `data` (header validated on first `next`).
+pub fn chunks(data: &[u8]) -> ChunkIter<'_> {
+    ChunkIter {
+        data,
+        pos: 0,
+        index: 0,
+        state: IterState::Header,
+    }
+}
+
+impl<'a> Iterator for ChunkIter<'a> {
+    type Item = Result<Chunk<'a>, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match self.state {
+                IterState::Done => return None,
+                IterState::Header => {
+                    if !is_framed(self.data) || self.data.len() < HEADER_LEN {
+                        self.state = IterState::Done;
+                        return Some(Err(FrameError::NotFramed));
+                    }
+                    if self.data[4] != VERSION {
+                        self.state = IterState::Done;
+                        return Some(Err(FrameError::BadVersion(self.data[4])));
+                    }
+                    self.pos = HEADER_LEN;
+                    self.state = IterState::Chunks;
+                }
+                IterState::Chunks => {
+                    if self.pos == self.data.len() {
+                        self.state = IterState::Done;
+                        return None;
+                    }
+                    let chunk = self.index;
+                    if self.data.len() - self.pos < CHUNK_HEADER_LEN {
+                        self.state = IterState::Done;
+                        return Some(Err(FrameError::TruncatedChunk { chunk }));
+                    }
+                    let payload_len = read_u32(self.data, self.pos) as usize;
+                    let event_count = read_u32(self.data, self.pos + 4);
+                    let stored = read_u32(self.data, self.pos + 8);
+                    let body = self.pos + CHUNK_HEADER_LEN;
+                    if self.data.len() - body < payload_len {
+                        self.state = IterState::Done;
+                        return Some(Err(FrameError::TruncatedChunk { chunk }));
+                    }
+                    let payload = &self.data[body..body + payload_len];
+                    self.pos = body + payload_len;
+                    self.index += 1;
+                    let computed = crc32::crc32(payload);
+                    if computed != stored {
+                        return Some(Err(FrameError::CorruptChunk {
+                            chunk,
+                            stored,
+                            computed,
+                        }));
+                    }
+                    return Some(Ok(Chunk {
+                        index: chunk,
+                        event_count,
+                        payload,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+/// Streams the events of a framed blob across chunk boundaries.
+///
+/// Strict mode (`lenient = false`): the first damaged chunk (CRC, count,
+/// or codec failure) yields its [`FrameError`] and the iterator fuses.
+/// Lenient mode: damaged chunks are skipped and counted
+/// ([`FramedEvents::skipped_chunks`]); only unrecoverable structure
+/// (bad header, truncation) still surfaces an error.
+pub struct FramedEvents<'a> {
+    chunks: ChunkIter<'a>,
+    current: Option<(trace::DecodeIter<'a>, usize, u32, u32)>, // (iter, chunk, declared, yielded)
+    lenient: bool,
+    skipped: u64,
+    done: bool,
+}
+
+impl<'a> FramedEvents<'a> {
+    /// Event iterator over `data`.
+    pub fn new(data: &'a [u8], lenient: bool) -> Self {
+        FramedEvents {
+            chunks: chunks(data),
+            current: None,
+            lenient,
+            skipped: 0,
+            done: false,
+        }
+    }
+
+    /// Damaged chunks skipped so far (lenient mode only; 0 in strict mode,
+    /// which stops at the first damaged chunk instead).
+    pub fn skipped_chunks(&self) -> u64 {
+        self.skipped
+    }
+
+    fn fail(&mut self, e: FrameError) -> Option<Result<Event, FrameError>> {
+        self.done = true;
+        Some(Err(e))
+    }
+}
+
+impl Iterator for FramedEvents<'_> {
+    type Item = Result<Event, FrameError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if let Some((iter, chunk, declared, yielded)) = self.current.as_mut() {
+                match iter.next() {
+                    Some(Ok(e)) => {
+                        *yielded += 1;
+                        if *yielded > *declared {
+                            let err = FrameError::Decode {
+                                chunk: *chunk,
+                                error: DecodeError::Malformed("event count mismatch"),
+                            };
+                            self.current = None;
+                            if self.lenient {
+                                self.skipped += 1;
+                                continue;
+                            }
+                            return self.fail(err);
+                        }
+                        return Some(Ok(e));
+                    }
+                    Some(Err(error)) => {
+                        let err = FrameError::Decode {
+                            chunk: *chunk,
+                            error,
+                        };
+                        self.current = None;
+                        if self.lenient {
+                            self.skipped += 1;
+                            continue;
+                        }
+                        return self.fail(err);
+                    }
+                    None => {
+                        let short = *yielded < *declared;
+                        let err = FrameError::Decode {
+                            chunk: *chunk,
+                            error: DecodeError::Malformed("event count mismatch"),
+                        };
+                        self.current = None;
+                        if short {
+                            // Events already yielded from this chunk were
+                            // individually valid; only the bookkeeping is
+                            // reported (strict) or counted (lenient).
+                            if self.lenient {
+                                self.skipped += 1;
+                                continue;
+                            }
+                            return self.fail(err);
+                        }
+                        continue;
+                    }
+                }
+            }
+            match self.chunks.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Ok(chunk)) => {
+                    self.current = Some((
+                        trace::decode_iter(chunk.payload),
+                        chunk.index,
+                        chunk.event_count,
+                        0,
+                    ));
+                }
+                Some(Err(FrameError::CorruptChunk { .. })) if self.lenient => {
+                    self.skipped += 1;
+                }
+                Some(Err(e)) => return self.fail(e),
+            }
+        }
+    }
+}
+
+/// Totals accumulated by a [`StreamWriter`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Chunks emitted.
+    pub chunks: u64,
+    /// Events recorded.
+    pub events: u64,
+    /// Payload bytes (excluding file and chunk headers).
+    pub payload_bytes: u64,
+    /// Total bytes written to the sink, headers included.
+    pub bytes_written: u64,
+}
+
+/// Incremental v2 writer with bounded buffering; also a [`Monitor`], so a
+/// program can be recorded straight to disk without an in-memory
+/// [`futrace_runtime::EventLog`].
+///
+/// `Monitor` callbacks cannot return errors, so the first sink failure is
+/// stashed, further events are dropped, and the error surfaces from
+/// [`StreamWriter::finish`].
+pub struct StreamWriter<W: io::Write> {
+    sink: W,
+    buf: Vec<u8>,
+    pending_events: u32,
+    chunk_bytes: usize,
+    stats: WriterStats,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> StreamWriter<W> {
+    /// Writer with the default chunk size ([`DEFAULT_CHUNK_BYTES`]). The
+    /// file header is written immediately.
+    pub fn new(sink: W) -> io::Result<Self> {
+        Self::with_chunk_bytes(sink, DEFAULT_CHUNK_BYTES)
+    }
+
+    /// Writer closing chunks at the first event boundary past
+    /// `chunk_bytes` payload bytes (clamped to ≥ 64).
+    pub fn with_chunk_bytes(mut sink: W, chunk_bytes: usize) -> io::Result<Self> {
+        let chunk_bytes = chunk_bytes.max(64);
+        sink.write_all(&MAGIC)?;
+        sink.write_all(&[VERSION])?;
+        Ok(StreamWriter {
+            sink,
+            buf: Vec::with_capacity(chunk_bytes + 64),
+            pending_events: 0,
+            chunk_bytes,
+            stats: WriterStats {
+                bytes_written: HEADER_LEN as u64,
+                ..WriterStats::default()
+            },
+            error: None,
+        })
+    }
+
+    /// Appends one event, flushing a chunk if the buffer is full.
+    pub fn record(&mut self, e: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        trace::encode_event(&mut self.buf, e);
+        self.pending_events += 1;
+        self.stats.events += 1;
+        if self.buf.len() >= self.chunk_bytes || self.pending_events == u32::MAX {
+            self.flush_chunk();
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.pending_events == 0 || self.error.is_some() {
+            return;
+        }
+        let crc = crc32::crc32(&self.buf);
+        let mut header = [0u8; CHUNK_HEADER_LEN];
+        header[..4].copy_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&self.pending_events.to_le_bytes());
+        header[8..].copy_from_slice(&crc.to_le_bytes());
+        let res = self
+            .sink
+            .write_all(&header)
+            .and_then(|()| self.sink.write_all(&self.buf));
+        match res {
+            Ok(()) => {
+                self.stats.chunks += 1;
+                self.stats.payload_bytes += self.buf.len() as u64;
+                self.stats.bytes_written += (CHUNK_HEADER_LEN + self.buf.len()) as u64;
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self.buf.clear();
+        self.pending_events = 0;
+    }
+
+    /// Flushes the trailing partial chunk and the sink, returning the sink
+    /// and totals — or the first error encountered anywhere in the run.
+    pub fn finish(mut self) -> io::Result<(W, WriterStats)> {
+        self.flush_chunk();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.sink.flush()?;
+        Ok((self.sink, self.stats))
+    }
+
+    /// Totals so far (the trailing partial chunk is not yet counted in
+    /// `chunks`/`payload_bytes`).
+    pub fn stats(&self) -> WriterStats {
+        self.stats
+    }
+}
+
+impl<W: io::Write> Monitor for StreamWriter<W> {
+    fn task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind, ief: FinishId) {
+        self.record(&Event::TaskCreate {
+            parent,
+            child,
+            kind,
+            ief,
+        });
+    }
+    fn task_end(&mut self, task: TaskId) {
+        self.record(&Event::TaskEnd(task));
+    }
+    fn finish_start(&mut self, task: TaskId, finish: FinishId) {
+        self.record(&Event::FinishStart(task, finish));
+    }
+    fn finish_end(&mut self, task: TaskId, finish: FinishId, joined: &[TaskId]) {
+        self.record(&Event::FinishEnd(task, finish, joined.to_vec()));
+    }
+    fn get(&mut self, waiter: TaskId, awaited: TaskId) {
+        self.record(&Event::Get { waiter, awaited });
+    }
+    fn read(&mut self, task: TaskId, loc: LocId) {
+        self.record(&Event::Read(task, loc));
+    }
+    fn write(&mut self, task: TaskId, loc: LocId) {
+        self.record(&Event::Write(task, loc));
+    }
+    fn alloc(&mut self, base: LocId, n: u32, name: &str) {
+        self.record(&Event::Alloc(base, n, name.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futrace_runtime::{run_serial, TaskCtx};
+
+    fn record_program() -> (Vec<u8>, WriterStats, Vec<Event>) {
+        // Small chunk size so the trace spans several chunks.
+        let mut log = futrace_runtime::EventLog::new();
+        let mut writer = StreamWriter::with_chunk_bytes(Vec::new(), 64).unwrap();
+        let program = |ctx: &mut futrace_runtime::SerialCtx<futrace_runtime::EventLog>| {
+            let a = ctx.shared_array(16, 0u64, "grid");
+            ctx.finish(|ctx| {
+                for i in 0..8usize {
+                    let aw = a.clone();
+                    ctx.async_task(move |ctx| aw.write(ctx, i, i as u64));
+                }
+            });
+            for i in 0..16usize {
+                let _ = a.read(ctx, i);
+            }
+        };
+        run_serial(&mut log, program);
+        for e in &log.events {
+            writer.record(e);
+        }
+        let (bytes, stats) = writer.finish().unwrap();
+        (bytes, stats, log.events)
+    }
+
+    #[test]
+    fn roundtrip_across_chunks() {
+        let (bytes, stats, events) = record_program();
+        assert!(stats.chunks >= 2, "want multiple chunks, got {stats:?}");
+        assert_eq!(stats.events, events.len() as u64);
+        assert_eq!(stats.bytes_written, bytes.len() as u64);
+        let decoded: Vec<Event> = FramedEvents::new(&bytes, false)
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn monitor_recording_equals_log_recording() {
+        fn program<M: Monitor>(ctx: &mut futrace_runtime::SerialCtx<'_, M>) {
+            let v = ctx.shared_var(0u64, "v");
+            let v2 = v.clone();
+            let f = ctx.future(move |ctx| v2.write(ctx, 1));
+            ctx.get(&f);
+            let _ = v.read(ctx);
+        }
+        // Record through the Monitor impl directly...
+        let mut writer = StreamWriter::new(Vec::new()).unwrap();
+        run_serial(&mut writer, program);
+        let (direct, _) = writer.finish().unwrap();
+        // ...and via an EventLog replayed into a writer.
+        let mut log = futrace_runtime::EventLog::new();
+        run_serial(&mut log, program);
+        let mut writer = StreamWriter::new(Vec::new()).unwrap();
+        for e in &log.events {
+            writer.record(e);
+        }
+        let (via_log, _) = writer.finish().unwrap();
+        assert_eq!(direct, via_log);
+    }
+
+    #[test]
+    fn corrupt_chunk_is_detected_and_skippable() {
+        let (mut bytes, stats, events) = record_program();
+        // Flip one byte in the middle of the first chunk's payload.
+        let victim = HEADER_LEN + CHUNK_HEADER_LEN + 3;
+        bytes[victim] ^= 0x40;
+
+        // Strict: structured error, then fused.
+        let mut it = FramedEvents::new(&bytes, false);
+        let first_err = it.by_ref().find_map(|r| r.err()).expect("must error");
+        assert!(
+            matches!(
+                first_err,
+                FrameError::CorruptChunk { chunk: 0, .. } | FrameError::Decode { chunk: 0, .. }
+            ),
+            "{first_err:?}"
+        );
+        assert!(it.next().is_none());
+
+        // Lenient: later chunks still decode; exactly one chunk lost.
+        let mut it = FramedEvents::new(&bytes, true);
+        let salvaged: Vec<Event> = it.by_ref().map(|e| e.unwrap()).collect();
+        assert_eq!(it.skipped_chunks(), 1);
+        assert!(salvaged.len() < events.len());
+        assert!(
+            stats.chunks >= 2 && !salvaged.is_empty(),
+            "later chunks survive"
+        );
+        // Everything salvaged is a suffix-aligned subset of the original
+        // stream: the undamaged chunks decode to their exact original runs.
+        let tail = &events[events.len() - salvaged.len()..];
+        assert_eq!(salvaged, tail);
+    }
+
+    #[test]
+    fn truncation_is_fatal_even_lenient() {
+        let (bytes, _, _) = record_program();
+        let cut = &bytes[..bytes.len() - 3];
+        let mut it = FramedEvents::new(cut, true);
+        let err = it.by_ref().find_map(|r| r.err()).expect("must error");
+        assert!(matches!(err, FrameError::TruncatedChunk { .. }), "{err:?}");
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn header_validation() {
+        assert!(!is_framed(b"FT"));
+        assert!(!is_framed(&[]));
+        let mut it = FramedEvents::new(b"XXXXX", false);
+        assert_eq!(it.next(), Some(Err(FrameError::NotFramed)));
+        let mut bad_version = Vec::from(MAGIC);
+        bad_version.push(9);
+        let mut it = FramedEvents::new(&bad_version, false);
+        assert_eq!(it.next(), Some(Err(FrameError::BadVersion(9))));
+        // An empty v2 trace (header only) is valid and empty.
+        let (bytes, stats) = StreamWriter::new(Vec::new()).unwrap().finish().unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert_eq!(FramedEvents::new(&bytes, false).count(), 0);
+    }
+
+    #[test]
+    fn event_count_mismatch_is_reported() {
+        let mut writer = StreamWriter::new(Vec::new()).unwrap();
+        writer.record(&Event::TaskEnd(TaskId(1)));
+        let (mut bytes, _) = writer.finish().unwrap();
+        // Tamper with the declared event count and refresh the CRC so only
+        // the count check can catch it.
+        let count_at = HEADER_LEN + 4;
+        bytes[count_at..count_at + 4].copy_from_slice(&5u32.to_le_bytes());
+        let err = FramedEvents::new(&bytes, false)
+            .find_map(|r| r.err())
+            .expect("must error");
+        assert!(
+            matches!(
+                err,
+                FrameError::Decode {
+                    chunk: 0,
+                    error: DecodeError::Malformed("event count mismatch")
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn full_sink_surfaces_at_finish() {
+        struct Full;
+        impl io::Write for Full {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::Other, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(StreamWriter::new(Full).is_err(), "header write fails");
+    }
+}

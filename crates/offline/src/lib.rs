@@ -1,0 +1,157 @@
+//! # futrace-offline — streaming traces and sharded offline detection
+//!
+//! The paper's detector is strictly serial: it consumes the depth-first
+//! event stream in order (§4). Offline, that stream is *data*, and two of
+//! its properties make a production-scale pipeline possible:
+//!
+//! 1. **DTRG maintenance is cheap and access-free.** Only task
+//!    create/end, finish start/end, and `get` events mutate the
+//!    reachability graph, and there are few of them relative to
+//!    shared-memory accesses (Table 2: 10⁴–10⁷ tasks vs 10⁸–10⁹
+//!    accesses).
+//! 2. **Shadow-memory checks are independent per location.** Algorithm
+//!    8/9 touch exactly one shadow cell, and `Precede` queries only read
+//!    DTRG state.
+//!
+//! So offline detection shards cleanly: broadcast the control events to
+//! `N` workers (each maintains an identical DTRG replica) and partition
+//! the accesses by `loc % N` ([`shard`]). The merged verdict and race
+//! report are identical to the serial detector's (asserted by
+//! `tests/shard_equivalence.rs` over random programs).
+//!
+//! Feeding that pipeline from disk needs a trace format that can be
+//! written incrementally and read without trusting every byte: [`framed`]
+//! layers length-prefixed, CRC-checked chunks (format v2) over the v1
+//! event codec in [`futrace_runtime::trace`], with a [`framed::StreamWriter`]
+//! monitor for bounded-memory recording and a lenient reading mode that
+//! skips damaged chunks instead of aborting.
+//!
+//! The `tracetool` binary (in `futrace-bench`) wires both into a CLI:
+//! `record --stream`, `analyze --shards N`, `info`, and `verify`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod crc32;
+pub mod framed;
+pub mod shard;
+
+pub use framed::{FrameError, FramedEvents, StreamWriter, WriterStats};
+pub use shard::{detect_sharded, detect_sharded_events, ShardOptions, ShardStats, ShardedOutcome};
+
+use futrace_runtime::trace::DecodeError;
+
+/// Any failure while reading a trace blob (either format version).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// v2 framing-level failure (bad header, truncated or corrupt chunk).
+    Frame(FrameError),
+    /// v1 event-codec failure.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Frame(e) => write!(f, "{e}"),
+            TraceError::Decode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<FrameError> for TraceError {
+    fn from(e: FrameError) -> Self {
+        TraceError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for TraceError {
+    fn from(e: DecodeError) -> Self {
+        TraceError::Decode(e)
+    }
+}
+
+/// Iterator over the events of a trace blob in either format: v2 framed
+/// streams are chunk-validated as they go; anything else is treated as a
+/// v1 flat stream. Construct via [`trace_events`].
+pub enum TraceEvents<'a> {
+    /// v2 framed stream.
+    Framed(FramedEvents<'a>),
+    /// v1 flat stream.
+    Flat(futrace_runtime::trace::DecodeIter<'a>),
+}
+
+impl Iterator for TraceEvents<'_> {
+    type Item = Result<futrace_runtime::Event, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            TraceEvents::Framed(it) => it.next().map(|r| r.map_err(TraceError::from)),
+            TraceEvents::Flat(it) => it.next().map(|r| r.map_err(TraceError::from)),
+        }
+    }
+}
+
+impl TraceEvents<'_> {
+    /// Chunks skipped so far (always 0 for v1 / strict mode).
+    pub fn skipped_chunks(&self) -> u64 {
+        match self {
+            TraceEvents::Framed(it) => it.skipped_chunks(),
+            TraceEvents::Flat(_) => 0,
+        }
+    }
+}
+
+/// Streams the events of a trace blob, auto-detecting the format by the
+/// v2 magic. `lenient` only affects framed traces: damaged chunks are
+/// skipped (and counted) instead of ending the stream with an error.
+pub fn trace_events(data: &[u8], lenient: bool) -> TraceEvents<'_> {
+    if framed::is_framed(data) {
+        TraceEvents::Framed(framed::FramedEvents::new(data, lenient))
+    } else {
+        TraceEvents::Flat(futrace_runtime::trace::decode_iter(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futrace_runtime::{trace, Event};
+    use futrace_util::ids::{LocId, TaskId};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Alloc(LocId(0), 2, "m".into()),
+            Event::Write(TaskId(0), LocId(0)),
+            Event::Read(TaskId(0), LocId(1)),
+        ]
+    }
+
+    #[test]
+    fn trace_events_sniffs_both_formats() {
+        let events = sample_events();
+        let v1 = trace::encode(&events);
+        let got: Vec<Event> = trace_events(&v1, false).map(|e| e.unwrap()).collect();
+        assert_eq!(got, events);
+
+        let mut w = StreamWriter::new(Vec::new()).unwrap();
+        for e in &events {
+            w.record(e);
+        }
+        let (v2, _) = w.finish().unwrap();
+        assert!(framed::is_framed(&v2));
+        let got: Vec<Event> = trace_events(&v2, false).map(|e| e.unwrap()).collect();
+        assert_eq!(got, events);
+    }
+
+    #[test]
+    fn trace_error_display_covers_both_sides() {
+        let e = TraceError::from(trace::DecodeError::Truncated);
+        assert!(e.to_string().contains("truncated"));
+        let e = TraceError::from(FrameError::BadVersion(9));
+        assert!(e.to_string().contains("version"));
+    }
+}

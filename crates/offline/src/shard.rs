@@ -1,0 +1,407 @@
+//! Sharded offline race detection: parallel replay of a recorded trace
+//! with a verdict identical to the serial detector's.
+//!
+//! ## Why this is sound
+//!
+//! The detector splits into two halves (see
+//! [`RaceDetector::apply_control`]):
+//!
+//! * **DTRG maintenance** is driven only by control events (task
+//!   create/end, finish start/end, `get`) — a few per *task*, not per
+//!   *access*. Broadcasting them gives every shard a byte-identical DTRG
+//!   replica, because DTRG updates never depend on shadow memory.
+//! * **Shadow checks** (Algorithms 8–9) touch exactly one location each
+//!   and only *read* the DTRG. Routing accesses by `loc % N` therefore
+//!   partitions the check work with no cross-shard communication at all.
+//!
+//! Each access carries its global index from the router's single pass, so
+//! per-shard race reports can be merged back into exactly the serial
+//! detection order: the serial detector reports races in increasing
+//! access index, ties (several races at one access) happen within one
+//! location and therefore one shard, and the per-location dedup/cap logic
+//! makes identical decisions because each shard sees its locations' full
+//! access subsequence. A stable merge by access index followed by the
+//! global report cap is thus byte-identical to the serial report
+//! (`tests/shard_equivalence.rs` asserts this over random programs).
+//!
+//! The pipeline is decode → route → N workers over bounded channels
+//! ([`crate::channel`]), so decode backpressure bounds memory and the
+//! shadow-check hot path runs on all cores.
+
+use crate::channel::{self, Receiver, Sender};
+use crate::TraceError;
+use futrace_detector::{DetectorConfig, Race, RaceDetector, RaceReport};
+use futrace_runtime::Event;
+use futrace_util::ids::{LocId, TaskId};
+
+/// Pipeline knobs.
+#[derive(Clone, Debug)]
+pub struct ShardOptions {
+    /// Number of detect workers (≥ 1; 1 degenerates to serial replay on a
+    /// worker thread).
+    pub shards: usize,
+    /// Events per routed batch (amortizes channel locking).
+    pub batch_events: usize,
+    /// In-flight batches per worker channel (backpressure bound).
+    pub channel_capacity: usize,
+    /// Configuration for each shard's detector.
+    pub detector: DetectorConfig,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 4,
+            batch_events: 4096,
+            channel_capacity: 4,
+            detector: DetectorConfig::default(),
+        }
+    }
+}
+
+impl ShardOptions {
+    /// Options with an explicit shard count and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardOptions {
+            shards,
+            ..ShardOptions::default()
+        }
+    }
+}
+
+/// Pipeline accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Workers used.
+    pub shards: usize,
+    /// Total events routed.
+    pub events: u64,
+    /// Control events broadcast to every shard.
+    pub control_events: u64,
+    /// Read/write events (each routed to exactly one shard).
+    pub accesses: u64,
+    /// Reads among the accesses.
+    pub reads: u64,
+    /// Writes among the accesses.
+    pub writes: u64,
+    /// Accesses checked per shard (indexed by shard).
+    pub per_shard_accesses: Vec<u64>,
+    /// Damaged chunks skipped by a lenient framed read (0 otherwise).
+    pub skipped_chunks: u64,
+}
+
+/// Result of a sharded run: the merged report plus pipeline stats.
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// Merged race report, identical to the serial detector's.
+    pub report: RaceReport,
+    /// Pipeline accounting.
+    pub stats: ShardStats,
+}
+
+enum Op {
+    Control(Event),
+    Access {
+        task: TaskId,
+        loc: LocId,
+        write: bool,
+        index: u64,
+    },
+}
+
+struct ShardResult {
+    races: Vec<Race>,
+    total_detected: u64,
+    accesses: u64,
+}
+
+fn worker(rx: Receiver<Vec<Op>>, config: DetectorConfig) -> ShardResult {
+    let mut det = RaceDetector::with_config(config);
+    let mut accesses = 0u64;
+    while let Some(batch) = rx.recv() {
+        for op in batch {
+            match op {
+                Op::Control(e) => {
+                    det.apply_control(&e);
+                }
+                Op::Access {
+                    task,
+                    loc,
+                    write,
+                    index,
+                } => {
+                    accesses += 1;
+                    if write {
+                        det.check_write_at(task, loc, index);
+                    } else {
+                        det.check_read_at(task, loc, index);
+                    }
+                }
+            }
+        }
+    }
+    let report = det.into_report();
+    ShardResult {
+        races: report.races,
+        total_detected: report.total_detected,
+        accesses,
+    }
+}
+
+fn flush(tx: &Sender<Vec<Op>>, buf: &mut Vec<Op>, cap: usize) -> Result<(), ()> {
+    if buf.is_empty() {
+        return Ok(());
+    }
+    let batch = std::mem::replace(buf, Vec::with_capacity(cap));
+    tx.send(batch).map_err(|_| ())
+}
+
+/// Runs the sharded pipeline over an event stream (any error type: v1
+/// [`futrace_runtime::trace::DecodeError`], framed [`crate::FrameError`],
+/// or unified [`TraceError`] iterators all fit).
+///
+/// On a stream error the workers are drained and joined first, then the
+/// error is returned — no thread is leaked and no partial verdict is
+/// reported.
+pub fn detect_sharded_events<I, E>(events: I, opts: &ShardOptions) -> Result<ShardedOutcome, E>
+where
+    I: Iterator<Item = Result<Event, E>>,
+{
+    let n = opts.shards.max(1);
+    let batch_cap = opts.batch_events.max(1);
+    let mut stream_err: Option<E> = None;
+    let mut stats = ShardStats {
+        shards: n,
+        ..ShardStats::default()
+    };
+
+    let results: Vec<ShardResult> = std::thread::scope(|s| {
+        let mut txs: Vec<Sender<Vec<Op>>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::bounded(opts.channel_capacity.max(1));
+            let config = opts.detector.clone();
+            handles.push(s.spawn(move || worker(rx, config)));
+            txs.push(tx);
+        }
+
+        let mut buffers: Vec<Vec<Op>> = (0..n).map(|_| Vec::with_capacity(batch_cap)).collect();
+        let mut index = 0u64;
+        'route: for item in events {
+            let e = match item {
+                Ok(e) => e,
+                Err(err) => {
+                    stream_err = Some(err);
+                    break 'route;
+                }
+            };
+            stats.events += 1;
+            match e {
+                Event::Read(task, loc) | Event::Write(task, loc) => {
+                    let write = matches!(e, Event::Write(..));
+                    if write {
+                        stats.writes += 1;
+                    } else {
+                        stats.reads += 1;
+                    }
+                    let shard = loc.index() % n;
+                    buffers[shard].push(Op::Access {
+                        task,
+                        loc,
+                        write,
+                        index,
+                    });
+                    index += 1;
+                    if buffers[shard].len() >= batch_cap
+                        && flush(&txs[shard], &mut buffers[shard], batch_cap).is_err()
+                    {
+                        break 'route;
+                    }
+                }
+                control => {
+                    stats.control_events += 1;
+                    for shard in 0..n {
+                        buffers[shard].push(Op::Control(control.clone()));
+                        if buffers[shard].len() >= batch_cap
+                            && flush(&txs[shard], &mut buffers[shard], batch_cap).is_err()
+                        {
+                            break 'route;
+                        }
+                    }
+                }
+            }
+        }
+        stats.accesses = index;
+        if stream_err.is_none() {
+            for shard in 0..n {
+                let _ = flush(&txs[shard], &mut buffers[shard], 0);
+            }
+        }
+        drop(txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+
+    // Merge: concatenate per-shard reports in shard order, stable-sort by
+    // global access index, re-apply the global report cap. Ties within an
+    // access index come from a single shard (one access = one location =
+    // one shard) so shard-local order is the serial order.
+    let mut races: Vec<Race> = Vec::new();
+    let mut total_detected = 0u64;
+    for r in &results {
+        total_detected += r.total_detected;
+        stats.per_shard_accesses.push(r.accesses);
+    }
+    for r in results {
+        races.extend(r.races);
+    }
+    races.sort_by(|a, b| a.access_index.cmp(&b.access_index));
+    races.truncate(opts.detector.max_reports);
+
+    Ok(ShardedOutcome {
+        report: RaceReport {
+            races,
+            total_detected,
+        },
+        stats,
+    })
+}
+
+/// Sharded detection straight from a trace blob (v1 flat or v2 framed,
+/// auto-detected). `lenient` skips damaged v2 chunks; the skip count is
+/// surfaced in [`ShardStats::skipped_chunks`].
+pub fn detect_sharded(
+    data: &[u8],
+    opts: &ShardOptions,
+    lenient: bool,
+) -> Result<ShardedOutcome, TraceError> {
+    let mut events = crate::trace_events(data, lenient);
+    let mut outcome = detect_sharded_events(&mut events, opts)?;
+    outcome.stats.skipped_chunks = events.skipped_chunks();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futrace_runtime::{replay, run_serial, trace, EventLog, TaskCtx};
+
+    fn racy_log() -> EventLog {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(8, 0u64, "a");
+            ctx.finish(|ctx| {
+                for i in 0..8usize {
+                    let aw = a.clone();
+                    ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+                }
+            });
+            for i in 0..8usize {
+                a.write(ctx, i, 2); // race-free: finish joined the writers
+            }
+            let aw = a.clone();
+            let _f = ctx.future(move |ctx| aw.write(ctx, 3, 9));
+            let _ = a.read(ctx, 3); // racy: future never joined
+        });
+        log
+    }
+
+    fn serial_report(log: &EventLog) -> RaceReport {
+        let mut det = RaceDetector::new();
+        replay(&log.events, &mut det);
+        det.into_report()
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_racy_program() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        assert!(serial.has_races());
+        for shards in [1usize, 2, 3, 8] {
+            let opts = ShardOptions {
+                shards,
+                batch_events: 3, // tiny batches to stress the channel path
+                channel_capacity: 2,
+                ..ShardOptions::default()
+            };
+            let events = log.events.iter().cloned().map(Ok::<_, TraceError>);
+            let out = detect_sharded_events(events, &opts).unwrap();
+            assert_eq!(out.report.total_detected, serial.total_detected);
+            assert_eq!(out.report.races, serial.races, "shards={shards}");
+            assert_eq!(out.stats.shards, shards);
+            assert_eq!(
+                out.stats.per_shard_accesses.iter().sum::<u64>(),
+                out.stats.accesses
+            );
+            assert_eq!(out.stats.reads + out.stats.writes, out.stats.accesses);
+        }
+    }
+
+    #[test]
+    fn blob_entrypoint_handles_both_formats() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let v1 = trace::encode(&log.events);
+        let out = detect_sharded(&v1, &ShardOptions::with_shards(2), false).unwrap();
+        assert_eq!(out.report.races, serial.races);
+
+        let mut w = crate::StreamWriter::with_chunk_bytes(Vec::new(), 128).unwrap();
+        for e in &log.events {
+            w.record(e);
+        }
+        let (v2, _) = w.finish().unwrap();
+        let out = detect_sharded(&v2, &ShardOptions::with_shards(3), false).unwrap();
+        assert_eq!(out.report.races, serial.races);
+        assert_eq!(out.stats.skipped_chunks, 0);
+    }
+
+    #[test]
+    fn stream_error_propagates_cleanly() {
+        let log = racy_log();
+        let mut blob = trace::encode(&log.events);
+        blob.push(99); // unknown tag at the tail
+        let err = detect_sharded(&blob, &ShardOptions::with_shards(2), false).unwrap_err();
+        assert!(err.to_string().contains("malformed"), "{err}");
+    }
+
+    #[test]
+    fn report_cap_is_global_not_per_shard() {
+        // 8 distinct racy locations; cap at 3 reports. The sharded merge
+        // must keep the *first three in serial order*, not three per shard.
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(8, 0u64, "a");
+            for i in 0..8usize {
+                let aw = a.clone();
+                ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+            }
+            for i in 0..8usize {
+                a.write(ctx, i, 2);
+            }
+        });
+        let config = DetectorConfig {
+            max_reports: 3,
+            ..DetectorConfig::default()
+        };
+        let mut det = RaceDetector::with_config(config.clone());
+        replay(&log.events, &mut det);
+        let serial = det.into_report();
+        assert_eq!(serial.races.len(), 3);
+
+        let opts = ShardOptions {
+            shards: 4,
+            detector: config,
+            ..ShardOptions::default()
+        };
+        let events = log.events.iter().cloned().map(Ok::<_, TraceError>);
+        let out = detect_sharded_events(events, &opts).unwrap();
+        assert_eq!(out.report.races, serial.races);
+        assert_eq!(out.report.total_detected, serial.total_detected);
+    }
+}

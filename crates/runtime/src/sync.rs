@@ -45,9 +45,21 @@ impl Condvar {
         Condvar(StdCondvar::new())
     }
 
-    /// Wakes all threads blocked in [`Condvar::wait_timeout`].
+    /// Wakes all threads blocked in [`Condvar::wait`]/[`Condvar::wait_timeout`].
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`]/[`Condvar::wait_timeout`].
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Waits on the condition (releasing `guard`) until notified; reacquires
+    /// the lock and returns the guard. Spurious wakeups are possible —
+    /// callers loop on their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Waits on the condition (releasing `guard`) until notified or until
@@ -89,6 +101,26 @@ mod tests {
         // parking_lot semantics: the next lock just works.
         *m.lock() = 7;
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn wait_and_notify_one_hand_off() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            while *g == 0 {
+                g = cv.wait(g);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = 9;
+            cv.notify_one();
+        }
+        assert_eq!(t.join().unwrap(), 9);
     }
 
     #[test]

@@ -130,6 +130,16 @@ fn kind_from(code: u64) -> Result<TaskKind, DecodeError> {
 pub fn encode(events: &[Event]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(events.len() * 4);
     for e in events {
+        encode_event(&mut buf, e);
+    }
+    buf
+}
+
+/// Appends one event's encoding to `buf` — the incremental form of
+/// [`encode`], used by streaming writers (framed trace chunks are built by
+/// calling this per event instead of materializing the whole stream).
+pub fn encode_event(buf: &mut Vec<u8>, e: &Event) {
+    {
         match e {
             Event::TaskCreate {
                 parent,
@@ -138,54 +148,53 @@ pub fn encode(events: &[Event]) -> Vec<u8> {
                 ief,
             } => {
                 buf.push(TAG_TASK_CREATE);
-                put_varint(&mut buf, u64::from(parent.0));
-                put_varint(&mut buf, u64::from(child.0));
-                put_varint(&mut buf, kind_code(*kind));
-                put_varint(&mut buf, u64::from(ief.0));
+                put_varint(buf, u64::from(parent.0));
+                put_varint(buf, u64::from(child.0));
+                put_varint(buf, kind_code(*kind));
+                put_varint(buf, u64::from(ief.0));
             }
             Event::TaskEnd(t) => {
                 buf.push(TAG_TASK_END);
-                put_varint(&mut buf, u64::from(t.0));
+                put_varint(buf, u64::from(t.0));
             }
             Event::FinishStart(t, f) => {
                 buf.push(TAG_FINISH_START);
-                put_varint(&mut buf, u64::from(t.0));
-                put_varint(&mut buf, u64::from(f.0));
+                put_varint(buf, u64::from(t.0));
+                put_varint(buf, u64::from(f.0));
             }
             Event::FinishEnd(t, f, joined) => {
                 buf.push(TAG_FINISH_END);
-                put_varint(&mut buf, u64::from(t.0));
-                put_varint(&mut buf, u64::from(f.0));
-                put_varint(&mut buf, joined.len() as u64);
+                put_varint(buf, u64::from(t.0));
+                put_varint(buf, u64::from(f.0));
+                put_varint(buf, joined.len() as u64);
                 for j in joined {
-                    put_varint(&mut buf, u64::from(j.0));
+                    put_varint(buf, u64::from(j.0));
                 }
             }
             Event::Get { waiter, awaited } => {
                 buf.push(TAG_GET);
-                put_varint(&mut buf, u64::from(waiter.0));
-                put_varint(&mut buf, u64::from(awaited.0));
+                put_varint(buf, u64::from(waiter.0));
+                put_varint(buf, u64::from(awaited.0));
             }
             Event::Read(t, l) => {
                 buf.push(TAG_READ);
-                put_varint(&mut buf, u64::from(t.0));
-                put_varint(&mut buf, u64::from(l.0));
+                put_varint(buf, u64::from(t.0));
+                put_varint(buf, u64::from(l.0));
             }
             Event::Write(t, l) => {
                 buf.push(TAG_WRITE);
-                put_varint(&mut buf, u64::from(t.0));
-                put_varint(&mut buf, u64::from(l.0));
+                put_varint(buf, u64::from(t.0));
+                put_varint(buf, u64::from(l.0));
             }
             Event::Alloc(base, n, name) => {
                 buf.push(TAG_ALLOC);
-                put_varint(&mut buf, u64::from(base.0));
-                put_varint(&mut buf, u64::from(*n));
-                put_varint(&mut buf, name.len() as u64);
+                put_varint(buf, u64::from(base.0));
+                put_varint(buf, u64::from(*n));
+                put_varint(buf, name.len() as u64);
                 buf.extend_from_slice(name.as_bytes());
             }
         }
     }
-    buf
 }
 
 fn id32(v: u64, what: &'static str) -> Result<u32, DecodeError> {
@@ -193,49 +202,89 @@ fn id32(v: u64, what: &'static str) -> Result<u32, DecodeError> {
 }
 
 /// Deserializes an event stream produced by [`encode`].
+///
+/// Implemented over [`decode_iter`]; the whole stream is materialized, so
+/// prefer the iterator for large traces (replay does not need the `Vec`).
 pub fn decode(data: &[u8]) -> Result<Vec<Event>, DecodeError> {
-    let mut buf = Cursor::new(data);
-    let mut out = Vec::new();
-    while buf.has_remaining() {
+    decode_iter(data).collect()
+}
+
+/// Lazily decodes an event stream: yields one event at a time without
+/// materializing a `Vec`, so offline analysis can stream arbitrarily large
+/// traces. After the first `Err` the iterator fuses (yields `None`), since
+/// the cursor position is no longer trustworthy.
+pub fn decode_iter(data: &[u8]) -> DecodeIter<'_> {
+    DecodeIter {
+        buf: Cursor::new(data),
+        failed: false,
+    }
+}
+
+/// Iterator state for [`decode_iter`].
+pub struct DecodeIter<'a> {
+    buf: Cursor<'a>,
+    failed: bool,
+}
+
+impl Iterator for DecodeIter<'_> {
+    type Item = Result<Event, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || !self.buf.has_remaining() {
+            return None;
+        }
+        match decode_event(&mut self.buf) {
+            Ok(e) => Some(Ok(e)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Decodes the single event at the cursor position.
+fn decode_event(buf: &mut Cursor<'_>) -> Result<Event, DecodeError> {
+    {
         let tag = buf.get_u8()?;
         let e = match tag {
             TAG_TASK_CREATE => Event::TaskCreate {
-                parent: TaskId(id32(get_varint(&mut buf)?, "parent")?),
-                child: TaskId(id32(get_varint(&mut buf)?, "child")?),
-                kind: kind_from(get_varint(&mut buf)?)?,
-                ief: FinishId(id32(get_varint(&mut buf)?, "ief")?),
+                parent: TaskId(id32(get_varint(buf)?, "parent")?),
+                child: TaskId(id32(get_varint(buf)?, "child")?),
+                kind: kind_from(get_varint(buf)?)?,
+                ief: FinishId(id32(get_varint(buf)?, "ief")?),
             },
-            TAG_TASK_END => Event::TaskEnd(TaskId(id32(get_varint(&mut buf)?, "task")?)),
+            TAG_TASK_END => Event::TaskEnd(TaskId(id32(get_varint(buf)?, "task")?)),
             TAG_FINISH_START => Event::FinishStart(
-                TaskId(id32(get_varint(&mut buf)?, "task")?),
-                FinishId(id32(get_varint(&mut buf)?, "finish")?),
+                TaskId(id32(get_varint(buf)?, "task")?),
+                FinishId(id32(get_varint(buf)?, "finish")?),
             ),
             TAG_FINISH_END => {
-                let t = TaskId(id32(get_varint(&mut buf)?, "task")?);
-                let f = FinishId(id32(get_varint(&mut buf)?, "finish")?);
-                let n = get_varint(&mut buf)?;
+                let t = TaskId(id32(get_varint(buf)?, "task")?);
+                let f = FinishId(id32(get_varint(buf)?, "finish")?);
+                let n = get_varint(buf)?;
                 let mut joined = Vec::with_capacity(n.min(1 << 20) as usize);
                 for _ in 0..n {
-                    joined.push(TaskId(id32(get_varint(&mut buf)?, "joined")?));
+                    joined.push(TaskId(id32(get_varint(buf)?, "joined")?));
                 }
                 Event::FinishEnd(t, f, joined)
             }
             TAG_GET => Event::Get {
-                waiter: TaskId(id32(get_varint(&mut buf)?, "waiter")?),
-                awaited: TaskId(id32(get_varint(&mut buf)?, "awaited")?),
+                waiter: TaskId(id32(get_varint(buf)?, "waiter")?),
+                awaited: TaskId(id32(get_varint(buf)?, "awaited")?),
             },
             TAG_READ => Event::Read(
-                TaskId(id32(get_varint(&mut buf)?, "task")?),
-                LocId(id32(get_varint(&mut buf)?, "loc")?),
+                TaskId(id32(get_varint(buf)?, "task")?),
+                LocId(id32(get_varint(buf)?, "loc")?),
             ),
             TAG_WRITE => Event::Write(
-                TaskId(id32(get_varint(&mut buf)?, "task")?),
-                LocId(id32(get_varint(&mut buf)?, "loc")?),
+                TaskId(id32(get_varint(buf)?, "task")?),
+                LocId(id32(get_varint(buf)?, "loc")?),
             ),
             TAG_ALLOC => {
-                let base = LocId(id32(get_varint(&mut buf)?, "base")?);
-                let n = id32(get_varint(&mut buf)?, "len")?;
-                let name_len = get_varint(&mut buf)? as usize;
+                let base = LocId(id32(get_varint(buf)?, "base")?);
+                let n = id32(get_varint(buf)?, "len")?;
+                let name_len = get_varint(buf)? as usize;
                 let name_bytes = buf.take(name_len)?;
                 let name = std::str::from_utf8(name_bytes)
                     .map_err(|_| DecodeError::Malformed("alloc name utf8"))?
@@ -244,10 +293,9 @@ pub fn decode(data: &[u8]) -> Result<Vec<Event>, DecodeError> {
             }
             _ => return Err(DecodeError::Malformed("unknown tag")),
         };
-        out.push(e);
+        let _ = StepId(0); // (steps are derived, never serialized)
+        Ok(e)
     }
-    let _ = StepId(0); // (steps are derived, never serialized)
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -308,6 +356,46 @@ mod tests {
         assert_eq!(
             get_varint(&mut Cursor::new(&[0x80; 11])),
             Err(DecodeError::Malformed("varint too long"))
+        );
+    }
+
+    #[test]
+    fn decode_iter_is_lazy_and_fuses_on_error() {
+        let events = vec![
+            Event::Write(TaskId(1), LocId(0)),
+            Event::Read(TaskId(2), LocId(1)),
+            Event::TaskEnd(TaskId(2)),
+        ];
+        let mut bytes = encode(&events);
+        // Streaming decode yields the same events one at a time.
+        let streamed: Vec<Event> = decode_iter(&bytes).map(|e| e.unwrap()).collect();
+        assert_eq!(streamed, events);
+
+        // A bad tag mid-stream: events before it are still yielded, then one
+        // error, then the iterator fuses.
+        bytes.push(99);
+        bytes.push(0);
+        let mut it = decode_iter(&bytes);
+        for want in &events {
+            assert_eq!(it.next().unwrap().unwrap(), *want);
+        }
+        assert_eq!(
+            it.next(),
+            Some(Err(DecodeError::Malformed("unknown tag")))
+        );
+        assert_eq!(it.next(), None, "iterator fuses after an error");
+    }
+
+    #[test]
+    fn decode_matches_decode_iter() {
+        let events = vec![
+            Event::Alloc(LocId(0), 3, "m".into()),
+            Event::Write(TaskId(0), LocId(2)),
+        ];
+        let bytes = encode(&events);
+        assert_eq!(
+            decode(&bytes).unwrap(),
+            decode_iter(&bytes).collect::<Result<Vec<_>, _>>().unwrap()
         );
     }
 

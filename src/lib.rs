@@ -17,6 +17,8 @@
 //!   detectors for comparison.
 //! * [`benchsuite`] — the Table-2 benchmarks (Series, Crypt, Jacobi,
 //!   Smith-Waterman, Strassen) and random-program generators.
+//! * [`offline`] — framed streaming trace format (v2) and the sharded
+//!   offline detection pipeline (serial-identical verdicts on N workers).
 //! * [`util`] — union-find, interval labels, hashing, stats.
 //!
 //! ```
@@ -40,6 +42,7 @@ pub use futrace_baselines as baselines;
 pub use futrace_benchsuite as benchsuite;
 pub use futrace_compgraph as compgraph;
 pub use futrace_detector as detector;
+pub use futrace_offline as offline;
 pub use futrace_runtime as runtime;
 pub use futrace_util as util;
 
