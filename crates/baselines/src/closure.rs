@@ -13,7 +13,8 @@
 use crate::BaselineDetector;
 use futrace_compgraph::oracle::{find_races, OracleRace};
 use futrace_compgraph::{CompGraph, GraphBuilder};
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use futrace_runtime::engine::{control_to_monitor, Analysis};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 
 enum State {
@@ -112,6 +113,48 @@ impl BaselineDetector for ClosureDetector {
 
     fn race_count(&self) -> u64 {
         self.races().len() as u64
+    }
+}
+
+/// What a closure-detector run produces under the engine layer: the exact
+/// race list *and* the full computation graph, so callers (the equivalence
+/// suites) can keep running reachability queries against the ground truth.
+#[derive(Clone, Debug)]
+pub struct ClosureReport {
+    /// The completed step-level computation graph.
+    pub graph: CompGraph,
+    /// Every racing access pair, in access order (exact, not first-race).
+    pub races: Vec<OracleRace>,
+}
+
+impl ClosureReport {
+    /// True iff any access pair races.
+    pub fn has_races(&self) -> bool {
+        !self.races.is_empty()
+    }
+}
+
+impl Analysis for ClosureDetector {
+    type Report = ClosureReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> ClosureReport {
+        self.finalize();
+        match self.state {
+            State::Done { graph, races } => ClosureReport { graph, races },
+            State::Building(_) => unreachable!("finalize left the detector building"),
+        }
     }
 }
 

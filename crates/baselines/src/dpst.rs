@@ -22,8 +22,9 @@
 //! sequentially like the rest of the suite, preserving its data structure
 //! and MHP query exactly.)
 
-use crate::BaselineDetector;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use crate::{BaselineDetector, BaselineReport};
+use futrace_runtime::engine::{control_to_monitor, Analysis};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 
 /// DPST node kinds.
@@ -238,6 +239,38 @@ impl BaselineDetector for Spd3 {
     }
     fn race_count(&self) -> u64 {
         self.races
+    }
+}
+
+impl Analysis for Spd3 {
+    type Report = BaselineReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> BaselineReport {
+        self.finalize();
+        let mut notes = Vec::new();
+        if self.ignored_gets > 0 {
+            notes.push(format!(
+                "ignored {} get() edge(s): verdict may over-approximate on futures",
+                self.ignored_gets
+            ));
+        }
+        BaselineReport {
+            name: self.name(),
+            races: self.race_count(),
+            notes,
+        }
     }
 }
 

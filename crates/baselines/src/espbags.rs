@@ -19,8 +19,9 @@
 //! async-finish programs, it is exact, and our bench harness uses it to
 //! verify the "no additional overhead for async/finish" claim.
 
-use crate::BaselineDetector;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use crate::{BaselineDetector, BaselineReport};
+use futrace_runtime::engine::{control_to_monitor, Analysis};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use futrace_util::UnionFind;
 
@@ -179,6 +180,38 @@ impl BaselineDetector for EspBags {
     }
     fn race_count(&self) -> u64 {
         self.races
+    }
+}
+
+impl Analysis for EspBags {
+    type Report = BaselineReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> BaselineReport {
+        self.finalize();
+        let mut notes = Vec::new();
+        if self.ignored_gets > 0 {
+            notes.push(format!(
+                "ignored {} get() edge(s): verdict may over-approximate on futures",
+                self.ignored_gets
+            ));
+        }
+        BaselineReport {
+            name: self.name(),
+            races: self.race_count(),
+            notes,
+        }
     }
 }
 

@@ -43,7 +43,7 @@ pub mod vectorclock;
 
 use futrace_runtime::Monitor;
 
-pub use closure::ClosureDetector;
+pub use closure::{ClosureDetector, ClosureReport};
 pub use dpst::Spd3;
 pub use offsetspan::OffsetSpan;
 pub use espbags::EspBags;
@@ -77,4 +77,31 @@ pub fn run_baseline<D: BaselineDetector, R>(
     let r = futrace_runtime::run_serial(det, f);
     det.finalize();
     r
+}
+
+/// Summary report of a baseline run under the engine layer
+/// ([`futrace_runtime::engine::Analysis::finish`]'s output for every
+/// baseline except the closure detector, whose report also carries the
+/// computation graph).
+///
+/// Baselines don't produce the DTRG detector's structured per-race
+/// records; what they have in common is a race count and
+/// algorithm-specific cost/approximation notes (ignored `get()`s, peak
+/// clock width, peak label length), which comparisons print verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineReport {
+    /// The detector's short table name (same as
+    /// [`BaselineDetector::name`]).
+    pub name: &'static str,
+    /// Race checks that failed.
+    pub races: u64,
+    /// Human-readable, algorithm-specific observations.
+    pub notes: Vec<String>,
+}
+
+impl BaselineReport {
+    /// True iff any race check failed.
+    pub fn has_races(&self) -> bool {
+        self.races > 0
+    }
 }

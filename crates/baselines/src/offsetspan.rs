@@ -29,8 +29,9 @@
 //! constructs." Futures are out of scope for the scheme (strict mode
 //! panics on `get()`; lenient mode drops the edge and over-reports).
 
-use crate::BaselineDetector;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use crate::{BaselineDetector, BaselineReport};
+use futrace_runtime::engine::{control_to_monitor, Analysis};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use std::sync::Arc;
 
@@ -244,6 +245,38 @@ impl BaselineDetector for OffsetSpan {
     }
     fn race_count(&self) -> u64 {
         self.races
+    }
+}
+
+impl Analysis for OffsetSpan {
+    type Report = BaselineReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> BaselineReport {
+        self.finalize();
+        let mut notes = vec![format!(
+            "peak label length: {} (grows with nesting depth)",
+            self.peak_label_len
+        )];
+        if self.lenient {
+            notes.push("lenient mode: out-of-model events dropped".to_string());
+        }
+        BaselineReport {
+            name: self.name(),
+            races: self.race_count(),
+            notes,
+        }
     }
 }
 

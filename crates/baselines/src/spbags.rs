@@ -28,8 +28,9 @@
 //! ignores `get` edges entirely (SP-bags predates futures — running it on
 //! a future program demonstrates the false positives the paper fixes).
 
-use crate::BaselineDetector;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use crate::{BaselineDetector, BaselineReport};
+use futrace_runtime::engine::{control_to_monitor, Analysis};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use futrace_util::UnionFind;
 
@@ -205,6 +206,35 @@ impl BaselineDetector for SpBags {
     }
     fn race_count(&self) -> u64 {
         self.races
+    }
+}
+
+impl Analysis for SpBags {
+    type Report = BaselineReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> BaselineReport {
+        self.finalize();
+        let mut notes = Vec::new();
+        if self.lenient {
+            notes.push("lenient mode: out-of-model events dropped".to_string());
+        }
+        BaselineReport {
+            name: self.name(),
+            races: self.race_count(),
+            notes,
+        }
     }
 }
 

@@ -23,8 +23,9 @@
 //! epochs per location (all pairwise-parallel), as in DJIT⁺-style
 //! detectors.
 
-use crate::BaselineDetector;
-use futrace_runtime::monitor::{Monitor, TaskKind};
+use crate::{BaselineDetector, BaselineReport};
+use futrace_runtime::engine::{control_to_monitor, Analysis, LocRoutable};
+use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 
 /// Sparse-ish vector clock: dense `Vec<u32>` indexed by task id, truncated
@@ -211,6 +212,52 @@ impl BaselineDetector for VectorClockDetector {
     }
     fn race_count(&self) -> u64 {
         self.races
+    }
+}
+
+impl Analysis for VectorClockDetector {
+    type Report = BaselineReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(mut self) -> BaselineReport {
+        self.finalize();
+        BaselineReport {
+            name: self.name(),
+            races: self.race_count(),
+            notes: vec![format!(
+                "peak clock width: {}, clock entries allocated: {}",
+                self.peak_clock_width, self.total_clock_entries
+            )],
+        }
+    }
+}
+
+impl LocRoutable for VectorClockDetector {
+    /// Vector clocks qualify for loc-routed sharding: clocks are mutated
+    /// only by control events (spawn, `get`, finish end), which every
+    /// replica applies identically, and each access check touches exactly
+    /// one shadow cell. Race counts sum across shards; the clock-growth
+    /// notes are control-derived and identical in every replica, so shard
+    /// 0's are taken verbatim.
+    fn merge_sharded(self, shards: Vec<BaselineReport>) -> BaselineReport {
+        let races = shards.iter().map(|s| s.races).sum();
+        let notes = shards.into_iter().next().map(|s| s.notes).unwrap_or_default();
+        BaselineReport {
+            name: "vector-clock",
+            races,
+            notes,
+        }
     }
 }
 

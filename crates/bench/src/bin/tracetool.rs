@@ -8,9 +8,13 @@
 //!     [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]
 //!
 //! # offline race detection + statistics over a trace (either format;
-//! # --shards N runs the parallel pipeline, verdict identical to serial):
-//! tracetool analyze /tmp/jacobi.trace [--shards N] [--lenient]
-//!     [--graph] [--dot /tmp/graph.dot]
+//! # --detector picks the analysis, --shards N runs the parallel
+//! # pipeline for loc-routable detectors, verdict identical to serial):
+//! tracetool analyze /tmp/jacobi.trace [--detector NAME] [--shards N]
+//!     [--lenient] [--graph] [--dot /tmp/graph.dot]
+//!
+//! # run several detectors over one trace and report where they agree:
+//! tracetool compare /tmp/jacobi.trace [--detectors a,b,...] [--lenient]
 //!
 //! # structural summary / full integrity check of a trace file:
 //! tracetool info /tmp/jacobi.trace
@@ -18,15 +22,18 @@
 //! ```
 //!
 //! Exit codes: 0 clean, 1 invalid/damaged trace, 2 usage error, 3 races
-//! detected by `analyze`.
+//! detected by `analyze` (`compare` always exits 0 when the trace reads
+//! cleanly — its product is the agreement report, not a verdict).
 
-use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, RecordArgs};
+use futrace_bench::detectors::{self, AnyReport, DETECTOR_NAMES};
+use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, CompareArgs, RecordArgs};
 use futrace_benchsuite::{jacobi, lu, pipeline, smithwaterman};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
-use futrace_detector::{RaceDetector, RaceReport};
+use futrace_detector::RaceReport;
 use futrace_offline::framed::{self, DEFAULT_CHUNK_BYTES};
-use futrace_offline::{detect_sharded, trace_events, ShardOptions, StreamWriter};
-use futrace_runtime::{replay, run_serial, trace, Event, EventLog, Monitor, SerialCtx};
+use futrace_offline::{trace_events, ShardPlan, StreamWriter};
+use futrace_runtime::engine::{run_analysis_recorded, AnalysisOutcome, EngineCounters};
+use futrace_runtime::{run_serial, trace, Event, EventLog, Monitor, SerialCtx};
 use std::io::BufWriter;
 
 fn usage(err: &str) -> ! {
@@ -34,9 +41,12 @@ fn usage(err: &str) -> ! {
     eprintln!("usage:");
     eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE");
     eprintln!("                   [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]");
-    eprintln!("  tracetool analyze FILE [--shards N] [--lenient] [--graph] [--dot FILE]");
+    eprintln!("  tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]");
+    eprintln!("                   [--graph] [--dot FILE]");
+    eprintln!("  tracetool compare FILE [--detectors NAME,NAME,...] [--lenient]");
     eprintln!("  tracetool info FILE");
     eprintln!("  tracetool verify FILE");
+    eprintln!("detectors: {}", DETECTOR_NAMES.join(", "));
     std::process::exit(2);
 }
 
@@ -166,22 +176,58 @@ fn decode_all(file: &str, blob: &[u8], lenient: bool) -> (Vec<Event>, u64) {
     (events, it.skipped_chunks())
 }
 
+/// Prints any detector's verdict (and up to 5 race lines where the
+/// detector records them). For the DTRG detector this defers to
+/// [`print_verdict`] so the wording stays byte-identical across paths.
+fn print_report(name: &str, report: &AnyReport) -> bool {
+    if let AnyReport::Dtrg(r) = report {
+        return print_verdict(&r.report);
+    }
+    let n = report.race_count();
+    if n > 0 {
+        println!("\n{n} race(s) flagged by {name}");
+        for line in report.race_lines().iter().take(5) {
+            println!("  {line}");
+        }
+        true
+    } else {
+        println!("\nno races flagged by {name}");
+        false
+    }
+}
+
+/// Runs a registry detector serially over an in-memory event list.
+fn run_detector(name: &str, events: &[Event]) -> AnalysisOutcome<AnyReport> {
+    let iter = events.iter().cloned().map(Ok::<_, std::convert::Infallible>);
+    match detectors::run_on_events(name, iter) {
+        Ok(o) => o,
+        Err(never) => match never {},
+    }
+}
+
+fn print_engine_counters(counters: &EngineCounters) {
+    println!("\n-- engine --");
+    println!("{counters}");
+}
+
 fn analyze(args: AnalyzeArgs) {
     let blob = read_trace(&args.file);
 
     let racy = if let Some(shards) = args.shards {
-        let opts = ShardOptions::with_shards(shards);
-        let outcome = match detect_sharded(&blob, &opts, args.lenient) {
-            Ok(o) => o,
+        let plan = ShardPlan::with_shards(shards);
+        let mut events = trace_events(&blob, args.lenient);
+        let run = match detectors::run_sharded_on_events(&args.detector, &mut events, &plan) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("invalid trace {}: {e}", args.file);
                 std::process::exit(1);
             }
         };
-        let s = &outcome.stats;
+        let skipped = events.skipped_chunks();
+        let s = &run.stats;
         println!("{}: {} events", args.file, s.events);
-        if s.skipped_chunks > 0 {
-            eprintln!("warning: skipped {} damaged chunk(s)", s.skipped_chunks);
+        if skipped > 0 {
+            eprintln!("warning: skipped {skipped} damaged chunk(s)");
         }
         println!("\n-- sharded pipeline --");
         println!("shards:      {}", s.shards);
@@ -193,25 +239,29 @@ fn analyze(args: AnalyzeArgs) {
             "accesses:    {} reads, {} writes; per shard: {:?}",
             s.reads, s.writes, s.per_shard_accesses
         );
-        print_verdict(&outcome.report)
+        print_report(&args.detector, &run.report)
     } else {
         let (events, skipped) = decode_all(&args.file, &blob, args.lenient);
         println!("{}: {} events", args.file, events.len());
         if skipped > 0 {
             eprintln!("warning: skipped {skipped} damaged chunk(s)");
         }
-        let mut det = RaceDetector::new();
-        replay(&events, &mut det);
-        println!("\n-- detector --");
-        println!("{}", det.stats());
-        println!("footprint:   {}", det.memory_footprint());
-        let report = det.into_report();
-        let racy = print_verdict(&report);
+        let out = run_detector(&args.detector, &events);
+        print_engine_counters(&out.counters);
+        if let AnyReport::Dtrg(r) = &out.report {
+            println!("\n-- detector --");
+            println!("{}", r.stats);
+            println!("footprint:   {}", r.footprint);
+        } else {
+            for note in out.report.notes() {
+                println!("note: {note}");
+            }
+        }
+        let racy = print_report(&args.detector, &out.report);
 
         if args.graph {
-            let mut builder = GraphBuilder::new();
-            replay(&events, &mut builder);
-            let graph = builder.into_graph();
+            let graph = run_analysis_recorded(&events, GraphBuilder::new())
+                .report;
             let gstats = GraphStats::compute(&graph);
             println!("\n-- computation graph --");
             println!("{gstats}");
@@ -235,6 +285,87 @@ fn analyze(args: AnalyzeArgs) {
 
     if racy {
         std::process::exit(3);
+    }
+}
+
+fn compare(args: CompareArgs) {
+    let blob = read_trace(&args.file);
+    let (events, skipped) = decode_all(&args.file, &blob, args.lenient);
+    println!(
+        "{}: {} events, {} detector(s)",
+        args.file,
+        events.len(),
+        args.detectors.len()
+    );
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} damaged chunk(s)");
+    }
+
+    let runs: Vec<(&str, AnalysisOutcome<AnyReport>)> = args
+        .detectors
+        .iter()
+        .map(|name| (name.as_str(), run_detector(name, &events)))
+        .collect();
+
+    let verdict = |racy: bool| if racy { "racy" } else { "clean" };
+    println!();
+    println!(
+        "{:<12} {:>7} {:>8} {:>10} {:>10} {:>9}",
+        "detector", "verdict", "races", "events", "checks", "wall ms"
+    );
+    for (name, out) in &runs {
+        println!(
+            "{:<12} {:>7} {:>8} {:>10} {:>10} {:>9.2}",
+            name,
+            verdict(out.report.has_races()),
+            out.report.race_count(),
+            out.counters.events,
+            out.counters.checks(),
+            out.counters.wall_ms
+        );
+    }
+
+    if runs.iter().any(|(_, o)| !o.report.notes().is_empty()) {
+        println!();
+        for (name, out) in &runs {
+            for note in out.report.notes() {
+                println!("note [{name}]: {note}");
+            }
+        }
+    }
+
+    // The DTRG detector is the reference implementation (the paper's
+    // algorithm, exact for this model); fall back to the first listed.
+    let reference = if args.detectors.iter().any(|d| d == "dtrg") {
+        "dtrg"
+    } else {
+        runs[0].0
+    };
+    let ref_racy = runs
+        .iter()
+        .find(|(n, _)| *n == reference)
+        .map(|(_, o)| o.report.has_races())
+        .expect("reference is one of the runs");
+    let disagree: Vec<&str> = runs
+        .iter()
+        .filter(|(_, o)| o.report.has_races() != ref_racy)
+        .map(|(n, _)| *n)
+        .collect();
+    println!("\nreference: {reference} ({})", verdict(ref_racy));
+    if disagree.is_empty() {
+        println!(
+            "agreement: all {} detector(s) say {}",
+            runs.len(),
+            verdict(ref_racy)
+        );
+    } else {
+        let agree: Vec<&str> = runs
+            .iter()
+            .filter(|(_, o)| o.report.has_races() == ref_racy)
+            .map(|(n, _)| *n)
+            .collect();
+        println!("agree:     {}", agree.join(", "));
+        println!("disagree:  {} ({})", disagree.join(", "), verdict(!ref_racy));
     }
 }
 
@@ -313,6 +444,7 @@ fn main() {
     match tracetool_cli::parse(&args) {
         Ok(Command::Record(r)) => record(r),
         Ok(Command::Analyze(a)) => analyze(a),
+        Ok(Command::Compare(c)) => compare(c),
         Ok(Command::Info { file }) => info(&file),
         Ok(Command::Verify { file }) => verify(&file),
         Err(e) => usage(&e),

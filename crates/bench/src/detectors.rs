@@ -1,0 +1,246 @@
+//! Named-detector registry: one place that maps the CLI's `--detector`
+//! names onto engine [`Analysis`] runs.
+//!
+//! Every detector in the workspace implements
+//! [`futrace_runtime::engine::Analysis`], so "run detector X over trace Y"
+//! is a single [`run_analysis`] call; this module adds the name table, the
+//! report-type erasure ([`AnyReport`]), and the shardable-capability
+//! lookup that `tracetool analyze --detector` and `tracetool compare`
+//! need.
+
+#![warn(missing_docs)]
+
+use futrace_baselines::{
+    BaselineReport, ClosureDetector, ClosureReport, EspBags, OffsetSpan, SpBags, Spd3,
+    VectorClockDetector,
+};
+use futrace_detector::{DtrgReport, RaceDetector};
+use futrace_offline::{run_sharded_events, ShardPlan, ShardedRun};
+use futrace_runtime::engine::{run_analysis, source, AnalysisOutcome};
+use futrace_runtime::Event;
+
+/// Every detector name `tracetool analyze --detector` accepts, in the
+/// order `compare` runs them by default.
+pub const DETECTOR_NAMES: &[&str] = &[
+    "dtrg",
+    "espbags",
+    "spbags",
+    "offsetspan",
+    "spd3",
+    "vc",
+    "closure",
+];
+
+/// True iff `name` is a known detector name.
+pub fn is_detector(name: &str) -> bool {
+    DETECTOR_NAMES.contains(&name)
+}
+
+/// True iff the named detector's checks are loc-routable, i.e. it
+/// implements [`futrace_runtime::engine::LocRoutable`] and may run under
+/// `--shards N`. The DTRG detector and the vector-clock baseline qualify;
+/// the bags/label baselines need the global access order and the closure
+/// oracle finalizes over the whole graph, so they opt out.
+pub fn is_shardable(name: &str) -> bool {
+    matches!(name, "dtrg" | "vc")
+}
+
+/// The report of any registry detector, erased to one enum so CLI code
+/// can handle all of them uniformly.
+#[derive(Clone, Debug)]
+pub enum AnyReport {
+    /// The DTRG detector's full report (races + stats + footprint).
+    Dtrg(Box<DtrgReport>),
+    /// A baseline's summary report.
+    Baseline(BaselineReport),
+    /// The closure oracle's report (exact race list + graph).
+    Closure(Box<ClosureReport>),
+}
+
+impl AnyReport {
+    /// Total races detected (the DTRG's `total_detected`, a baseline's
+    /// failed checks, the oracle's racing pairs).
+    pub fn race_count(&self) -> u64 {
+        match self {
+            AnyReport::Dtrg(r) => r.report.total_detected,
+            AnyReport::Baseline(r) => r.races,
+            AnyReport::Closure(r) => r.races.len() as u64,
+        }
+    }
+
+    /// True iff the detector reported any race.
+    pub fn has_races(&self) -> bool {
+        self.race_count() > 0
+    }
+
+    /// Algorithm-specific observations worth printing alongside the
+    /// verdict (approximation warnings, cost metrics).
+    pub fn notes(&self) -> Vec<String> {
+        match self {
+            AnyReport::Dtrg(r) => vec![format!(
+                "#Tasks: {}, #SharedMem: {}, #AvgReaders: {:.3}",
+                r.stats.tasks,
+                r.stats.shared_mem(),
+                r.stats.avg_readers()
+            )],
+            AnyReport::Baseline(r) => r.notes.clone(),
+            AnyReport::Closure(r) => vec![format!(
+                "exact oracle: {} steps, {} racing pair(s)",
+                r.graph.step_count(),
+                r.races.len()
+            )],
+        }
+    }
+
+    /// One rendered line per reported race (capped upstream), for display.
+    pub fn race_lines(&self) -> Vec<String> {
+        match self {
+            AnyReport::Dtrg(r) => r.report.races.iter().map(|x| x.to_string()).collect(),
+            AnyReport::Baseline(_) => Vec::new(), // baselines keep counts only
+            AnyReport::Closure(r) => r.races.iter().map(|x| format!("{x:?}")).collect(),
+        }
+    }
+}
+
+/// Runs the named detector over an event stream through the engine
+/// driver.
+///
+/// # Panics
+///
+/// Panics on an unknown name — validate with [`is_detector`] first (the
+/// CLI parser does).
+pub fn run_on_events<I, E>(name: &str, events: I) -> Result<AnalysisOutcome<AnyReport>, E>
+where
+    I: Iterator<Item = Result<Event, E>>,
+{
+    let events = source::stream(events);
+    match name {
+        "dtrg" => run_analysis(events, RaceDetector::new())
+            .map(|o| o.map(|r| AnyReport::Dtrg(Box::new(r)))),
+        "espbags" => run_analysis(events, EspBags::new()).map(|o| o.map(AnyReport::Baseline)),
+        // The trace's programming model is richer than spawn-sync /
+        // fork-join, so the strict variants would panic on the first
+        // future join; lenient mode drops the out-of-model edges instead
+        // (over-approximating, which is the point of the comparison).
+        "spbags" => run_analysis(events, SpBags::new_lenient()).map(|o| o.map(AnyReport::Baseline)),
+        "offsetspan" => {
+            run_analysis(events, OffsetSpan::new_lenient()).map(|o| o.map(AnyReport::Baseline))
+        }
+        "spd3" => run_analysis(events, Spd3::new()).map(|o| o.map(AnyReport::Baseline)),
+        "vc" => {
+            run_analysis(events, VectorClockDetector::new()).map(|o| o.map(AnyReport::Baseline))
+        }
+        "closure" => run_analysis(events, ClosureDetector::new())
+            .map(|o| o.map(|r| AnyReport::Closure(Box::new(r)))),
+        other => panic!("unknown detector {other:?} (validate with is_detector)"),
+    }
+}
+
+/// Runs the named detector sharded over `plan.shards` workers.
+///
+/// # Panics
+///
+/// Panics if the detector is not loc-routable — check [`is_shardable`]
+/// first (the CLI parser does).
+pub fn run_sharded_on_events<I, E>(
+    name: &str,
+    events: I,
+    plan: &ShardPlan,
+) -> Result<ShardedRun<AnyReport>, E>
+where
+    I: Iterator<Item = Result<Event, E>>,
+{
+    match name {
+        "dtrg" => run_sharded_events(events, plan, RaceDetector::new).map(|r| ShardedRun {
+            report: AnyReport::Dtrg(Box::new(r.report)),
+            stats: r.stats,
+        }),
+        "vc" => {
+            run_sharded_events(events, plan, VectorClockDetector::new).map(|r| ShardedRun {
+                report: AnyReport::Baseline(r.report),
+                stats: r.stats,
+            })
+        }
+        other => panic!("detector {other:?} is not shardable (check is_shardable)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use futrace_runtime::{run_serial, EventLog, TaskCtx};
+    use std::convert::Infallible;
+
+    fn future_sync_trace() -> EventLog {
+        // Race-free only because of the get() edge: DTRG/vc/closure say
+        // clean, the bags baselines over-report.
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| x2.write(ctx, 1));
+            ctx.get(&f);
+            let _ = x.read(ctx);
+        });
+        log
+    }
+
+    fn run(name: &str, log: &EventLog) -> AnalysisOutcome<AnyReport> {
+        let events = log.events.iter().cloned().map(Ok::<_, Infallible>);
+        match run_on_events(name, events) {
+            Ok(o) => o,
+            Err(never) => match never {},
+        }
+    }
+
+    #[test]
+    fn every_name_resolves_and_runs() {
+        let log = future_sync_trace();
+        for &name in DETECTOR_NAMES {
+            assert!(is_detector(name));
+            let out = run(name, &log);
+            assert_eq!(out.counters.checks(), 2, "{name}");
+            assert!(out.counters.events > 2, "{name}");
+        }
+        assert!(!is_detector("banana"));
+    }
+
+    #[test]
+    fn future_synchronization_splits_exact_from_approximate() {
+        let log = future_sync_trace();
+        for name in ["dtrg", "vc", "closure"] {
+            assert!(!run(name, &log).report.has_races(), "{name} is exact");
+        }
+        for name in ["espbags", "spd3"] {
+            let rep = run(name, &log).report;
+            assert!(
+                rep.has_races(),
+                "{name} ignores get() and must over-report here"
+            );
+            assert!(
+                rep.notes().iter().any(|n| n.contains("get()")),
+                "{name} must flag its ignored gets: {:?}",
+                rep.notes()
+            );
+        }
+    }
+
+    #[test]
+    fn shardable_detectors_match_their_serial_runs() {
+        let log = future_sync_trace();
+        let plan = ShardPlan::with_shards(3);
+        for name in DETECTOR_NAMES {
+            assert_eq!(is_shardable(name), matches!(*name, "dtrg" | "vc"));
+        }
+        for name in ["dtrg", "vc"] {
+            let serial = run(name, &log).report;
+            let events = log.events.iter().cloned().map(Ok::<_, Infallible>);
+            let sharded = match run_sharded_on_events(name, events, &plan) {
+                Ok(r) => r,
+                Err(never) => match never {},
+            };
+            assert_eq!(serial.race_count(), sharded.report.race_count(), "{name}");
+            assert_eq!(sharded.stats.shards, 3);
+        }
+    }
+}

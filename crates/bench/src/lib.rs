@@ -11,12 +11,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detectors;
 pub mod runner;
 pub mod tracetool_cli;
 
 use futrace_benchsuite::{crypt, jacobi, lu, pipeline, series, smithwaterman, sor, strassen};
-use futrace_detector::{DetectorStats, RaceDetector};
-use futrace_runtime::{run_serial, SerialCtx};
+use futrace_detector::RaceDetector;
+use futrace_runtime::engine::{run_analysis_live, Engine};
+use futrace_runtime::SerialCtx;
 use futrace_util::stats::mean_time_ms;
 
 /// Which parameter scale to run at.
@@ -65,23 +67,21 @@ impl Row {
 }
 
 /// Measures one row: `seq` runs the serial elision, `prog` runs the DSL
-/// program (invoked under the detector).
+/// program (invoked under the detector through the engine driver).
 pub fn run_row<F, G>(name: &'static str, reps: usize, mut seq: F, prog: G) -> Row
 where
     F: FnMut(),
-    G: Fn(&mut SerialCtx<RaceDetector>) + Copy,
+    G: Fn(&mut SerialCtx<Engine<RaceDetector>>) + Copy,
 {
     let seq_ms = mean_time_ms(reps, &mut seq);
     // One instrumented run for the structural columns...
-    let mut det = RaceDetector::new();
-    run_serial(&mut det, prog);
-    let stats: DetectorStats = det.stats();
-    let races = det.into_report().total_detected;
+    let out = run_analysis_live(prog, RaceDetector::new());
+    let stats = out.report.stats;
+    let races = out.report.report.total_detected;
     // ...and timed instrumented runs for the Racedet column.
     let racedet_ms = mean_time_ms(reps, || {
-        let mut det = RaceDetector::new();
-        run_serial(&mut det, prog);
-        std::hint::black_box(det.stats().shared_mem());
+        let out = run_analysis_live(prog, RaceDetector::new());
+        std::hint::black_box(out.counters.checks());
     });
     Row {
         name,

@@ -7,6 +7,8 @@
 //! time*; when both `--tiny` and `--scaled` appear, the last one wins
 //! (explicitly tested, since scripts commonly append overrides).
 
+use crate::detectors::{is_detector, is_shardable, DETECTOR_NAMES};
+
 /// Benchmarks `tracetool record` can drive, in usage order.
 pub const BENCHES: &[&str] = &["jacobi", "smithwaterman", "lu", "pipeline"];
 
@@ -17,6 +19,8 @@ pub enum Command {
     Record(RecordArgs),
     /// `tracetool analyze …`
     Analyze(AnalyzeArgs),
+    /// `tracetool compare …`
+    Compare(CompareArgs),
     /// `tracetool info FILE`
     Info {
         /// Trace file to summarize.
@@ -52,8 +56,11 @@ pub struct RecordArgs {
 pub struct AnalyzeArgs {
     /// Trace file to analyze.
     pub file: String,
+    /// Detector to run (guaranteed to be one of
+    /// [`crate::detectors::DETECTOR_NAMES`]; defaults to `dtrg`).
+    pub detector: String,
     /// Run the sharded offline pipeline with this many detect workers
-    /// instead of the serial replay.
+    /// instead of the serial replay (loc-routable detectors only).
     pub shards: Option<usize>,
     /// Skip damaged framed chunks instead of aborting.
     pub lenient: bool,
@@ -61,6 +68,18 @@ pub struct AnalyzeArgs {
     pub graph: bool,
     /// Write the computation graph as Graphviz to this path.
     pub dot: Option<String>,
+}
+
+/// Options for `tracetool compare`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompareArgs {
+    /// Trace file to analyze.
+    pub file: String,
+    /// Detectors to run, in order (each valid and unique; defaults to all
+    /// of [`crate::detectors::DETECTOR_NAMES`]).
+    pub detectors: Vec<String>,
+    /// Skip damaged framed chunks instead of aborting.
+    pub lenient: bool,
 }
 
 fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
@@ -121,8 +140,31 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
     })
 }
 
+fn parse_shards(args: &[String], i: &mut usize) -> Result<usize, String> {
+    let v = value(args, i, "--shards")?;
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--shards: invalid count `{v}` (expected a positive integer)"))?;
+    if n == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    Ok(n)
+}
+
+fn validate_detector(name: &str) -> Result<String, String> {
+    if is_detector(name) {
+        Ok(name.to_string())
+    } else {
+        Err(format!(
+            "unknown detector `{name}` (expected one of: {})",
+            DETECTOR_NAMES.join(", ")
+        ))
+    }
+}
+
 fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
     let mut file = None;
+    let mut detector = "dtrg".to_string();
     let mut shards = None;
     let mut lenient = false;
     let mut graph = false;
@@ -130,16 +172,8 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--shards" => {
-                let v = value(args, &mut i, "--shards")?;
-                let n: usize = v
-                    .parse()
-                    .map_err(|_| format!("--shards: invalid count `{v}`"))?;
-                if n == 0 {
-                    return Err("--shards must be at least 1".into());
-                }
-                shards = Some(n);
-            }
+            "--detector" => detector = validate_detector(value(args, &mut i, "--detector")?)?,
+            "--shards" => shards = Some(parse_shards(args, &mut i)?),
             "--lenient" => lenient = true,
             "--graph" => graph = true,
             "--dot" => {
@@ -154,12 +188,62 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
     if graph && shards.is_some() {
         return Err("--graph/--dot require the serial path; drop --shards".into());
     }
+    if graph && detector != "dtrg" {
+        return Err("--graph/--dot only apply to the dtrg detector".into());
+    }
+    if shards.is_some() && !is_shardable(&detector) {
+        return Err(format!(
+            "detector `{detector}` needs the global access order and cannot run sharded; \
+             drop --shards (shardable: dtrg, vc)"
+        ));
+    }
     Ok(AnalyzeArgs {
         file: file.ok_or("analyze: trace file is required")?,
+        detector,
         shards,
         lenient,
         graph,
         dot,
+    })
+}
+
+fn parse_compare(args: &[String]) -> Result<CompareArgs, String> {
+    let mut file = None;
+    let mut detectors: Vec<String> = Vec::new();
+    let mut lenient = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--detector" => {
+                let name = validate_detector(value(args, &mut i, "--detector")?)?;
+                detectors.push(name);
+            }
+            "--detectors" => {
+                for name in value(args, &mut i, "--detectors")?.split(',') {
+                    detectors.push(validate_detector(name.trim())?);
+                }
+            }
+            "--lenient" => lenient = true,
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("compare: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if detectors.is_empty() {
+        detectors = DETECTOR_NAMES.iter().map(|s| s.to_string()).collect();
+    } else {
+        let mut seen = Vec::new();
+        for d in &detectors {
+            if seen.contains(d) {
+                return Err(format!("compare: detector `{d}` listed twice"));
+            }
+            seen.push(d.clone());
+        }
+    }
+    Ok(CompareArgs {
+        file: file.ok_or("compare: trace file is required")?,
+        detectors,
+        lenient,
     })
 }
 
@@ -177,6 +261,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         Some((sub, rest)) => match sub.as_str() {
             "record" => parse_record(rest).map(Command::Record),
             "analyze" => parse_analyze(rest).map(Command::Analyze),
+            "compare" => parse_compare(rest).map(Command::Compare),
             "info" => parse_single_file("info", rest).map(|file| Command::Info { file }),
             "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
             other => Err(format!("unknown subcommand `{other}`")),
@@ -261,12 +346,10 @@ mod tests {
             panic!()
         };
         assert_eq!(a.file, "t.trace");
+        assert_eq!(a.detector, "dtrg");
         assert_eq!(a.shards, Some(4));
         assert!(a.lenient && !a.graph);
 
-        assert!(parse(&argv("analyze t --shards 0"))
-            .unwrap_err()
-            .contains("at least 1"));
         assert!(parse(&argv("analyze t --shards 2 --graph"))
             .unwrap_err()
             .contains("serial"));
@@ -274,6 +357,79 @@ mod tests {
             panic!()
         };
         assert!(a.graph, "--dot implies --graph");
+    }
+
+    #[test]
+    fn analyze_shard_count_is_validated_up_front() {
+        // Neither zero nor garbage may reach the pipeline: both are
+        // structured usage errors at parse time.
+        let err = parse(&argv("analyze t --shards 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("analyze t --shards four")).unwrap_err();
+        assert!(err.contains("invalid count `four`"), "{err}");
+        assert!(err.contains("positive integer"), "{err}");
+        let err = parse(&argv("analyze t --shards -2")).unwrap_err();
+        assert!(err.contains("invalid count `-2`"), "{err}");
+        assert!(parse(&argv("analyze t --shards"))
+            .unwrap_err()
+            .contains("value"));
+    }
+
+    #[test]
+    fn analyze_detector_selection() {
+        let Command::Analyze(a) = parse(&argv("analyze t --detector espbags")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.detector, "espbags");
+
+        let err = parse(&argv("analyze t --detector dtrgg")).unwrap_err();
+        assert!(err.contains("unknown detector `dtrgg`"), "{err}");
+        assert!(err.contains("dtrg, espbags"), "error lists valid names: {err}");
+
+        // Sharding is a capability, not a universal feature.
+        let Command::Analyze(a) = parse(&argv("analyze t --detector vc --shards 2")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!((a.detector.as_str(), a.shards), ("vc", Some(2)));
+        let err = parse(&argv("analyze t --detector closure --shards 2")).unwrap_err();
+        assert!(err.contains("cannot run sharded"), "{err}");
+        let err = parse(&argv("analyze t --detector vc --graph")).unwrap_err();
+        assert!(err.contains("dtrg"), "{err}");
+    }
+
+    #[test]
+    fn compare_defaults_to_all_detectors() {
+        let Command::Compare(c) = parse(&argv("compare t.trace")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.file, "t.trace");
+        assert_eq!(c.detectors, DETECTOR_NAMES);
+        assert!(!c.lenient);
+    }
+
+    #[test]
+    fn compare_detector_lists() {
+        let Command::Compare(c) =
+            parse(&argv("compare t --detectors dtrg,espbags --lenient")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.detectors, ["dtrg", "espbags"]);
+        assert!(c.lenient);
+
+        let Command::Compare(c) =
+            parse(&argv("compare t --detector vc --detector closure")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.detectors, ["vc", "closure"]);
+
+        let err = parse(&argv("compare t --detectors dtrg,bogus")).unwrap_err();
+        assert!(err.contains("unknown detector `bogus`"), "{err}");
+        let err = parse(&argv("compare t --detectors dtrg,dtrg")).unwrap_err();
+        assert!(err.contains("listed twice"), "{err}");
+        assert!(parse(&argv("compare")).unwrap_err().contains("required"));
     }
 
     #[test]

@@ -152,6 +152,26 @@ impl Monitor for GraphBuilder {
     }
 }
 
+impl futrace_runtime::engine::Analysis for GraphBuilder {
+    type Report = CompGraph;
+
+    fn apply_control(&mut self, e: &futrace_runtime::Event) {
+        futrace_runtime::engine::control_to_monitor(self, e);
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::read(self, task, loc);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, _index: u64) {
+        Monitor::write(self, task, loc);
+    }
+
+    fn finish(self) -> CompGraph {
+        self.into_graph()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,8 +38,11 @@ use crate::dtrg::Dtrg;
 use crate::report::{AccessKind, Race, RaceReport};
 use crate::shadow::{Readers, ShadowMemory};
 use crate::stats::DetectorStats;
+use futrace_runtime::engine::{run_analysis_live, Analysis, Engine, LocRoutable};
 use futrace_runtime::monitor::{Event, Monitor, TaskKind};
-use futrace_runtime::{run_serial, SerialCtx};
+use futrace_runtime::SerialCtx;
+#[cfg(test)]
+use futrace_runtime::run_serial;
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use futrace_util::FxHashSet;
 
@@ -389,6 +392,112 @@ impl Monitor for RaceDetector {
     }
 }
 
+/// Everything a DTRG run produces: the race report, the run's structural
+/// statistics (Table 2's columns), and the measured space bound.
+///
+/// This is the [`Analysis::Report`] of [`RaceDetector`] under the engine
+/// layer; [`detect_races`]-style helpers project out the pieces they need.
+#[derive(Clone, Debug)]
+pub struct DtrgReport {
+    /// Deduplicated, capped race report (the verdict).
+    pub report: RaceReport,
+    /// Structural statistics and DTRG cost counters.
+    pub stats: DetectorStats,
+    /// Theorem 1's space bound, measured at the end of the run.
+    pub footprint: MemoryFootprint,
+}
+
+impl Analysis for RaceDetector {
+    type Report = DtrgReport;
+
+    fn apply_control(&mut self, e: &Event) {
+        // Delegates to the inherent split half (inherent methods win name
+        // resolution, so this is not a recursive call).
+        let applied = RaceDetector::apply_control(self, e);
+        debug_assert!(applied, "engine must route accesses to check_*_at");
+    }
+
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+        RaceDetector::check_read_at(self, task, loc, index);
+    }
+
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+        RaceDetector::check_write_at(self, task, loc, index);
+    }
+
+    fn finish(self) -> DtrgReport {
+        let stats = self.stats();
+        let footprint = self.memory_footprint();
+        DtrgReport {
+            report: self.into_report(),
+            stats,
+            footprint,
+        }
+    }
+}
+
+impl LocRoutable for RaceDetector {
+    /// Merges per-shard [`DtrgReport`]s back into the serial result.
+    ///
+    /// The race report merge is byte-identical to the serial run (see the
+    /// soundness argument in `futrace-offline`'s shard module): concatenate
+    /// in shard order, stable-sort by global access index, re-apply the
+    /// global cap taken from `self`'s configuration. Statistics merge
+    /// field-wise: control-derived counters (task counts, gets, merges,
+    /// non-tree edges) are identical in every replica so shard 0's values
+    /// are taken verbatim; access-derived counters (reads, writes,
+    /// `precede` calls, stored readers, the reader-count distribution) are
+    /// summed across shards. The one backend-dependent counter is
+    /// `visit_expansions`: path compression interleaves differently across
+    /// replicas, so its merged value is the sum of per-shard costs, not the
+    /// serial run's cost.
+    fn merge_sharded(self, shards: Vec<DtrgReport>) -> DtrgReport {
+        let mut stats = shards
+            .first()
+            .map(|s| s.stats.clone())
+            .unwrap_or_default();
+        stats.reads = 0;
+        stats.writes = 0;
+        stats.readers_at_access = Default::default();
+        stats.dtrg.precede_calls = 0;
+        stats.dtrg.visit_expansions = 0;
+
+        let mut footprint = shards.first().map(|s| s.footprint).unwrap_or(MemoryFootprint {
+            dtrg_tasks: 0,
+            stored_nt_edges: 0,
+            shadow_cells: 0,
+            stored_readers: 0,
+        });
+        footprint.stored_readers = 0;
+
+        let mut races: Vec<Race> = Vec::new();
+        let mut total_detected = 0u64;
+        for shard in shards {
+            total_detected += shard.report.total_detected;
+            races.extend(shard.report.races);
+            stats.reads += shard.stats.reads;
+            stats.writes += shard.stats.writes;
+            stats
+                .readers_at_access
+                .merge(&shard.stats.readers_at_access);
+            stats.dtrg.precede_calls += shard.stats.dtrg.precede_calls;
+            stats.dtrg.visit_expansions += shard.stats.dtrg.visit_expansions;
+            footprint.stored_readers += shard.footprint.stored_readers;
+        }
+        races.sort_by(|a, b| a.access_index.cmp(&b.access_index));
+        races.truncate(self.config.max_reports);
+
+        DtrgReport {
+            report: RaceReport {
+                races,
+                total_detected,
+            },
+            stats,
+            footprint,
+        }
+    }
+}
+
 /// Runs `f` under serial depth-first execution with a fresh
 /// default-configured [`RaceDetector`] and returns the report.
 ///
@@ -417,23 +526,19 @@ impl Monitor for RaceDetector {
 /// ```
 pub fn detect_races<F>(f: F) -> RaceReport
 where
-    F: FnOnce(&mut SerialCtx<RaceDetector>),
+    F: FnOnce(&mut SerialCtx<Engine<RaceDetector>>),
 {
-    let mut det = RaceDetector::new();
-    run_serial(&mut det, f);
-    det.into_report()
+    run_analysis_live(f, RaceDetector::new()).report.report
 }
 
 /// As [`detect_races`] but also returns the run's statistics (Table 2's
 /// structural columns).
 pub fn detect_races_with_stats<F>(f: F) -> (RaceReport, DetectorStats)
 where
-    F: FnOnce(&mut SerialCtx<RaceDetector>),
+    F: FnOnce(&mut SerialCtx<Engine<RaceDetector>>),
 {
-    let mut det = RaceDetector::new();
-    run_serial(&mut det, f);
-    let stats = det.stats();
-    (det.into_report(), stats)
+    let out = run_analysis_live(f, RaceDetector::new());
+    (out.report.report, out.report.stats)
 }
 
 #[cfg(test)]
@@ -793,11 +898,10 @@ mod tests {
 pub fn detect_races_in_trace(
     blob: &[u8],
 ) -> Result<(RaceReport, DetectorStats), futrace_runtime::trace::DecodeError> {
-    let events = futrace_runtime::trace::decode(blob)?;
-    let mut det = RaceDetector::new();
-    futrace_runtime::replay(&events, &mut det);
-    let stats = det.stats();
-    Ok((det.into_report(), stats))
+    use futrace_runtime::engine::{run_analysis, source};
+    let events = futrace_runtime::trace::decode_iter(blob);
+    let out = run_analysis(source::stream(events), RaceDetector::new())?;
+    Ok((out.report.report, out.report.stats))
 }
 
 #[cfg(test)]

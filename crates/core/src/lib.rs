@@ -47,7 +47,7 @@ pub mod shadow;
 pub mod stats;
 
 pub use detector::{
-    detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig,
+    detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig, DtrgReport,
     MemoryFootprint, RaceDetector,
 };
 pub use dtrg::{Dtrg, DtrgCounters, SetData};

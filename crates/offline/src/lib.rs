@@ -38,7 +38,10 @@ pub mod framed;
 pub mod shard;
 
 pub use framed::{FrameError, FramedEvents, StreamWriter, WriterStats};
-pub use shard::{detect_sharded, detect_sharded_events, ShardOptions, ShardStats, ShardedOutcome};
+pub use shard::{
+    detect_sharded, detect_sharded_events, run_sharded_events, ShardOptions, ShardPlan,
+    ShardStats, ShardedOutcome, ShardedRun,
+};
 
 use futrace_runtime::trace::DecodeError;
 

@@ -30,7 +30,8 @@
 
 use crate::channel::{self, Receiver, Sender};
 use crate::TraceError;
-use futrace_detector::{DetectorConfig, Race, RaceDetector, RaceReport};
+use futrace_detector::{DetectorConfig, RaceDetector, RaceReport};
+use futrace_runtime::engine::{Analysis, LocRoutable};
 use futrace_runtime::Event;
 use futrace_util::ids::{LocId, TaskId};
 
@@ -69,6 +70,50 @@ impl ShardOptions {
     }
 }
 
+/// Analysis-agnostic pipeline knobs (the [`ShardOptions`] fields that are
+/// not DTRG-specific). Used by [`run_sharded_events`], which builds the
+/// per-shard analyses from a caller-supplied factory instead of a
+/// [`DetectorConfig`].
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Number of detect workers (≥ 1).
+    pub shards: usize,
+    /// Events per routed batch.
+    pub batch_events: usize,
+    /// In-flight batches per worker channel.
+    pub channel_capacity: usize,
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        ShardPlan {
+            shards: 4,
+            batch_events: 4096,
+            channel_capacity: 4,
+        }
+    }
+}
+
+impl ShardPlan {
+    /// Plan with an explicit shard count and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPlan {
+            shards,
+            ..ShardPlan::default()
+        }
+    }
+}
+
+impl From<&ShardOptions> for ShardPlan {
+    fn from(opts: &ShardOptions) -> Self {
+        ShardPlan {
+            shards: opts.shards,
+            batch_events: opts.batch_events,
+            channel_capacity: opts.channel_capacity,
+        }
+    }
+}
+
 /// Pipeline accounting.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
@@ -99,6 +144,17 @@ pub struct ShardedOutcome {
     pub stats: ShardStats,
 }
 
+/// Result of a generic sharded run ([`run_sharded_events`]): the merged
+/// analysis report plus pipeline stats.
+#[derive(Clone, Debug)]
+pub struct ShardedRun<R> {
+    /// The merged report, as produced by
+    /// [`LocRoutable::merge_sharded`].
+    pub report: R,
+    /// Pipeline accounting.
+    pub stats: ShardStats,
+}
+
 enum Op {
     Control(Event),
     Access {
@@ -109,21 +165,12 @@ enum Op {
     },
 }
 
-struct ShardResult {
-    races: Vec<Race>,
-    total_detected: u64,
-    accesses: u64,
-}
-
-fn worker(rx: Receiver<Vec<Op>>, config: DetectorConfig) -> ShardResult {
-    let mut det = RaceDetector::with_config(config);
+fn worker<A: Analysis>(rx: Receiver<Vec<Op>>, mut analysis: A) -> (A::Report, u64) {
     let mut accesses = 0u64;
     while let Some(batch) = rx.recv() {
         for op in batch {
             match op {
-                Op::Control(e) => {
-                    det.apply_control(&e);
-                }
+                Op::Control(e) => analysis.apply_control(&e),
                 Op::Access {
                     task,
                     loc,
@@ -132,20 +179,15 @@ fn worker(rx: Receiver<Vec<Op>>, config: DetectorConfig) -> ShardResult {
                 } => {
                     accesses += 1;
                     if write {
-                        det.check_write_at(task, loc, index);
+                        analysis.check_write_at(task, loc, index);
                     } else {
-                        det.check_read_at(task, loc, index);
+                        analysis.check_read_at(task, loc, index);
                     }
                 }
             }
         }
     }
-    let report = det.into_report();
-    ShardResult {
-        races: report.races,
-        total_detected: report.total_detected,
-        accesses,
-    }
+    (analysis.finish(), accesses)
 }
 
 fn flush(tx: &Sender<Vec<Op>>, buf: &mut Vec<Op>, cap: usize) -> Result<(), ()> {
@@ -156,32 +198,43 @@ fn flush(tx: &Sender<Vec<Op>>, buf: &mut Vec<Op>, cap: usize) -> Result<(), ()> 
     tx.send(batch).map_err(|_| ())
 }
 
-/// Runs the sharded pipeline over an event stream (any error type: v1
-/// [`futrace_runtime::trace::DecodeError`], framed [`crate::FrameError`],
-/// or unified [`TraceError`] iterators all fit).
+/// Runs the sharded pipeline over an event stream for *any* loc-routable
+/// analysis: control events are broadcast to `plan.shards` replicas built
+/// by `factory`, accesses are routed by `loc % N` carrying global indices,
+/// and the per-shard reports are merged by a fresh `factory()` instance's
+/// [`LocRoutable::merge_sharded`].
 ///
-/// On a stream error the workers are drained and joined first, then the
-/// error is returned — no thread is leaked and no partial verdict is
-/// reported.
-pub fn detect_sharded_events<I, E>(events: I, opts: &ShardOptions) -> Result<ShardedOutcome, E>
+/// Accepts any stream error type: v1
+/// [`futrace_runtime::trace::DecodeError`], framed [`crate::FrameError`],
+/// or unified [`TraceError`] iterators all fit. On a stream error the
+/// workers are drained and joined first, then the error is returned — no
+/// thread is leaked and no partial verdict is reported.
+pub fn run_sharded_events<A, I, E, F>(
+    events: I,
+    plan: &ShardPlan,
+    factory: F,
+) -> Result<ShardedRun<A::Report>, E>
 where
+    A: LocRoutable + Send,
+    A::Report: Send,
     I: Iterator<Item = Result<Event, E>>,
+    F: Fn() -> A,
 {
-    let n = opts.shards.max(1);
-    let batch_cap = opts.batch_events.max(1);
+    let n = plan.shards.max(1);
+    let batch_cap = plan.batch_events.max(1);
     let mut stream_err: Option<E> = None;
     let mut stats = ShardStats {
         shards: n,
         ..ShardStats::default()
     };
 
-    let results: Vec<ShardResult> = std::thread::scope(|s| {
+    let results: Vec<(A::Report, u64)> = std::thread::scope(|s| {
         let mut txs: Vec<Sender<Vec<Op>>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = channel::bounded(opts.channel_capacity.max(1));
-            let config = opts.detector.clone();
-            handles.push(s.spawn(move || worker(rx, config)));
+            let (tx, rx) = channel::bounded(plan.channel_capacity.max(1));
+            let analysis = factory();
+            handles.push(s.spawn(move || worker(rx, analysis)));
             txs.push(tx);
         }
 
@@ -248,28 +301,36 @@ where
         return Err(e);
     }
 
-    // Merge: concatenate per-shard reports in shard order, stable-sort by
-    // global access index, re-apply the global report cap. Ties within an
-    // access index come from a single shard (one access = one location =
-    // one shard) so shard-local order is the serial order.
-    let mut races: Vec<Race> = Vec::new();
-    let mut total_detected = 0u64;
-    for r in &results {
-        total_detected += r.total_detected;
-        stats.per_shard_accesses.push(r.accesses);
+    // Merge in shard order via the analysis's own rule. For the DTRG
+    // detector that is: concatenate, stable-sort by global access index,
+    // re-apply the global report cap — byte-identical to serial because
+    // ties within an access index come from a single shard (one access =
+    // one location = one shard) so shard-local order is the serial order.
+    let mut reports = Vec::with_capacity(results.len());
+    for (report, accesses) in results {
+        stats.per_shard_accesses.push(accesses);
+        reports.push(report);
     }
-    for r in results {
-        races.extend(r.races);
-    }
-    races.sort_by(|a, b| a.access_index.cmp(&b.access_index));
-    races.truncate(opts.detector.max_reports);
+    let report = factory().merge_sharded(reports);
 
+    Ok(ShardedRun { report, stats })
+}
+
+/// DTRG-specific entry point kept for existing callers: runs
+/// [`run_sharded_events`] with [`RaceDetector`] shards configured by
+/// `opts.detector` and projects out the merged [`RaceReport`].
+pub fn detect_sharded_events<I, E>(events: I, opts: &ShardOptions) -> Result<ShardedOutcome, E>
+where
+    I: Iterator<Item = Result<Event, E>>,
+{
+    let plan = ShardPlan::from(opts);
+    let config = opts.detector.clone();
+    let run = run_sharded_events(events, &plan, || {
+        RaceDetector::with_config(config.clone())
+    })?;
     Ok(ShardedOutcome {
-        report: RaceReport {
-            races,
-            total_detected,
-        },
-        stats,
+        report: run.report.report,
+        stats: run.stats,
     })
 }
 

@@ -11,9 +11,14 @@
 //!
 //! Replays: `FUTRACE_PROPCHECK_SEED=<seed>` (printed on failure).
 
+use futrace_baselines::VectorClockDetector;
 use futrace_benchsuite::randomprog::{self, GenParams};
 use futrace_detector::{RaceDetector, RaceReport};
-use futrace_offline::{detect_sharded, detect_sharded_events, ShardOptions, StreamWriter};
+use futrace_offline::{
+    detect_sharded, detect_sharded_events, run_sharded_events, ShardOptions, ShardPlan,
+    StreamWriter,
+};
+use futrace_runtime::engine::run_analysis_recorded;
 use futrace_runtime::{replay, run_serial, EventLog};
 use futrace_util::propcheck::{self, strategies, Config};
 use std::convert::Infallible;
@@ -108,4 +113,37 @@ fn sharded_equals_serial_through_the_framed_format() {
             assert_eq!(out.report.total_detected, serial.total_detected);
         }
     }
+}
+
+#[test]
+fn vector_clock_shards_like_the_dtrg_detector() {
+    // The generic pipeline is not DTRG-specific: any `LocRoutable`
+    // analysis shards with a serial-identical verdict. The vector-clock
+    // baseline's clocks are mutated only by control events (broadcast to
+    // every replica) and its shadow state is per-location (routed), so it
+    // qualifies — exercised here over random programs at every shard
+    // count, including the prime one.
+    let profiles = [GenParams::default(), GenParams::future_heavy()];
+    propcheck::check(&Config::with_cases(128), &strategies::any_u64(), |seed| {
+        for params in &profiles {
+            let log = record(seed, params);
+            let serial = run_analysis_recorded(&log.events, VectorClockDetector::new()).report;
+            for shards in SHARD_COUNTS {
+                let mut plan = ShardPlan::with_shards(shards);
+                plan.batch_events = 32;
+                plan.channel_capacity = 2;
+                let stream = log.events.iter().cloned().map(Ok::<_, Infallible>);
+                let out = run_sharded_events(stream, &plan, VectorClockDetector::new)
+                    .expect("infallible stream");
+                assert_eq!(
+                    out.report.races, serial.races,
+                    "seed {seed}, {shards} shards: vc race count diverged"
+                );
+                assert_eq!(
+                    out.report.notes, serial.notes,
+                    "seed {seed}, {shards} shards: control-derived notes must be replica-identical"
+                );
+            }
+        }
+    });
 }

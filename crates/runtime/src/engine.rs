@@ -1,0 +1,527 @@
+//! The analysis-engine layer: one driver for every detector and every
+//! event source.
+//!
+//! The paper's whole experimental argument rests on all analyses observing
+//! *identical* serial depth-first executions. Before this module existed,
+//! that guarantee was re-implemented ad hoc by every consumer: the bench
+//! harness wired a [`Monitor`] by hand, `tracetool` had its own replay
+//! loop, and each test suite drove detectors with bespoke code. The engine
+//! centralizes the contract in two small traits:
+//!
+//! * [`Analysis`] — the consumer side. Promotes the DTRG detector's
+//!   `apply_control` / `check_read_at` / `check_write_at` split to a
+//!   workspace-level interface: **control events** (task create/end,
+//!   finish start/end, `get`, alloc) mutate analysis-global state, while
+//!   **access checks** are addressed to a single location and carry an
+//!   explicit global access index. The split is what makes offline
+//!   sharding possible (broadcast control, route accesses by location);
+//!   analyses whose checks really are location-independent additionally
+//!   implement [`LocRoutable`].
+//! * [`EventSource`] — the producer side. Live serial execution, an
+//!   in-memory recorded event log, and streamed trace decoding (flat v1 or
+//!   framed v2, strict or lenient) all implement it, so
+//!   [`run_analysis`] is the single entry point replacing every bespoke
+//!   loop.
+//!
+//! The driver also does the bookkeeping every consumer used to duplicate:
+//! events consumed, checks performed, and wall time are accumulated in
+//! [`EngineCounters`] and returned with the analysis report in an
+//! [`AnalysisOutcome`].
+//!
+//! ```
+//! use futrace_runtime::engine::{run_analysis, source, Analysis};
+//! use futrace_runtime::{Event, EventLog, run_serial};
+//! use futrace_util::ids::{LocId, TaskId};
+//!
+//! /// Toy analysis: counts write checks.
+//! #[derive(Default)]
+//! struct WriteCounter(u64);
+//! impl Analysis for WriteCounter {
+//!     type Report = u64;
+//!     fn apply_control(&mut self, _e: &Event) {}
+//!     fn check_read_at(&mut self, _t: TaskId, _l: LocId, _i: u64) {}
+//!     fn check_write_at(&mut self, _t: TaskId, _l: LocId, _i: u64) {
+//!         self.0 += 1;
+//!     }
+//!     fn finish(self) -> u64 {
+//!         self.0
+//!     }
+//! }
+//!
+//! // Live execution and replay of a recording go through the same driver.
+//! let program = |ctx: &mut futrace_runtime::SerialCtx<_>| {};
+//! let live = run_analysis(source::live(program), WriteCounter::default()).unwrap();
+//! let mut log = EventLog::new();
+//! run_serial(&mut log, |_ctx| {});
+//! let replayed = run_analysis(source::recorded(&log.events), WriteCounter::default()).unwrap();
+//! assert_eq!(live.report, replayed.report);
+//! ```
+
+#![warn(missing_docs)]
+
+use crate::monitor::{self, Event, Monitor, TaskKind};
+use crate::serial::{run_serial, SerialCtx};
+use futrace_util::ids::{FinishId, LocId, TaskId};
+use futrace_util::stats::Timer;
+use std::convert::Infallible;
+
+/// A trace analysis: anything that consumes the instrumentation event
+/// stream split into control events and loc-addressed access checks.
+///
+/// The contract mirrors the serial depth-first execution the paper
+/// requires (§4.1): `apply_control` receives every non-access event in
+/// order, and each `Read`/`Write` event becomes exactly one
+/// `check_read_at` / `check_write_at` call carrying the access's index in
+/// the *global* access stream. The index is assigned by the driver (or by
+/// the sharded router, from one pass) so reports produced on different
+/// backends can be aligned and merged deterministically.
+pub trait Analysis {
+    /// What the analysis produces when the stream ends.
+    type Report;
+
+    /// Applies one control event (never `Read`/`Write`).
+    fn apply_control(&mut self, e: &Event);
+
+    /// Checks a shared-memory read by `task` at `loc`; `index` is the
+    /// access's position in the global access stream.
+    fn check_read_at(&mut self, task: TaskId, loc: LocId, index: u64);
+
+    /// Checks a shared-memory write by `task` at `loc`.
+    fn check_write_at(&mut self, task: TaskId, loc: LocId, index: u64);
+
+    /// Consumes the analysis and produces its final report (runs any
+    /// deferred work, e.g. the closure detector's whole analysis).
+    fn finish(self) -> Self::Report;
+}
+
+/// Capability marker for analyses whose access checks are independent per
+/// location: control events may be broadcast to replicas and accesses
+/// routed by `loc % N` without changing any verdict.
+///
+/// The DTRG detector and the vector-clock baseline qualify (their
+/// control-driven state never depends on shadow memory, and each check
+/// touches exactly one shadow cell). Baselines that need the global
+/// access order — or that finalize over the whole recorded graph, like
+/// the transitive-closure oracle — simply do not implement this trait,
+/// which is what "opting out" of the sharded backend means.
+pub trait LocRoutable: Analysis {
+    /// Merges per-shard reports (given in shard order) into the report the
+    /// serial run would have produced. `self` is a fresh, unused instance
+    /// whose configuration (e.g. report caps) governs the merge.
+    fn merge_sharded(self, shards: Vec<Self::Report>) -> Self::Report;
+}
+
+/// Driver bookkeeping: what one [`run_analysis`] call consumed and did.
+/// Replaces the one-off event/check counting individual consumers used to
+/// maintain.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineCounters {
+    /// Total events consumed (control + accesses).
+    pub events: u64,
+    /// Control events applied.
+    pub control_events: u64,
+    /// Read checks performed.
+    pub reads: u64,
+    /// Write checks performed.
+    pub writes: u64,
+    /// Wall-clock time of the whole run (drive + finish), in ms.
+    pub wall_ms: f64,
+}
+
+impl EngineCounters {
+    /// Access checks performed (reads + writes).
+    pub fn checks(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::fmt::Display for EngineCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events ({} control, {} checks: {} reads + {} writes) in {:.2} ms",
+            self.events,
+            self.control_events,
+            self.checks(),
+            self.reads,
+            self.writes,
+            self.wall_ms
+        )
+    }
+}
+
+/// An analysis report plus the driver's counters.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome<R> {
+    /// What [`Analysis::finish`] produced.
+    pub report: R,
+    /// Driver bookkeeping for the run.
+    pub counters: EngineCounters,
+}
+
+impl<R> AnalysisOutcome<R> {
+    /// Maps the report, keeping the counters (used by registries that
+    /// erase concrete report types into an enum).
+    pub fn map<S>(self, f: impl FnOnce(R) -> S) -> AnalysisOutcome<S> {
+        AnalysisOutcome {
+            report: f(self.report),
+            counters: self.counters,
+        }
+    }
+}
+
+/// The engine core: wraps an [`Analysis`], numbers the access stream, and
+/// keeps [`EngineCounters`]. Implements [`Monitor`] so the serial executor
+/// can drive it directly (the live source), and exposes [`Engine::consume`]
+/// for replayed event streams — both paths are guaranteed to split the
+/// stream identically.
+pub struct Engine<A: Analysis> {
+    analysis: A,
+    counters: EngineCounters,
+    next_index: u64,
+}
+
+impl<A: Analysis> Engine<A> {
+    /// Fresh engine around `analysis`.
+    pub fn new(analysis: A) -> Self {
+        Engine {
+            analysis,
+            counters: EngineCounters::default(),
+            next_index: 0,
+        }
+    }
+
+    /// Feeds one event: control events go to
+    /// [`Analysis::apply_control`], accesses become numbered checks.
+    pub fn consume(&mut self, e: &Event) {
+        match *e {
+            Event::Read(task, loc) => self.read_check(task, loc),
+            Event::Write(task, loc) => self.write_check(task, loc),
+            ref control => {
+                self.counters.events += 1;
+                self.counters.control_events += 1;
+                self.analysis.apply_control(control);
+            }
+        }
+    }
+
+    #[inline]
+    fn read_check(&mut self, task: TaskId, loc: LocId) {
+        self.counters.events += 1;
+        self.counters.reads += 1;
+        let i = self.next_index;
+        self.next_index = i + 1;
+        self.analysis.check_read_at(task, loc, i);
+    }
+
+    #[inline]
+    fn write_check(&mut self, task: TaskId, loc: LocId) {
+        self.counters.events += 1;
+        self.counters.writes += 1;
+        let i = self.next_index;
+        self.next_index = i + 1;
+        self.analysis.check_write_at(task, loc, i);
+    }
+
+    /// Decomposes the engine into the analysis and the counters collected
+    /// so far (`wall_ms` is filled in by [`run_analysis`]).
+    pub fn into_parts(self) -> (A, EngineCounters) {
+        (self.analysis, self.counters)
+    }
+}
+
+impl<A: Analysis> Monitor for Engine<A> {
+    fn task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind, ief: FinishId) {
+        self.consume(&Event::TaskCreate {
+            parent,
+            child,
+            kind,
+            ief,
+        });
+    }
+    fn task_end(&mut self, task: TaskId) {
+        self.consume(&Event::TaskEnd(task));
+    }
+    fn finish_start(&mut self, task: TaskId, finish: FinishId) {
+        self.consume(&Event::FinishStart(task, finish));
+    }
+    fn finish_end(&mut self, task: TaskId, finish: FinishId, joined: &[TaskId]) {
+        self.consume(&Event::FinishEnd(task, finish, joined.to_vec()));
+    }
+    fn get(&mut self, waiter: TaskId, awaited: TaskId) {
+        self.consume(&Event::Get { waiter, awaited });
+    }
+    // Hot path: skip building an Event value for accesses.
+    fn read(&mut self, task: TaskId, loc: LocId) {
+        self.read_check(task, loc);
+    }
+    fn write(&mut self, task: TaskId, loc: LocId) {
+        self.write_check(task, loc);
+    }
+    fn alloc(&mut self, base: LocId, n: u32, name: &str) {
+        self.consume(&Event::Alloc(base, n, name.to_string()));
+    }
+}
+
+/// A producer of instrumentation events for one analysis run.
+///
+/// The three ways events exist today — live serial execution, an
+/// in-memory recording, and streamed trace decoding — are all sources;
+/// [`run_analysis`] is generic over them. The trait is parameterized by
+/// the analysis so the live source can name the concrete monitor type the
+/// serial executor is instantiated with.
+pub trait EventSource<A: Analysis> {
+    /// Stream-level failure (decode error, damaged chunk, …).
+    /// [`Infallible`] for live execution and in-memory recordings.
+    type Error;
+
+    /// Produces every event of the run, in serial depth-first order, into
+    /// the engine.
+    fn drive(self, engine: &mut Engine<A>) -> Result<(), Self::Error>;
+}
+
+/// Event-source constructors. See [`live`](source::live),
+/// [`recorded`](source::recorded), and [`stream`](source::stream).
+pub mod source {
+    use super::*;
+
+    /// Live serial depth-first execution of a DSL program (see
+    /// [`live`]).
+    pub struct Live<F>(F);
+
+    /// Source that executes `f` under the serial depth-first executor,
+    /// feeding the instrumentation stream straight into the analysis —
+    /// no events are materialized for the access hot path.
+    pub fn live<F>(f: F) -> Live<F> {
+        Live(f)
+    }
+
+    impl<A, F> EventSource<A> for Live<F>
+    where
+        A: Analysis,
+        F: FnOnce(&mut SerialCtx<Engine<A>>),
+    {
+        type Error = Infallible;
+        fn drive(self, engine: &mut Engine<A>) -> Result<(), Infallible> {
+            run_serial(engine, self.0);
+            Ok(())
+        }
+    }
+
+    /// An in-memory recorded event stream (see [`recorded`]).
+    pub struct Recorded<'a>(&'a [Event]);
+
+    /// Source that replays a recorded event slice (an
+    /// [`crate::EventLog`]'s `events`, or anything decoded up front).
+    pub fn recorded(events: &[Event]) -> Recorded<'_> {
+        Recorded(events)
+    }
+
+    impl<A: Analysis> EventSource<A> for Recorded<'_> {
+        type Error = Infallible;
+        fn drive(self, engine: &mut Engine<A>) -> Result<(), Infallible> {
+            for e in self.0 {
+                engine.consume(e);
+            }
+            Ok(())
+        }
+    }
+
+    /// A fallible decoded event stream (see [`stream`]).
+    pub struct Stream<I>(I);
+
+    /// Source over any fallible event iterator: the v1 flat decoder
+    /// (`trace::decode_iter`), the framed v2 chunk reader (strict or
+    /// lenient), or the format-sniffing union of both. The first stream
+    /// error aborts the run and is returned from [`run_analysis`].
+    pub fn stream<I, E>(events: I) -> Stream<I>
+    where
+        I: Iterator<Item = Result<Event, E>>,
+    {
+        Stream(events)
+    }
+
+    impl<A, I, E> EventSource<A> for Stream<I>
+    where
+        A: Analysis,
+        I: Iterator<Item = Result<Event, E>>,
+    {
+        type Error = E;
+        fn drive(self, engine: &mut Engine<A>) -> Result<(), E> {
+            for item in self.0 {
+                engine.consume(&item?);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs `analysis` over every event `source` produces and returns its
+/// report plus the driver's counters. This is the *only* sanctioned way
+/// to drive a detector: live runs, replays, and trace streams all come
+/// through here, so they are guaranteed to observe identical splits of
+/// the event stream (and identical global access indices).
+pub fn run_analysis<A, S>(source: S, analysis: A) -> Result<AnalysisOutcome<A::Report>, S::Error>
+where
+    A: Analysis,
+    S: EventSource<A>,
+{
+    let t = Timer::start();
+    let mut engine = Engine::new(analysis);
+    source.drive(&mut engine)?;
+    let (analysis, mut counters) = engine.into_parts();
+    let report = analysis.finish();
+    counters.wall_ms = t.elapsed_ms();
+    Ok(AnalysisOutcome { report, counters })
+}
+
+/// [`run_analysis`] over live serial execution — infallible, so the
+/// outcome is returned directly.
+pub fn run_analysis_live<A, F>(f: F, analysis: A) -> AnalysisOutcome<A::Report>
+where
+    A: Analysis,
+    F: FnOnce(&mut SerialCtx<Engine<A>>),
+{
+    match run_analysis(source::live(f), analysis) {
+        Ok(outcome) => outcome,
+        Err(never) => match never {},
+    }
+}
+
+/// [`run_analysis`] over an in-memory recording — infallible.
+pub fn run_analysis_recorded<A: Analysis>(
+    events: &[Event],
+    analysis: A,
+) -> AnalysisOutcome<A::Report> {
+    match run_analysis(source::recorded(events), analysis) {
+        Ok(outcome) => outcome,
+        Err(never) => match never {},
+    }
+}
+
+/// Adapter for [`Monitor`]-based analyses: forwards one control event to
+/// the corresponding monitor callback. `Analysis::apply_control`
+/// implementations over existing monitors are one call to this.
+pub fn control_to_monitor<M: Monitor>(mon: &mut M, e: &Event) {
+    debug_assert!(
+        !matches!(e, Event::Read(..) | Event::Write(..)),
+        "accesses must go through check_read_at/check_write_at"
+    );
+    monitor::apply(mon, e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TaskCtx;
+    use crate::monitor::EventLog;
+
+    /// Analysis that re-records the stream it sees (control + indexed
+    /// accesses), for asserting the driver's routing.
+    #[derive(Debug, Default)]
+    struct Probe {
+        control: Vec<Event>,
+        checks: Vec<(bool, TaskId, LocId, u64)>,
+    }
+
+    impl Analysis for Probe {
+        type Report = Self;
+        fn apply_control(&mut self, e: &Event) {
+            self.control.push(e.clone());
+        }
+        fn check_read_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+            self.checks.push((false, task, loc, index));
+        }
+        fn check_write_at(&mut self, task: TaskId, loc: LocId, index: u64) {
+            self.checks.push((true, task, loc, index));
+        }
+        fn finish(self) -> Self {
+            self
+        }
+    }
+
+    fn demo_program(ctx: &mut SerialCtx<Engine<Probe>>) {
+        let x = ctx.shared_var(0u64, "x");
+        x.write(ctx, 1);
+        let x2 = x.clone();
+        let f = ctx.future(move |ctx| {
+            let _ = x2.read(ctx);
+        });
+        ctx.get(&f);
+        let _ = x.read(ctx);
+    }
+
+    #[test]
+    fn live_splits_and_numbers_the_stream() {
+        let out = run_analysis_live(demo_program, Probe::default());
+        let probe = out.report;
+        // alloc, task create/end, get, implicit finish end, main task end.
+        assert!(probe
+            .control
+            .iter()
+            .any(|e| matches!(e, Event::Alloc(_, 1, name) if name == "x")));
+        assert!(probe
+            .control
+            .iter()
+            .any(|e| matches!(e, Event::Get { .. })));
+        // write(main), read(future), read(main) — indices are global.
+        let kinds: Vec<(bool, u64)> = probe.checks.iter().map(|c| (c.0, c.3)).collect();
+        assert_eq!(kinds, vec![(true, 0), (false, 1), (false, 2)]);
+        assert_eq!(out.counters.reads, 2);
+        assert_eq!(out.counters.writes, 1);
+        assert_eq!(out.counters.checks(), 3);
+        assert_eq!(
+            out.counters.events,
+            out.counters.control_events + out.counters.checks()
+        );
+        assert!(out.counters.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn live_and_recorded_observe_identical_streams() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            x.write(ctx, 1);
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| {
+                let _ = x2.read(ctx);
+            });
+            ctx.get(&f);
+            let _ = x.read(ctx);
+        });
+        let live = run_analysis_live(demo_program, Probe::default());
+        let replayed = run_analysis_recorded(&log.events, Probe::default());
+        assert_eq!(live.report.control, replayed.report.control);
+        assert_eq!(live.report.checks, replayed.report.checks);
+        let (mut a, mut b) = (live.counters, replayed.counters);
+        a.wall_ms = 0.0;
+        b.wall_ms = 0.0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_source_propagates_errors_and_stops() {
+        let events: Vec<Result<Event, &str>> = vec![
+            Ok(Event::Write(TaskId(0), LocId(0))),
+            Err("damaged"),
+            Ok(Event::Write(TaskId(0), LocId(1))),
+        ];
+        let err = run_analysis(source::stream(events.into_iter()), Probe::default()).unwrap_err();
+        assert_eq!(err, "damaged");
+    }
+
+    #[test]
+    fn counters_display_is_informative() {
+        let c = EngineCounters {
+            events: 10,
+            control_events: 4,
+            reads: 4,
+            writes: 2,
+            wall_ms: 1.25,
+        };
+        let s = c.to_string();
+        assert!(s.contains("10 events"), "{s}");
+        assert!(s.contains("6 checks"), "{s}");
+    }
+}

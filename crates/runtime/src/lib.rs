@@ -32,6 +32,7 @@
 
 pub mod accumulator;
 pub mod api;
+pub mod engine;
 pub mod memory;
 pub mod monitor;
 pub mod parallel;
@@ -40,6 +41,10 @@ pub mod sync;
 pub mod trace;
 
 pub use api::TaskCtx;
+pub use engine::{
+    run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome, Engine,
+    EngineCounters, EventSource, LocRoutable,
+};
 pub use memory::{SharedArray, SharedVar};
 pub use monitor::{replay, Event, EventLog, Monitor, NullMonitor, TaskKind};
 pub use parallel::{run_parallel, DeadlockError, ParCtx, ParHandle};

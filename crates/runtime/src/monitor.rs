@@ -244,27 +244,32 @@ impl Monitor for EventLog {
     }
 }
 
+/// Dispatches one recorded event to the corresponding monitor callback.
+pub fn apply<M: Monitor>(mon: &mut M, e: &Event) {
+    match e {
+        Event::TaskCreate {
+            parent,
+            child,
+            kind,
+            ief,
+        } => mon.task_create(*parent, *child, *kind, *ief),
+        Event::TaskEnd(t) => mon.task_end(*t),
+        Event::FinishStart(t, f) => mon.finish_start(*t, *f),
+        Event::FinishEnd(t, f, joined) => mon.finish_end(*t, *f, joined),
+        Event::Get { waiter, awaited } => mon.get(*waiter, *awaited),
+        Event::Read(t, l) => mon.read(*t, *l),
+        Event::Write(t, l) => mon.write(*t, *l),
+        Event::Alloc(base, n, name) => mon.alloc(*base, *n, name),
+    }
+}
+
 /// Replays a recorded event stream into another monitor — trace-based
 /// analysis: record once with [`EventLog`], then drive any detector or
 /// graph builder offline (the paper's detector is a pure function of this
 /// stream, so replaying reproduces its verdict exactly).
 pub fn replay<M: Monitor>(events: &[Event], mon: &mut M) {
     for e in events {
-        match e {
-            Event::TaskCreate {
-                parent,
-                child,
-                kind,
-                ief,
-            } => mon.task_create(*parent, *child, *kind, *ief),
-            Event::TaskEnd(t) => mon.task_end(*t),
-            Event::FinishStart(t, f) => mon.finish_start(*t, *f),
-            Event::FinishEnd(t, f, joined) => mon.finish_end(*t, *f, joined),
-            Event::Get { waiter, awaited } => mon.get(*waiter, *awaited),
-            Event::Read(t, l) => mon.read(*t, *l),
-            Event::Write(t, l) => mon.write(*t, *l),
-            Event::Alloc(base, n, name) => mon.alloc(*base, *n, name),
-        }
+        apply(mon, e);
     }
 }
 

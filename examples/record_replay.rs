@@ -3,13 +3,19 @@
 //! verdict is identical to the online run, because the detector is a pure
 //! function of the serial depth-first event stream.
 //!
+//! Both passes go through the analysis engine: `run_analysis_live` wraps
+//! the detector in an [`Engine`] monitor for the online run, and
+//! `run_analysis` drives the same detector from the decoded event stream
+//! offline — no hand-written event loop on either side.
+//!
 //! ```text
 //! cargo run --release --example record_replay
 //! ```
 
 use futrace::benchsuite::smithwaterman::{sw_run, SwParams};
 use futrace::detector::RaceDetector;
-use futrace::runtime::{replay, run_serial, trace, EventLog};
+use futrace::runtime::engine::{run_analysis, run_analysis_live, source};
+use futrace::runtime::{run_serial, trace, EventLog};
 use futrace_util::stats::Timer;
 
 fn main() {
@@ -43,22 +49,32 @@ fn main() {
         t.elapsed_ms()
     );
 
-    // --- Offline detection: decode and replay into a fresh detector.
-    let t = Timer::start();
-    let events = trace::decode(&blob).expect("valid trace");
-    let mut det = RaceDetector::new();
-    replay(&events, &mut det);
-    println!("offline detection in {:.1} ms", t.elapsed_ms());
+    // --- Offline detection: stream the decoded trace through the engine.
+    let offline = run_analysis(
+        source::stream(trace::decode_iter(&blob)),
+        RaceDetector::new(),
+    )
+    .expect("valid trace");
+    println!("offline detection: {}", offline.counters);
 
-    assert!(det.has_races(), "the planted wavefront race must be found");
-    println!("\noffline verdict: {} race(s); first:", det.races().len());
-    println!("  {}", det.races()[0]);
+    let report = &offline.report.report;
+    assert!(
+        report.has_races(),
+        "the planted wavefront race must be found"
+    );
+    println!("\noffline verdict: {} race(s); first:", report.races.len());
+    println!("  {}", report.races[0]);
 
-    // --- Cross-check against the live run.
-    let mut live = RaceDetector::new();
-    run_serial(&mut live, |ctx| {
-        let _ = sw_run(ctx, &p, true);
-    });
-    assert_eq!(live.races(), det.races(), "offline == online, exactly");
+    // --- Cross-check against the live run: same driver, live source.
+    let live = run_analysis_live(
+        |ctx| {
+            let _ = sw_run(ctx, &p, true);
+        },
+        RaceDetector::new(),
+    );
+    assert_eq!(
+        live.report.report.races, report.races,
+        "offline == online, exactly"
+    );
     println!("\nonline run agrees exactly (same reports, same order).");
 }

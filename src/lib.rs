@@ -8,7 +8,10 @@
 //!
 //! * [`runtime`] — the async/finish/future programming model (serial
 //!   depth-first executor with instrumentation, plus a parallel
-//!   work-stealing executor).
+//!   work-stealing executor), and the analysis engine
+//!   ([`runtime::engine`]): every detector implements one
+//!   [`runtime::engine::Analysis`] trait and runs live, from replayed
+//!   traces, or sharded through the same `run_analysis` driver.
 //! * [`detector`] — the paper's contribution: the dynamic task reachability
 //!   graph (DTRG) on-the-fly race detector.
 //! * [`compgraph`] — step-level computation graphs and the ground-truth
@@ -50,9 +53,13 @@ pub use futrace_util as util;
 pub mod prelude {
     pub use futrace_detector::{
         detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig,
-        MemoryFootprint, RaceDetector, RaceReport,
+        DtrgReport, MemoryFootprint, RaceDetector, RaceReport,
     };
     pub use futrace_runtime::accumulator::Accumulator;
+    pub use futrace_runtime::engine::{
+        run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome,
+        Engine, EngineCounters,
+    };
     pub use futrace_runtime::memory::{SharedArray, SharedVar};
     pub use futrace_runtime::serial::{run_serial, FutureHandle, SerialCtx};
     pub use futrace_runtime::{run_parallel, TaskCtx};

@@ -7,11 +7,12 @@
 //! access executes earliest in the depth-first order, and the detector's
 //! first report must fire at precisely that access.
 
-use futrace::baselines::{run_baseline, BaselineDetector, ClosureDetector};
+use futrace::baselines::ClosureDetector;
 use futrace::benchsuite::randomprog::{execute, generate, GenParams};
 use futrace::compgraph::oracle::Reachability;
 use futrace::compgraph::CompGraph;
 use futrace::detector::detect_races;
+use futrace::runtime::engine::run_analysis_live;
 use futrace::util::propcheck::{self, strategies, Config};
 
 /// Index (in the global access stream) of the earliest access that
@@ -37,10 +38,13 @@ fn check_seed(seed: u64, params: &GenParams) {
     let report = detect_races(|ctx| {
         execute(ctx, &prog);
     });
-    let mut oracle = ClosureDetector::new();
-    run_baseline(&mut oracle, |ctx| {
-        execute(ctx, &prog);
-    });
+    let oracle = run_analysis_live(
+        |ctx| {
+            execute(ctx, &prog);
+        },
+        ClosureDetector::new(),
+    )
+    .report;
     assert_eq!(
         report.has_races(),
         oracle.has_races(),
@@ -49,7 +53,7 @@ fn check_seed(seed: u64, params: &GenParams) {
         oracle.has_races()
     );
     // First-race exactness.
-    let truth = oracle_first_race_index(oracle.graph());
+    let truth = oracle_first_race_index(&oracle.graph);
     let got = report.first().map(|r| r.access_index);
     assert_eq!(
         got, truth,

@@ -3,38 +3,55 @@
 //! exactly — the detector is a pure function of the serial depth-first
 //! event stream (the property that made the paper's bytecode-level
 //! instrumentation sufficient).
+//!
+//! Both directions go through the analysis engine: live runs wrap the
+//! detector in an [`Engine`] monitor, replays feed the recorded stream
+//! back through `run_analysis_recorded`, and the engine's own stream
+//! accounting (event/check counters) must agree between the two.
 
 use futrace::benchsuite::randomprog::{execute, generate, GenParams};
 use futrace::detector::RaceDetector;
+use futrace::runtime::engine::{run_analysis_recorded, Analysis, Engine};
 use futrace::runtime::monitor::Pair;
-use futrace::runtime::{replay, run_serial, EventLog, Monitor};
+use futrace::runtime::{run_serial, EventLog, Monitor};
 
 #[test]
 fn replayed_detector_matches_live_detector() {
     for seed in 0..150u64 {
         let prog = generate(seed, &GenParams::future_heavy());
-        // Live: detector + recorder driven together.
-        let mut mon = Pair(RaceDetector::new(), EventLog::new());
+        // Live: engine-wrapped detector + recorder driven together.
+        let mut mon = Pair(Engine::new(RaceDetector::new()), EventLog::new());
         run_serial(&mut mon, |ctx| {
             execute(ctx, &prog);
         });
-        let Pair(live, log) = mon;
+        let Pair(engine, log) = mon;
+        let (det, live_counters) = engine.into_parts();
+        let live = det.finish();
 
-        // Offline: replay the trace into a fresh detector.
-        let mut offline = RaceDetector::new();
-        replay(&log.events, &mut offline);
+        // Offline: replay the trace through the same driver.
+        let out = run_analysis_recorded(&log.events, RaceDetector::new());
+        let offline = out.report;
 
-        assert_eq!(live.has_races(), offline.has_races(), "seed {seed}");
-        assert_eq!(live.races(), offline.races(), "seed {seed}");
-        let (ls, os) = (live.stats(), offline.stats());
+        assert_eq!(
+            live.report.has_races(),
+            offline.report.has_races(),
+            "seed {seed}"
+        );
+        assert_eq!(live.report.races, offline.report.races, "seed {seed}");
+        let (ls, os) = (&live.stats, &offline.stats);
         assert_eq!(ls.shared_mem(), os.shared_mem(), "seed {seed}");
         assert_eq!(ls.nt_joins(), os.nt_joins(), "seed {seed}");
         assert_eq!(ls.tasks, os.tasks, "seed {seed}");
+        assert_eq!(live.footprint, offline.footprint, "seed {seed}");
+
+        // The engine numbers the same stream both times.
+        assert_eq!(live_counters.events, out.counters.events, "seed {seed}");
         assert_eq!(
-            live.memory_footprint(),
-            offline.memory_footprint(),
+            live_counters.control_events, out.counters.control_events,
             "seed {seed}"
         );
+        assert_eq!(live_counters.reads, out.counters.reads, "seed {seed}");
+        assert_eq!(live_counters.writes, out.counters.writes, "seed {seed}");
     }
 }
 
@@ -46,7 +63,7 @@ fn replay_into_null_is_harmless() {
         execute(ctx, &prog);
     });
     let mut null = futrace::runtime::NullMonitor;
-    replay(&mon.events, &mut null);
+    futrace::runtime::replay(&mon.events, &mut null);
 }
 
 // Silence the unused-import lint for the monitor re-export check above.
