@@ -24,9 +24,10 @@
 //! detectors.
 
 use crate::{BaselineDetector, BaselineReport};
-use futrace_runtime::engine::{control_to_monitor, Analysis, LocRoutable};
+use futrace_runtime::engine::{control_to_monitor, Analysis, Checkpointable, LocRoutable, StateError};
 use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_util::ids::{FinishId, LocId, TaskId};
+use futrace_util::wire;
 
 /// Sparse-ish vector clock: dense `Vec<u32>` indexed by task id, truncated
 /// to the highest nonzero component. Component `t` = how much of task `t`'s
@@ -261,6 +262,92 @@ impl LocRoutable for VectorClockDetector {
     }
 }
 
+/// Checkpoint state-blob version for [`VectorClockDetector`].
+const VC_STATE_VERSION: u64 = 1;
+
+impl Checkpointable for VectorClockDetector {
+    /// Access-derived state is the epoch shadow memory and the race count.
+    /// The clocks themselves — and the growth metrics derived from them —
+    /// mutate only on control events, so the restore contract's control
+    /// replay rebuilds them exactly.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, VC_STATE_VERSION);
+        wire::put_varint(out, self.shadow.len() as u64);
+        let dirty: Vec<(usize, &Cell)> = self
+            .shadow
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.write.is_some() || !c.reads.is_empty())
+            .collect();
+        wire::put_varint(out, dirty.len() as u64);
+        for (idx, cell) in dirty {
+            wire::put_varint(out, idx as u64);
+            match cell.write {
+                Some(e) => {
+                    wire::put_varint(out, 1);
+                    wire::put_varint(out, e.task.0 as u64);
+                    wire::put_varint(out, e.clock as u64);
+                }
+                None => wire::put_varint(out, 0),
+            }
+            wire::put_varint(out, cell.reads.len() as u64);
+            for e in &cell.reads {
+                wire::put_varint(out, e.task.0 as u64);
+                wire::put_varint(out, e.clock as u64);
+            }
+        }
+        wire::put_varint(out, self.races);
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), StateError> {
+        let mut c = wire::Cursor::new(state);
+        let version = c.varint("vc state version")?;
+        if version != VC_STATE_VERSION {
+            return Err(StateError(format!(
+                "unsupported vector-clock state version {version} (expected {VC_STATE_VERSION})"
+            )));
+        }
+        let shadow_len = c.varint("vc shadow length")? as usize;
+        if self.shadow.len() < shadow_len {
+            self.shadow.resize_with(shadow_len, Cell::default);
+        }
+        let dirty = c.varint("vc dirty cell count")?;
+        for _ in 0..dirty {
+            let idx = c.varint("vc cell index")? as usize;
+            if idx >= shadow_len {
+                return Err(StateError(format!(
+                    "vc cell index {idx} out of range (shadow length {shadow_len})"
+                )));
+            }
+            let write = match c.varint("vc write flag")? {
+                0 => None,
+                1 => Some(Epoch {
+                    task: TaskId(c.varint("vc write task")? as u32),
+                    clock: c.varint("vc write clock")? as u32,
+                }),
+                other => return Err(StateError(format!("invalid vc write flag {other}"))),
+            };
+            let n_reads = c.varint("vc read count")?;
+            let mut reads = Vec::with_capacity(n_reads as usize);
+            for _ in 0..n_reads {
+                reads.push(Epoch {
+                    task: TaskId(c.varint("vc read task")? as u32),
+                    clock: c.varint("vc read clock")? as u32,
+                });
+            }
+            self.shadow[idx] = Cell { write, reads };
+        }
+        self.races = c.varint("vc races")?;
+        if !c.is_empty() {
+            return Err(StateError(format!(
+                "{} trailing byte(s) after vector-clock state",
+                c.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +442,73 @@ mod tests {
             d.peak_clock_width
         );
         assert_eq!(d.name(), "vector-clock");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_matches_straight_run() {
+        use futrace_runtime::{run_serial, EventLog};
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(4, 0i64, "a");
+            for i in 0..4 {
+                let aw = a.clone();
+                ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+            }
+            let ar = a.clone();
+            let f = ctx.future(move |ctx| ar.read(ctx, 0));
+            for i in 0..4 {
+                a.write(ctx, i, 2); // races with the async writers
+            }
+            ctx.get(&f);
+            let _ = a.read(ctx, 1);
+        });
+
+        let route = |det: &mut VectorClockDetector, e: &Event| match e {
+            Event::Read(t, l) => Monitor::read(det, *t, *l),
+            Event::Write(t, l) => Monitor::write(det, *t, *l),
+            control => Analysis::apply_control(det, control),
+        };
+
+        let mut straight = VectorClockDetector::new();
+        for e in &log.events {
+            route(&mut straight, e);
+        }
+        assert!(straight.races > 0, "test program must be racy");
+
+        for cut in [0, log.events.len() / 2, log.events.len()] {
+            let mut prefix = VectorClockDetector::new();
+            for e in &log.events[..cut] {
+                route(&mut prefix, e);
+            }
+            let mut blob = Vec::new();
+            prefix.save_state(&mut blob);
+
+            let mut resumed = VectorClockDetector::new();
+            for e in &log.events[..cut] {
+                if !matches!(e, Event::Read(..) | Event::Write(..)) {
+                    Analysis::apply_control(&mut resumed, e);
+                }
+            }
+            resumed.restore_state(&blob).unwrap();
+            for e in &log.events[cut..] {
+                route(&mut resumed, e);
+            }
+
+            assert_eq!(resumed.races, straight.races, "cut={cut}");
+            assert_eq!(resumed.shadow.len(), straight.shadow.len(), "cut={cut}");
+            assert_eq!(
+                resumed.peak_clock_width, straight.peak_clock_width,
+                "cut={cut}"
+            );
+            assert_eq!(
+                resumed.total_clock_entries, straight.total_clock_entries,
+                "cut={cut}"
+            );
+        }
+
+        let mut det = VectorClockDetector::new();
+        assert!(det.restore_state(&[0xFF]).is_err(), "truncated varint");
+        assert!(det.restore_state(&[7]).is_err(), "bad version");
     }
 
     #[test]

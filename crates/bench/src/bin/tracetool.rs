@@ -31,18 +31,28 @@ use futrace_benchsuite::{jacobi, lu, pipeline, smithwaterman};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
 use futrace_detector::RaceReport;
 use futrace_offline::framed::{self, DEFAULT_CHUNK_BYTES};
-use futrace_offline::{trace_events, ShardPlan, StreamWriter};
+use futrace_offline::{
+    trace_events, Checkpoint, ShardPlan, StreamWriter, SupervisedOutcome, SuperviseError,
+    SupervisorPlan, TraceFingerprint, WriterStats,
+};
 use futrace_runtime::engine::{run_analysis_recorded, AnalysisOutcome, EngineCounters};
 use futrace_runtime::{run_serial, trace, Event, EventLog, Monitor, SerialCtx};
+use futrace_util::faultinject::{
+    read_to_end_with_retry, Backoff, FaultPlan, FaultyReader, FaultyWriter, IoFaultStats,
+};
 use std::io::BufWriter;
+use std::time::Duration;
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!("usage:");
     eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE");
-    eprintln!("                   [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]");
+    eprintln!("                   [--tiny|--scaled] [--planted]");
+    eprintln!("                   [--stream [--chunk-bytes N] [--inject SEED]]");
     eprintln!("  tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]");
-    eprintln!("                   [--graph] [--dot FILE]");
+    eprintln!("                   [--graph] [--dot FILE] [--inject SEED]");
+    eprintln!("                   [--checkpoint-every N] [--stop-after N --checkpoint FILE]");
+    eprintln!("                   [--resume FILE]");
     eprintln!("  tracetool compare FILE [--detectors NAME,NAME,...] [--lenient]");
     eprintln!("  tracetool info FILE");
     eprintln!("  tracetool verify FILE");
@@ -101,22 +111,76 @@ fn run_bench<M: Monitor>(mon: &mut M, bench: &str, tiny: bool, planted: bool) {
     }
 }
 
+fn print_fault_stats(kind: &str, seed: u64, s: &IoFaultStats) {
+    eprintln!(
+        "injected {kind} faults (seed {seed}): {} call(s), {} transient(s), \
+         {} short op(s), {} hard error(s), {} byte(s) truncated",
+        s.calls, s.transients, s.short_ops, s.hard_errors, s.truncated_bytes
+    );
+}
+
+fn print_record_stats(stats: &WriterStats, out: &str) {
+    eprintln!(
+        "recorded {} events in {} framed chunks ({} bytes, {:.2} B/event) to {}",
+        stats.events,
+        stats.chunks,
+        stats.bytes_written,
+        stats.bytes_written as f64 / stats.events.max(1) as f64,
+        out
+    );
+    if stats.io_retries > 0 {
+        eprintln!("note: {} transient I/O error(s) retried", stats.io_retries);
+    }
+}
+
+/// Checked close: a failing sink must end in a clear message and exit 1,
+/// never a panic (the `StreamWriter` Drop impl stays silent by design).
+fn finish_stream<W: std::io::Write>(writer: StreamWriter<W>, out: &str) -> (W, WriterStats) {
+    match writer.finish() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("failed to finalize trace {out}: {e}");
+            eprintln!(
+                "the file may hold a partial trace; \
+                 `tracetool analyze {out} --lenient` salvages the intact chunks"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn record(args: RecordArgs) {
     if args.stream {
         let file = std::fs::File::create(&args.out).expect("create trace file");
         let chunk = args.chunk_bytes.unwrap_or(DEFAULT_CHUNK_BYTES);
-        let mut writer = StreamWriter::with_chunk_bytes(BufWriter::new(file), chunk)
-            .expect("write trace header");
-        run_bench(&mut writer, &args.bench, args.tiny, args.planted);
-        let (_, stats) = writer.finish().expect("flush trace file");
-        eprintln!(
-            "recorded {} events in {} framed chunks ({} bytes, {:.2} B/event) to {}",
-            stats.events,
-            stats.chunks,
-            stats.bytes_written,
-            stats.bytes_written as f64 / stats.events.max(1) as f64,
-            args.out
-        );
+        if let Some(seed) = args.inject {
+            // Deterministic write-fault injection: the sink misbehaves per
+            // the seeded plan; the writer's retry layer absorbs what it
+            // can and finish() reports what it cannot.
+            let plan = FaultPlan::from_seed(seed);
+            let sink = FaultyWriter::new(BufWriter::new(file), plan.write);
+            let mut writer = match StreamWriter::with_chunk_bytes(sink, chunk) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("cannot start trace {}: {e}", args.out);
+                    std::process::exit(1);
+                }
+            };
+            run_bench(&mut writer, &args.bench, args.tiny, args.planted);
+            if writer.stats().dropped_events > 0 {
+                let dropped = writer.stats().dropped_events;
+                eprintln!("warning: sink failed hard; {dropped} event(s) dropped");
+            }
+            let (sink, stats) = finish_stream(writer, &args.out);
+            print_fault_stats("write", seed, &sink.stats());
+            print_record_stats(&stats, &args.out);
+        } else {
+            let mut writer = StreamWriter::with_chunk_bytes(BufWriter::new(file), chunk)
+                .expect("write trace header");
+            run_bench(&mut writer, &args.bench, args.tiny, args.planted);
+            let (_, stats) = finish_stream(writer, &args.out);
+            print_record_stats(&stats, &args.out);
+        }
     } else {
         let mut log = EventLog::new();
         run_bench(&mut log, &args.bench, args.tiny, args.planted);
@@ -135,6 +199,38 @@ fn record(args: RecordArgs) {
 fn read_trace(file: &str) -> Vec<u8> {
     match std::fs::read(file) {
         Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reads the trace through a seeded [`FaultyReader`], retrying transient
+/// errors with bounded backoff. Hard faults still end the run (exit 1) —
+/// the point is that *transient* ones must not.
+fn read_trace_injected(file: &str, plan: &FaultPlan) -> Vec<u8> {
+    let f = match std::fs::File::open(file) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut reader = FaultyReader::new(std::io::BufReader::new(f), plan.read.clone());
+    let mut backoff = Backoff::new(plan.seed, 8, Duration::from_millis(1));
+    let mut buf = Vec::new();
+    match read_to_end_with_retry(&mut reader, &mut buf, &mut backoff) {
+        Ok(_) => {
+            print_fault_stats("read", plan.seed, &reader.stats());
+            if backoff.total_retries() > 0 {
+                eprintln!(
+                    "note: {} transient read error(s) retried",
+                    backoff.total_retries()
+                );
+            }
+            buf
+        }
         Err(e) => {
             eprintln!("cannot read {file}: {e}");
             std::process::exit(1);
@@ -167,6 +263,16 @@ fn decode_all(file: &str, blob: &[u8], lenient: bool) -> (Vec<Event>, u64) {
     for item in it.by_ref() {
         match item {
             Ok(e) => events.push(e),
+            Err(e) if lenient => {
+                // Even lenient framing cannot resync past a truncation
+                // (no sync markers), but the events already decoded are
+                // individually valid — salvage the intact prefix.
+                eprintln!(
+                    "warning: {e}; analyzing the {} intact event(s) before the damage",
+                    events.len()
+                );
+                break;
+            }
             Err(e) => {
                 eprintln!("invalid trace {file}: {e}");
                 std::process::exit(1);
@@ -210,10 +316,155 @@ fn print_engine_counters(counters: &EngineCounters) {
     println!("{counters}");
 }
 
-fn analyze(args: AnalyzeArgs) {
-    let blob = read_trace(&args.file);
+/// Runs the supervised fault-tolerant pipeline: restart-from-snapshot,
+/// degrade-to-serial, suspend/resume. Prints the same verdict section as
+/// every other path; supervision outcomes surface in the `-- engine --`
+/// block only.
+fn analyze_supervised(args: &AnalyzeArgs, blob: &[u8], faults: Option<&FaultPlan>) -> bool {
+    if (args.checkpoint_every.is_some() || args.stop_after.is_some())
+        && !framed::is_framed(blob)
+    {
+        eprintln!(
+            "error: checkpointing needs chunk boundaries; {} is a flat v1 trace \
+             (re-record with --stream)",
+            args.file
+        );
+        std::process::exit(2);
+    }
 
-    let racy = if let Some(shards) = args.shards {
+    let resume = args.resume.as_ref().map(|path| {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot read checkpoint {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let cp = match Checkpoint::decode(&data) {
+            Ok(cp) => cp,
+            Err(e) => {
+                eprintln!("invalid checkpoint {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = cp.matches_trace(blob) {
+            eprintln!("checkpoint {path} cannot resume this trace: {e}");
+            std::process::exit(1);
+        }
+        cp
+    });
+
+    let mut plan = SupervisorPlan {
+        shard: ShardPlan::with_shards(args.shards.unwrap_or(ShardPlan::default().shards)),
+        checkpoint_every_chunks: args.checkpoint_every,
+        stop_after_chunks: args.stop_after,
+        fingerprint: Some(TraceFingerprint::of(blob)),
+        ..SupervisorPlan::default()
+    };
+    if let Some(f) = faults {
+        plan = plan.with_faults(f);
+    }
+
+    let start = std::time::Instant::now();
+    let out = detectors::run_supervised_on_events(
+        &args.detector,
+        || trace_events(blob, args.lenient),
+        &plan,
+        resume.as_ref(),
+    );
+    let out = match out {
+        Ok(o) => o,
+        Err(SuperviseError::Stream(e)) => {
+            eprintln!("invalid trace {}: {e}", args.file);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot resume: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match out {
+        SupervisedOutcome::Suspended {
+            checkpoint,
+            supervision,
+        } => {
+            let path = args
+                .checkpoint
+                .as_ref()
+                .expect("parser requires --checkpoint with --stop-after");
+            let encoded = checkpoint.encode();
+            if let Err(e) = std::fs::write(path, &encoded) {
+                eprintln!("cannot write checkpoint {path}: {e}");
+                std::process::exit(1);
+            }
+            println!(
+                "suspended after {} chunk(s), {} event(s): checkpoint written to {} ({} bytes)",
+                checkpoint.chunks_completed,
+                checkpoint.events_consumed,
+                path,
+                encoded.len()
+            );
+            println!(
+                "resume with: tracetool analyze {} --detector {} --resume {}",
+                args.file, args.detector, path
+            );
+            if supervision.any() {
+                println!(
+                    "supervision: {} restart(s), {} snapshot(s), {} watchdog timeout(s)",
+                    supervision.shard_restarts,
+                    supervision.snapshots_taken,
+                    supervision.watchdog_timeouts
+                );
+            }
+            false
+        }
+        SupervisedOutcome::Completed {
+            report,
+            stats,
+            supervision,
+        } => {
+            let s = &stats;
+            println!("{}: {} events", args.file, s.events);
+            if s.skipped_chunks > 0 {
+                eprintln!("warning: skipped {} damaged chunk(s)", s.skipped_chunks);
+            }
+            println!("\n-- sharded pipeline --");
+            println!("shards:      {}", s.shards);
+            println!(
+                "events:      {} ({} control broadcast, {} accesses routed)",
+                s.events, s.control_events, s.accesses
+            );
+            println!(
+                "accesses:    {} reads, {} writes; per shard: {:?}",
+                s.reads, s.writes, s.per_shard_accesses
+            );
+            let counters = EngineCounters {
+                events: s.events,
+                control_events: s.control_events,
+                reads: s.reads,
+                writes: s.writes,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                shard_restarts: supervision.shard_restarts,
+                degradations: supervision.degradations,
+                resumed_from_checkpoint: supervision.resumed_from_checkpoint,
+            };
+            print_engine_counters(&counters);
+            print_report(&args.detector, &report)
+        }
+    }
+}
+
+fn analyze(args: AnalyzeArgs) {
+    let faults = args.inject.map(FaultPlan::from_seed);
+    let blob = match &faults {
+        Some(plan) => read_trace_injected(&args.file, plan),
+        None => read_trace(&args.file),
+    };
+
+    let racy = if args.supervised() {
+        analyze_supervised(&args, &blob, faults.as_ref())
+    } else if let Some(shards) = args.shards {
         let plan = ShardPlan::with_shards(shards);
         let mut events = trace_events(&blob, args.lenient);
         let run = match detectors::run_sharded_on_events(&args.detector, &mut events, &plan) {
@@ -424,19 +675,68 @@ fn info(file: &str) {
 fn verify(file: &str) {
     let blob = read_trace(file);
     // Strict full pass: every chunk CRC, every event decode, every
-    // declared event count. Any damage → exit 1.
-    let mut events = 0u64;
-    for item in trace_events(&blob, false) {
-        match item {
-            Ok(_) => events += 1,
-            Err(e) => {
-                eprintln!("{file}: FAILED after {events} events: {e}");
-                std::process::exit(1);
+    // declared event count. Any damage → exit 1, but keep going so one
+    // run reports *every* damaged chunk, each with enough context (chunk
+    // index, byte offset, stored vs computed CRC) to find it on disk.
+    if framed::is_framed(&blob) {
+        let mut events = 0u64;
+        let mut damaged = 0u64;
+        for chunk in framed::chunks(&blob) {
+            match chunk {
+                Ok(c) => {
+                    let mut decoded = 0u64;
+                    for item in trace::decode_iter(c.payload) {
+                        match item {
+                            Ok(_) => decoded += 1,
+                            Err(e) => {
+                                damaged += 1;
+                                eprintln!(
+                                    "{file}: chunk {}: payload decode failed after \
+                                     {decoded} event(s): {e}",
+                                    c.index
+                                );
+                                decoded = u64::MAX; // poisoned; skip count check
+                                break;
+                            }
+                        }
+                    }
+                    if decoded != u64::MAX {
+                        if decoded != u64::from(c.event_count) {
+                            damaged += 1;
+                            eprintln!(
+                                "{file}: chunk {}: declared {} event(s) but payload \
+                                 holds {decoded}",
+                                c.index, c.event_count
+                            );
+                        } else {
+                            events += decoded;
+                        }
+                    }
+                }
+                Err(e) => {
+                    damaged += 1;
+                    eprintln!("{file}: {e}");
+                }
             }
         }
+        if damaged > 0 {
+            eprintln!("{file}: FAILED: {damaged} damaged chunk(s)");
+            std::process::exit(1);
+        }
+        println!("{file}: OK (v2, {events} events, {} bytes)", blob.len());
+    } else {
+        let mut events = 0u64;
+        for item in trace_events(&blob, false) {
+            match item {
+                Ok(_) => events += 1,
+                Err(e) => {
+                    eprintln!("{file}: FAILED after {events} events: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!("{file}: OK (v1, {events} events, {} bytes)", blob.len());
     }
-    let format = if framed::is_framed(&blob) { "v2" } else { "v1" };
-    println!("{file}: OK ({format}, {events} events, {} bytes)", blob.len());
 }
 
 fn main() {

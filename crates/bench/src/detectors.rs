@@ -15,7 +15,10 @@ use futrace_baselines::{
     VectorClockDetector,
 };
 use futrace_detector::{DtrgReport, RaceDetector};
-use futrace_offline::{run_sharded_events, ShardPlan, ShardedRun};
+use futrace_offline::{
+    run_sharded_events, run_supervised, Checkpoint, ChunkedEvents, ShardPlan, ShardedRun,
+    SupervisedOutcome, SuperviseError, SupervisorPlan,
+};
 use futrace_runtime::engine::{run_analysis, source, AnalysisOutcome};
 use futrace_runtime::Event;
 
@@ -165,6 +168,60 @@ where
     }
 }
 
+/// Runs the named detector under the fault-tolerant supervisor
+/// ([`futrace_offline::supervise`]): workers restart from snapshots, the
+/// run can suspend into a [`Checkpoint`] and later resume from one, and
+/// unrecoverable failures degrade to a serial pass with the same verdict.
+///
+/// `make_events` must yield a fresh stream over the same trace each call
+/// (degradation and resume both re-read from the start).
+///
+/// # Panics
+///
+/// Panics if the detector is not loc-routable — the supervised pipeline is
+/// sharding plus recovery, so [`is_shardable`] gates it too.
+pub fn run_supervised_on_events<I, E, MF>(
+    name: &str,
+    make_events: MF,
+    plan: &SupervisorPlan,
+    resume: Option<&Checkpoint>,
+) -> Result<SupervisedOutcome<AnyReport>, SuperviseError<E>>
+where
+    I: ChunkedEvents + Iterator<Item = Result<Event, E>>,
+    MF: Fn() -> I,
+{
+    fn erase<R>(
+        out: SupervisedOutcome<R>,
+        f: impl FnOnce(R) -> AnyReport,
+    ) -> SupervisedOutcome<AnyReport> {
+        match out {
+            SupervisedOutcome::Completed {
+                report,
+                stats,
+                supervision,
+            } => SupervisedOutcome::Completed {
+                report: f(report),
+                stats,
+                supervision,
+            },
+            SupervisedOutcome::Suspended {
+                checkpoint,
+                supervision,
+            } => SupervisedOutcome::Suspended {
+                checkpoint,
+                supervision,
+            },
+        }
+    }
+    match name {
+        "dtrg" => run_supervised(make_events, RaceDetector::new, plan, resume)
+            .map(|o| erase(o, |r| AnyReport::Dtrg(Box::new(r)))),
+        "vc" => run_supervised(make_events, VectorClockDetector::new, plan, resume)
+            .map(|o| erase(o, AnyReport::Baseline)),
+        other => panic!("detector {other:?} is not shardable (check is_shardable)"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +279,42 @@ mod tests {
                 "{name} must flag its ignored gets: {:?}",
                 rep.notes()
             );
+        }
+    }
+
+    #[test]
+    fn supervised_detectors_match_their_serial_runs() {
+        use futrace_offline::SyntheticChunks;
+        let log = future_sync_trace();
+        let plan = SupervisorPlan {
+            shard: ShardPlan::with_shards(2),
+            ..SupervisorPlan::default()
+        };
+        for name in ["dtrg", "vc"] {
+            let serial = run(name, &log).report;
+            let out = run_supervised_on_events(
+                name,
+                || {
+                    SyntheticChunks::new(
+                        log.events.iter().cloned().map(Ok::<_, Infallible>),
+                        4,
+                    )
+                },
+                &plan,
+                None,
+            )
+            .unwrap();
+            let SupervisedOutcome::Completed {
+                report,
+                stats,
+                supervision,
+            } = out
+            else {
+                panic!("no stop requested, must complete");
+            };
+            assert_eq!(serial.race_count(), report.race_count(), "{name}");
+            assert_eq!(stats.shards, 2, "{name}");
+            assert!(!supervision.any(), "{name}: clean run, nothing to report");
         }
     }
 

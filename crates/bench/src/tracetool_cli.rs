@@ -49,6 +49,10 @@ pub struct RecordArgs {
     pub stream: bool,
     /// Target chunk payload size for `--stream` (bytes).
     pub chunk_bytes: Option<usize>,
+    /// Seed for deterministic write-fault injection (`--stream` only):
+    /// derives a [`futrace_util::faultinject::FaultPlan`] and wraps the
+    /// sink in a `FaultyWriter`.
+    pub inject: Option<u64>,
 }
 
 /// Options for `tracetool analyze`.
@@ -68,6 +72,31 @@ pub struct AnalyzeArgs {
     pub graph: bool,
     /// Write the computation graph as Graphviz to this path.
     pub dot: Option<String>,
+    /// Seed for deterministic fault injection: read faults on the trace
+    /// file plus worker panic/stall faults in the supervised pipeline.
+    pub inject: Option<u64>,
+    /// Barrier-snapshot every N chunk boundaries (supervised pipeline).
+    pub checkpoint_every: Option<u64>,
+    /// Write a resumable checkpoint to this path when the run suspends.
+    pub checkpoint: Option<String>,
+    /// Resume from a checkpoint file written by an earlier `--checkpoint`
+    /// run.
+    pub resume: Option<String>,
+    /// Suspend after this many trace chunks (absolute count; requires
+    /// `--checkpoint` to receive the snapshot).
+    pub stop_after: Option<u64>,
+}
+
+impl AnalyzeArgs {
+    /// True iff any fault-tolerance flag was given, which routes the run
+    /// through the supervised pipeline instead of the plain sharded one.
+    pub fn supervised(&self) -> bool {
+        self.inject.is_some()
+            || self.checkpoint_every.is_some()
+            || self.checkpoint.is_some()
+            || self.resume.is_some()
+            || self.stop_after.is_some()
+    }
 }
 
 /// Options for `tracetool compare`.
@@ -89,6 +118,26 @@ fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, S
         .ok_or_else(|| format!("{flag} requires a value"))
 }
 
+/// Parses `--inject`'s seed: any u64, but nothing else (a mistyped seed
+/// must not silently become a different fault plan).
+fn parse_seed(args: &[String], i: &mut usize) -> Result<u64, String> {
+    let v = value(args, i, "--inject")?;
+    v.parse::<u64>().map_err(|_| {
+        format!("--inject: invalid seed `{v}` (expected an unsigned 64-bit integer)")
+    })
+}
+
+fn parse_positive_u64(args: &[String], i: &mut usize, flag: &'static str) -> Result<u64, String> {
+    let v = value(args, i, flag)?;
+    let n: u64 = v
+        .parse()
+        .map_err(|_| format!("{flag}: invalid count `{v}` (expected a positive integer)"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(n)
+}
+
 fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
     let mut bench = None;
     let mut out = None;
@@ -96,6 +145,7 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
     let mut planted = false;
     let mut stream = false;
     let mut chunk_bytes = None;
+    let mut inject = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -121,12 +171,16 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
                         .map_err(|_| format!("--chunk-bytes: invalid byte count `{v}`"))?,
                 );
             }
+            "--inject" => inject = Some(parse_seed(args, &mut i)?),
             other => return Err(format!("record: unknown argument `{other}`")),
         }
         i += 1;
     }
     if chunk_bytes.is_some() && !stream {
         return Err("--chunk-bytes only applies to --stream recording".into());
+    }
+    if inject.is_some() && !stream {
+        return Err("--inject only applies to --stream recording".into());
     }
     let bench = bench.ok_or("record: --bench is required")?;
     let out = out.ok_or("record: --out is required")?;
@@ -137,6 +191,7 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
         planted,
         stream,
         chunk_bytes,
+        inject,
     })
 }
 
@@ -169,6 +224,11 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
     let mut lenient = false;
     let mut graph = false;
     let mut dot = None;
+    let mut inject = None;
+    let mut checkpoint_every = None;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut stop_after = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -179,6 +239,15 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
             "--dot" => {
                 dot = Some(value(args, &mut i, "--dot")?.to_string());
                 graph = true;
+            }
+            "--inject" => inject = Some(parse_seed(args, &mut i)?),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_positive_u64(args, &mut i, "--checkpoint-every")?)
+            }
+            "--checkpoint" => checkpoint = Some(value(args, &mut i, "--checkpoint")?.to_string()),
+            "--resume" => resume = Some(value(args, &mut i, "--resume")?.to_string()),
+            "--stop-after" => {
+                stop_after = Some(parse_positive_u64(args, &mut i, "--stop-after")?)
             }
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
             other => return Err(format!("analyze: unknown argument `{other}`")),
@@ -197,6 +266,23 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
              drop --shards (shardable: dtrg, vc)"
         ));
     }
+    let supervised_flag = inject.is_some()
+        || checkpoint_every.is_some()
+        || checkpoint.is_some()
+        || resume.is_some()
+        || stop_after.is_some();
+    if supervised_flag && !is_shardable(&detector) {
+        return Err(format!(
+            "detector `{detector}` cannot run under the supervised pipeline; \
+             --inject/--checkpoint*/--resume/--stop-after need a shardable detector (dtrg, vc)"
+        ));
+    }
+    if supervised_flag && graph {
+        return Err("--graph/--dot require the serial path; drop the fault-tolerance flags".into());
+    }
+    if stop_after.is_some() && checkpoint.is_none() {
+        return Err("--stop-after needs --checkpoint FILE to receive the snapshot".into());
+    }
     Ok(AnalyzeArgs {
         file: file.ok_or("analyze: trace file is required")?,
         detector,
@@ -204,6 +290,11 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
         lenient,
         graph,
         dot,
+        inject,
+        checkpoint_every,
+        checkpoint,
+        resume,
+        stop_after,
     })
 }
 
@@ -430,6 +521,73 @@ mod tests {
         let err = parse(&argv("compare t --detectors dtrg,dtrg")).unwrap_err();
         assert!(err.contains("listed twice"), "{err}");
         assert!(parse(&argv("compare")).unwrap_err().contains("required"));
+    }
+
+    #[test]
+    fn inject_seed_is_validated_up_front() {
+        // A mistyped seed must be a structured usage error, never a
+        // silently different fault plan.
+        for bad in ["banana", "-1", "0x2a", "1.5", "18446744073709551616"] {
+            let err = parse(&argv(&format!("analyze t --inject {bad}"))).unwrap_err();
+            assert!(err.contains(&format!("invalid seed `{bad}`")), "{err}");
+            assert!(err.contains("unsigned 64-bit"), "{err}");
+        }
+        assert!(parse(&argv("analyze t --inject")).unwrap_err().contains("value"));
+
+        let Command::Analyze(a) = parse(&argv("analyze t --inject 42")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.inject, Some(42));
+        assert!(a.supervised());
+
+        // record-side: same validation, and --stream is required.
+        let err =
+            parse(&argv("record --bench lu --out t --stream --inject nope")).unwrap_err();
+        assert!(err.contains("invalid seed `nope`"), "{err}");
+        let err = parse(&argv("record --bench lu --out t --inject 7")).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+        let Command::Record(r) =
+            parse(&argv("record --bench lu --out t --stream --inject 7")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.inject, Some(7));
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let Command::Analyze(a) = parse(&argv(
+            "analyze t --shards 2 --checkpoint-every 4 --stop-after 8 --checkpoint c.ckpt",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.checkpoint_every, Some(4));
+        assert_eq!(a.stop_after, Some(8));
+        assert_eq!(a.checkpoint.as_deref(), Some("c.ckpt"));
+        assert!(a.supervised());
+
+        let Command::Analyze(a) = parse(&argv("analyze t --resume c.ckpt")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.resume.as_deref(), Some("c.ckpt"));
+        assert!(a.supervised());
+
+        let Command::Analyze(a) = parse(&argv("analyze t --shards 2")).unwrap() else {
+            panic!()
+        };
+        assert!(!a.supervised(), "plain sharding is not the supervised path");
+
+        let err = parse(&argv("analyze t --stop-after 3")).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = parse(&argv("analyze t --checkpoint-every 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("analyze t --stop-after many --checkpoint c")).unwrap_err();
+        assert!(err.contains("invalid count `many`"), "{err}");
+        let err = parse(&argv("analyze t --detector spbags --inject 1")).unwrap_err();
+        assert!(err.contains("supervised"), "{err}");
+        let err = parse(&argv("analyze t --graph --resume c.ckpt")).unwrap_err();
+        assert!(err.contains("serial"), "{err}");
     }
 
     #[test]

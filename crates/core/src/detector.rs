@@ -36,15 +36,17 @@
 
 use crate::dtrg::Dtrg;
 use crate::report::{AccessKind, Race, RaceReport};
-use crate::shadow::{Readers, ShadowMemory};
+use crate::shadow::{Readers, ShadowCell, ShadowMemory};
 use crate::stats::DetectorStats;
-use futrace_runtime::engine::{run_analysis_live, Analysis, Engine, LocRoutable};
+use futrace_runtime::engine::{
+    run_analysis_live, Analysis, Checkpointable, Engine, LocRoutable, StateError,
+};
 use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_runtime::SerialCtx;
 #[cfg(test)]
 use futrace_runtime::run_serial;
 use futrace_util::ids::{FinishId, LocId, TaskId};
-use futrace_util::FxHashSet;
+use futrace_util::{wire, FxHashSet};
 
 /// Detector configuration.
 #[derive(Clone, Debug)]
@@ -498,6 +500,195 @@ impl LocRoutable for RaceDetector {
     }
 }
 
+/// Checkpoint state-blob version for [`RaceDetector`].
+const DTRG_STATE_VERSION: u64 = 1;
+
+impl Checkpointable for RaceDetector {
+    /// Serializes the access-derived half of the detector: shadow-cell
+    /// contents, discovered races, the dedup set, access counters, and the
+    /// DTRG query-cost counters. Control-derived state (the DTRG itself,
+    /// task counts, shadow-memory allocation names) is *not* serialized —
+    /// the restore contract rebuilds it by replaying the checkpoint's
+    /// control-event prefix, which is exact by construction.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        wire::put_varint(out, DTRG_STATE_VERSION);
+
+        // Shadow memory: total length (growth from unregistered accesses
+        // must survive, for footprint parity) + the non-default cells.
+        wire::put_varint(out, self.shadow.len() as u64);
+        let dirty: Vec<(usize, &ShadowCell)> = self.shadow.dirty_cells().collect();
+        wire::put_varint(out, dirty.len() as u64);
+        for (idx, cell) in dirty {
+            wire::put_varint(out, idx as u64);
+            match cell.writer {
+                Some(w) => {
+                    wire::put_varint(out, 1);
+                    wire::put_varint(out, w.0 as u64);
+                }
+                None => wire::put_varint(out, 0),
+            }
+            wire::put_varint(out, cell.readers.len() as u64);
+            for r in cell.readers.iter() {
+                wire::put_varint(out, r.0 as u64);
+            }
+        }
+
+        wire::put_varint(out, self.access_index);
+        wire::put_varint(out, self.total_detected);
+
+        wire::put_varint(out, self.races.len() as u64);
+        for race in &self.races {
+            wire::put_varint(out, race.loc.0 as u64);
+            wire::put_str(out, &race.loc_name);
+            wire::put_varint(out, race.prev_task.0 as u64);
+            wire::put_varint(out, kind_code(race.prev_kind));
+            wire::put_varint(out, race.cur_task.0 as u64);
+            wire::put_varint(out, kind_code(race.cur_kind));
+            wire::put_varint(out, race.access_index);
+            wire::put_str(out, &race.prev_path);
+            wire::put_str(out, &race.cur_path);
+        }
+
+        // Dedup entries in sorted order so identical detector states always
+        // produce identical blobs (the hash set iterates nondeterministically).
+        let mut dedup: Vec<(LocId, TaskId, TaskId, u8)> =
+            self.dedup.iter().copied().collect();
+        dedup.sort_unstable();
+        wire::put_varint(out, dedup.len() as u64);
+        for (loc, prev, cur, kinds) in dedup {
+            wire::put_varint(out, loc.0 as u64);
+            wire::put_varint(out, prev.0 as u64);
+            wire::put_varint(out, cur.0 as u64);
+            wire::put_varint(out, kinds as u64);
+        }
+
+        // Access-derived statistics. Control-derived counts (tasks, gets,
+        // merges, nt edges) come back from the control replay; the two
+        // query-cost counters live in the DTRG and are carried explicitly.
+        wire::put_varint(out, self.stats.reads);
+        wire::put_varint(out, self.stats.writes);
+        let (count, mean, m2, min, max) = self.stats.readers_at_access.to_raw();
+        wire::put_varint(out, count);
+        wire::put_f64(out, mean);
+        wire::put_f64(out, m2);
+        wire::put_f64(out, min);
+        wire::put_f64(out, max);
+        wire::put_varint(out, self.dtrg.counters.precede_calls);
+        wire::put_varint(out, self.dtrg.counters.visit_expansions);
+    }
+
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), StateError> {
+        let mut c = wire::Cursor::new(state);
+        let version = c.varint("dtrg state version")?;
+        if version != DTRG_STATE_VERSION {
+            return Err(StateError(format!(
+                "unsupported dtrg state version {version} (expected {DTRG_STATE_VERSION})"
+            )));
+        }
+
+        let shadow_len = c.varint("shadow length")? as usize;
+        self.shadow.grow_to(shadow_len);
+        let dirty = c.varint("dirty cell count")?;
+        for _ in 0..dirty {
+            let idx = c.varint("cell index")? as usize;
+            if idx >= shadow_len {
+                return Err(StateError(format!(
+                    "cell index {idx} out of range (shadow length {shadow_len})"
+                )));
+            }
+            let has_writer = c.varint("writer flag")?;
+            let writer = match has_writer {
+                0 => None,
+                1 => Some(TaskId(c.varint("writer task")? as u32)),
+                other => {
+                    return Err(StateError(format!("invalid writer flag {other}")));
+                }
+            };
+            let n_readers = c.varint("reader count")?;
+            let mut readers = Readers::Empty;
+            for _ in 0..n_readers {
+                readers.push(TaskId(c.varint("reader task")? as u32));
+            }
+            let cell = self.shadow.cell_mut(LocId::from_index(idx));
+            cell.writer = writer;
+            cell.readers = readers;
+        }
+
+        self.access_index = c.varint("access index")?;
+        self.total_detected = c.varint("total detected")?;
+
+        let n_races = c.varint("race count")?;
+        self.races.clear();
+        for _ in 0..n_races {
+            let loc = LocId(c.varint("race loc")? as u32);
+            let loc_name = c.str("race loc name")?.to_string();
+            let prev_task = TaskId(c.varint("race prev task")? as u32);
+            let prev_kind = kind_from_code(c.varint("race prev kind")?)?;
+            let cur_task = TaskId(c.varint("race cur task")? as u32);
+            let cur_kind = kind_from_code(c.varint("race cur kind")?)?;
+            let access_index = c.varint("race access index")?;
+            let prev_path = c.str("race prev path")?.to_string();
+            let cur_path = c.str("race cur path")?.to_string();
+            self.races.push(Race {
+                loc,
+                loc_name,
+                prev_task,
+                prev_kind,
+                cur_task,
+                cur_kind,
+                access_index,
+                prev_path,
+                cur_path,
+            });
+        }
+
+        let n_dedup = c.varint("dedup count")?;
+        self.dedup.clear();
+        for _ in 0..n_dedup {
+            let loc = LocId(c.varint("dedup loc")? as u32);
+            let prev = TaskId(c.varint("dedup prev")? as u32);
+            let cur = TaskId(c.varint("dedup cur")? as u32);
+            let kinds = c.varint("dedup kinds")? as u8;
+            self.dedup.insert((loc, prev, cur, kinds));
+        }
+
+        self.stats.reads = c.varint("stats reads")?;
+        self.stats.writes = c.varint("stats writes")?;
+        let count = c.varint("readers count")?;
+        let mean = c.f64("readers mean")?;
+        let m2 = c.f64("readers m2")?;
+        let min = c.f64("readers min")?;
+        let max = c.f64("readers max")?;
+        self.stats.readers_at_access =
+            futrace_util::stats::Running::from_raw((count, mean, m2, min, max));
+        self.dtrg.counters.precede_calls = c.varint("precede calls")?;
+        self.dtrg.counters.visit_expansions = c.varint("visit expansions")?;
+
+        if !c.is_empty() {
+            return Err(StateError(format!(
+                "{} trailing byte(s) after dtrg state",
+                c.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn kind_code(k: AccessKind) -> u64 {
+    match k {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+    }
+}
+
+fn kind_from_code(code: u64) -> Result<AccessKind, StateError> {
+    match code {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        other => Err(StateError(format!("invalid access kind code {other}"))),
+    }
+}
+
 /// Runs `f` under serial depth-first execution with a fresh
 /// default-configured [`RaceDetector`] and returns the report.
 ///
@@ -838,6 +1029,111 @@ mod tests {
         assert_eq!(ra.total_detected, rb.total_detected);
         assert_eq!(ra.races, rb.races);
         assert!(ra.has_races());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_matches_straight_run() {
+        use futrace_runtime::EventLog;
+        // A program with races both early and late, so every cut point
+        // splits interesting state (stored readers, dedup entries, races)
+        // across the checkpoint boundary.
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(4, 0i64, "a");
+            for i in 0..4 {
+                let aw = a.clone();
+                ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+            }
+            let ar = a.clone();
+            let f = ctx.future(move |ctx| ar.read(ctx, 0));
+            for i in 0..4 {
+                a.write(ctx, i, 2); // races with the async writers
+            }
+            ctx.get(&f);
+            let _ = a.read(ctx, 1);
+            let aw = a.clone();
+            let _g = ctx.future(move |ctx| aw.write(ctx, 1, 7)); // never joined
+            a.write(ctx, 1, 8); // late race
+        });
+
+        let route = |det: &mut RaceDetector, e: &Event, idx: &mut u64| {
+            if !det.apply_control(e) {
+                match e {
+                    Event::Read(t, l) => det.check_read_at(*t, *l, *idx),
+                    Event::Write(t, l) => det.check_write_at(*t, *l, *idx),
+                    _ => unreachable!(),
+                }
+                *idx += 1;
+            }
+        };
+
+        let mut straight = RaceDetector::new();
+        let mut idx = 0u64;
+        for e in &log.events {
+            route(&mut straight, e, &mut idx);
+        }
+        let want_stats = straight.stats();
+        let want = straight.into_report();
+        assert!(want.has_races(), "test program must be racy");
+
+        for cut in [0, 1, log.events.len() / 3, log.events.len() / 2, log.events.len()] {
+            // Run the prefix, snapshot the access-derived state.
+            let mut prefix_det = RaceDetector::new();
+            let mut prefix_idx = 0u64;
+            for e in &log.events[..cut] {
+                route(&mut prefix_det, e, &mut prefix_idx);
+            }
+            let mut blob = Vec::new();
+            prefix_det.save_state(&mut blob);
+
+            // Fresh instance: replay only the control prefix, then restore.
+            let mut resumed = RaceDetector::new();
+            for e in &log.events[..cut] {
+                let _ = resumed.apply_control(e);
+            }
+            resumed.restore_state(&blob).unwrap();
+
+            // Run the suffix on the resumed instance.
+            let mut resumed_idx = prefix_idx;
+            for e in &log.events[cut..] {
+                route(&mut resumed, e, &mut resumed_idx);
+            }
+
+            let got_stats = resumed.stats();
+            assert_eq!(got_stats.reads, want_stats.reads, "cut={cut}");
+            assert_eq!(got_stats.writes, want_stats.writes, "cut={cut}");
+            assert_eq!(got_stats.tasks, want_stats.tasks, "cut={cut}");
+            assert_eq!(
+                got_stats.dtrg.precede_calls, want_stats.dtrg.precede_calls,
+                "cut={cut}"
+            );
+            assert_eq!(
+                got_stats.readers_at_access.to_raw(),
+                want_stats.readers_at_access.to_raw(),
+                "cut={cut}"
+            );
+            let got = resumed.into_report();
+            assert_eq!(got.total_detected, want.total_detected, "cut={cut}");
+            assert_eq!(got.races, want.races, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_garbage() {
+        let mut det = RaceDetector::new();
+        assert!(det.restore_state(&[0xFF]).is_err(), "truncated varint");
+        assert!(
+            det.restore_state(&[9]).is_err(),
+            "unsupported state version"
+        );
+        let mut blob = Vec::new();
+        RaceDetector::new().save_state(&mut blob);
+        blob.push(0);
+        let err = det.restore_state(&blob).unwrap_err();
+        assert!(
+            err.to_string().contains("trailing"),
+            "trailing bytes detected: {err}"
+        );
     }
 
     #[test]

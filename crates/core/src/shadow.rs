@@ -178,6 +178,26 @@ impl ShadowMemory {
         self.cells.iter().filter(|c| c.writer.is_some()).count()
     }
 
+    /// Iterates over the non-default cells with their dense indices, for
+    /// checkpoint serialization. Default (never-touched) cells are omitted
+    /// and recreated implicitly on restore via [`ShadowMemory::grow_to`].
+    pub fn dirty_cells(&self) -> impl Iterator<Item = (usize, &ShadowCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.writer.is_some() || !c.readers.is_empty())
+    }
+
+    /// Grows the cell vector to at least `len` cells. Checkpoint restore
+    /// uses this to reproduce growth caused by accesses to unregistered
+    /// locations, so a resumed run reports the same shadow-cell footprint
+    /// a fresh run would.
+    pub fn grow_to(&mut self, len: usize) {
+        if self.cells.len() < len {
+            self.cells.resize_with(len, ShadowCell::default);
+        }
+    }
+
     /// Human-readable name for a location: `"name[offset]"` if it falls in
     /// a registered allocation, else `"L<id>"`.
     pub fn describe(&self, loc: LocId) -> String {

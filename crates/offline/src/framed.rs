@@ -31,8 +31,10 @@
 use crate::crc32;
 use futrace_runtime::monitor::{Event, Monitor, TaskKind};
 use futrace_runtime::trace::{self, DecodeError};
+use futrace_util::faultinject::{write_all_with_retry, Backoff};
 use futrace_util::ids::{FinishId, LocId, TaskId};
 use std::io;
+use std::time::Duration;
 
 /// File magic ("FTRC").
 pub const MAGIC: [u8; 4] = *b"FTRC";
@@ -59,11 +61,20 @@ pub enum FrameError {
     TruncatedChunk {
         /// Index of the incomplete chunk.
         chunk: usize,
+        /// Byte offset of the chunk's header within the file.
+        offset: usize,
+        /// Bytes actually present from `offset` to end of file.
+        available: usize,
+        /// Bytes the chunk header promised (`None` when even the 12-byte
+        /// header is incomplete).
+        expected: Option<usize>,
     },
     /// A chunk's payload does not match its stored CRC.
     CorruptChunk {
         /// Index of the damaged chunk.
         chunk: usize,
+        /// Byte offset of the chunk's header within the file.
+        offset: usize,
         /// CRC stored in the chunk header.
         stored: u32,
         /// CRC computed over the payload.
@@ -85,16 +96,32 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::NotFramed => write!(f, "not a framed (v2) trace"),
             FrameError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
-            FrameError::TruncatedChunk { chunk } => {
-                write!(f, "trace truncated inside chunk {chunk}")
-            }
+            FrameError::TruncatedChunk {
+                chunk,
+                offset,
+                available,
+                expected,
+            } => match expected {
+                Some(want) => write!(
+                    f,
+                    "trace truncated inside chunk {chunk} at byte offset {offset}: \
+                     expected {want} byte(s), only {available} present"
+                ),
+                None => write!(
+                    f,
+                    "trace truncated inside chunk {chunk} at byte offset {offset}: \
+                     chunk header incomplete ({available} of {CHUNK_HEADER_LEN} byte(s))"
+                ),
+            },
             FrameError::CorruptChunk {
                 chunk,
+                offset,
                 stored,
                 computed,
             } => write!(
                 f,
-                "chunk {chunk} corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
+                "chunk {chunk} at byte offset {offset} corrupt: \
+                 expected crc {stored:#010x}, actual {computed:#010x}"
             ),
             FrameError::Decode { chunk, error } => {
                 write!(f, "chunk {chunk} payload undecodable: {error}")
@@ -181,9 +208,15 @@ impl<'a> Iterator for ChunkIter<'a> {
                         return None;
                     }
                     let chunk = self.index;
+                    let offset = self.pos;
                     if self.data.len() - self.pos < CHUNK_HEADER_LEN {
                         self.state = IterState::Done;
-                        return Some(Err(FrameError::TruncatedChunk { chunk }));
+                        return Some(Err(FrameError::TruncatedChunk {
+                            chunk,
+                            offset,
+                            available: self.data.len() - offset,
+                            expected: None,
+                        }));
                     }
                     let payload_len = read_u32(self.data, self.pos) as usize;
                     let event_count = read_u32(self.data, self.pos + 4);
@@ -191,7 +224,12 @@ impl<'a> Iterator for ChunkIter<'a> {
                     let body = self.pos + CHUNK_HEADER_LEN;
                     if self.data.len() - body < payload_len {
                         self.state = IterState::Done;
-                        return Some(Err(FrameError::TruncatedChunk { chunk }));
+                        return Some(Err(FrameError::TruncatedChunk {
+                            chunk,
+                            offset,
+                            available: self.data.len() - offset,
+                            expected: Some(CHUNK_HEADER_LEN + payload_len),
+                        }));
                     }
                     let payload = &self.data[body..body + payload_len];
                     self.pos = body + payload_len;
@@ -200,6 +238,7 @@ impl<'a> Iterator for ChunkIter<'a> {
                     if computed != stored {
                         return Some(Err(FrameError::CorruptChunk {
                             chunk,
+                            offset,
                             stored,
                             computed,
                         }));
@@ -227,6 +266,7 @@ pub struct FramedEvents<'a> {
     current: Option<(trace::DecodeIter<'a>, usize, u32, u32)>, // (iter, chunk, declared, yielded)
     lenient: bool,
     skipped: u64,
+    consumed: u64,
     done: bool,
 }
 
@@ -238,6 +278,7 @@ impl<'a> FramedEvents<'a> {
             current: None,
             lenient,
             skipped: 0,
+            consumed: 0,
             done: false,
         }
     }
@@ -246,6 +287,13 @@ impl<'a> FramedEvents<'a> {
     /// which stops at the first damaged chunk instead).
     pub fn skipped_chunks(&self) -> u64 {
         self.skipped
+    }
+
+    /// Chunks fully consumed so far (decoded or skipped). The checkpoint
+    /// layer snapshots analysis state at these boundaries, so resumed and
+    /// fresh runs cut the stream at identical points.
+    pub fn chunks_consumed(&self) -> u64 {
+        self.consumed
     }
 
     fn fail(&mut self, e: FrameError) -> Option<Result<Event, FrameError>> {
@@ -272,6 +320,7 @@ impl Iterator for FramedEvents<'_> {
                                 error: DecodeError::Malformed("event count mismatch"),
                             };
                             self.current = None;
+                            self.consumed += 1;
                             if self.lenient {
                                 self.skipped += 1;
                                 continue;
@@ -286,6 +335,7 @@ impl Iterator for FramedEvents<'_> {
                             error,
                         };
                         self.current = None;
+                        self.consumed += 1;
                         if self.lenient {
                             self.skipped += 1;
                             continue;
@@ -299,6 +349,7 @@ impl Iterator for FramedEvents<'_> {
                             error: DecodeError::Malformed("event count mismatch"),
                         };
                         self.current = None;
+                        self.consumed += 1;
                         if short {
                             // Events already yielded from this chunk were
                             // individually valid; only the bookkeeping is
@@ -328,6 +379,7 @@ impl Iterator for FramedEvents<'_> {
                 }
                 Some(Err(FrameError::CorruptChunk { .. })) if self.lenient => {
                     self.skipped += 1;
+                    self.consumed += 1;
                 }
                 Some(Err(e)) => return self.fail(e),
             }
@@ -346,6 +398,11 @@ pub struct WriterStats {
     pub payload_bytes: u64,
     /// Total bytes written to the sink, headers included.
     pub bytes_written: u64,
+    /// Transient sink errors smoothed over by the bounded retry loop.
+    pub io_retries: u64,
+    /// Events discarded after the sink failed hard (the swallow-with-flag
+    /// path; [`StreamWriter::finish`] surfaces the stashed error).
+    pub dropped_events: u64,
 }
 
 /// Incremental v2 writer with bounded buffering; also a [`Monitor`], so a
@@ -353,16 +410,30 @@ pub struct WriterStats {
 /// [`futrace_runtime::EventLog`].
 ///
 /// `Monitor` callbacks cannot return errors, so the first sink failure is
-/// stashed, further events are dropped, and the error surfaces from
-/// [`StreamWriter::finish`].
+/// stashed, further events are dropped (and counted), and the error
+/// surfaces from [`StreamWriter::finish`] — the checked close every
+/// production caller must use. Dropping an unfinished writer flushes
+/// best-effort and swallows sink failures: a failing disk during unwind
+/// must not turn into a double panic.
+///
+/// Transient sink errors (`WouldBlock`/`TimedOut`; `Interrupted` is
+/// absorbed like std's `write_all`) are retried with bounded,
+/// deterministically jittered backoff before being treated as hard.
 pub struct StreamWriter<W: io::Write> {
-    sink: W,
+    /// `None` only after `finish` has moved the sink out (so `Drop` can
+    /// tell a closed writer from an abandoned one without unsafe).
+    sink: Option<W>,
     buf: Vec<u8>,
     pending_events: u32,
     chunk_bytes: usize,
     stats: WriterStats,
     error: Option<io::Error>,
 }
+
+/// Retry budget for one chunk write: up to 8 consecutive transient
+/// failures, starting at 50µs and doubling (jittered, capped at 100ms).
+const RETRY_ATTEMPTS: u32 = 8;
+const RETRY_BASE: Duration = Duration::from_micros(50);
 
 impl<W: io::Write> StreamWriter<W> {
     /// Writer with the default chunk size ([`DEFAULT_CHUNK_BYTES`]). The
@@ -375,10 +446,11 @@ impl<W: io::Write> StreamWriter<W> {
     /// `chunk_bytes` payload bytes (clamped to ≥ 64).
     pub fn with_chunk_bytes(mut sink: W, chunk_bytes: usize) -> io::Result<Self> {
         let chunk_bytes = chunk_bytes.max(64);
-        sink.write_all(&MAGIC)?;
-        sink.write_all(&[VERSION])?;
+        let mut backoff = Backoff::new(u64::MAX, RETRY_ATTEMPTS, RETRY_BASE);
+        write_all_with_retry(&mut sink, &MAGIC, &mut backoff)?;
+        write_all_with_retry(&mut sink, &[VERSION], &mut backoff)?;
         Ok(StreamWriter {
-            sink,
+            sink: Some(sink),
             buf: Vec::with_capacity(chunk_bytes + 64),
             pending_events: 0,
             chunk_bytes,
@@ -393,6 +465,7 @@ impl<W: io::Write> StreamWriter<W> {
     /// Appends one event, flushing a chunk if the buffer is full.
     pub fn record(&mut self, e: &Event) {
         if self.error.is_some() {
+            self.stats.dropped_events += 1;
             return;
         }
         trace::encode_event(&mut self.buf, e);
@@ -407,15 +480,20 @@ impl<W: io::Write> StreamWriter<W> {
         if self.pending_events == 0 || self.error.is_some() {
             return;
         }
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
         let crc = crc32::crc32(&self.buf);
         let mut header = [0u8; CHUNK_HEADER_LEN];
         header[..4].copy_from_slice(&(self.buf.len() as u32).to_le_bytes());
         header[4..8].copy_from_slice(&self.pending_events.to_le_bytes());
         header[8..].copy_from_slice(&crc.to_le_bytes());
-        let res = self
-            .sink
-            .write_all(&header)
-            .and_then(|()| self.sink.write_all(&self.buf));
+        // Deterministic jitter: the chunk ordinal seeds the backoff, so a
+        // given recording retries with identical timing on every run.
+        let mut backoff = Backoff::new(self.stats.chunks, RETRY_ATTEMPTS, RETRY_BASE);
+        let res = write_all_with_retry(sink, &header, &mut backoff)
+            .and_then(|()| write_all_with_retry(sink, &self.buf, &mut backoff));
+        self.stats.io_retries += backoff.total_retries();
         match res {
             Ok(()) => {
                 self.stats.chunks += 1;
@@ -430,19 +508,37 @@ impl<W: io::Write> StreamWriter<W> {
 
     /// Flushes the trailing partial chunk and the sink, returning the sink
     /// and totals — or the first error encountered anywhere in the run.
+    /// This is the checked close: a recording not finished with `Ok` must
+    /// not be trusted.
     pub fn finish(mut self) -> io::Result<(W, WriterStats)> {
         self.flush_chunk();
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.sink.flush()?;
-        Ok((self.sink, self.stats))
+        let mut sink = self.sink.take().expect("finish called once");
+        sink.flush()?;
+        Ok((sink, self.stats))
     }
 
     /// Totals so far (the trailing partial chunk is not yet counted in
     /// `chunks`/`payload_bytes`).
     pub fn stats(&self) -> WriterStats {
         self.stats
+    }
+}
+
+impl<W: io::Write> Drop for StreamWriter<W> {
+    fn drop(&mut self) {
+        // Unfinished writer (early return, panic unwind, test shortcut):
+        // flush what we have, but swallow failures — `flush_chunk` already
+        // converts sink errors into the stashed flag instead of panicking,
+        // and a best-effort `flush` must not unwind either.
+        if self.sink.is_some() {
+            self.flush_chunk();
+            if let Some(sink) = self.sink.as_mut() {
+                let _ = sink.flush();
+            }
+        }
     }
 }
 
@@ -639,5 +735,134 @@ mod tests {
             }
         }
         assert!(StreamWriter::new(Full).is_err(), "header write fails");
+    }
+
+    /// Sink that accepts the 5-byte file header, then fails hard on every
+    /// write *and* panics-free on flush — the Drop-path regression shape.
+    #[derive(Debug)]
+    struct FailAfterHeader {
+        accepted: usize,
+    }
+    impl io::Write for FailAfterHeader {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.accepted < HEADER_LEN {
+                self.accepted += buf.len();
+                return Ok(buf.len());
+            }
+            Err(io::Error::new(io::ErrorKind::Other, "dead disk"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::Other, "dead disk"))
+        }
+    }
+
+    #[test]
+    fn drop_with_partial_chunk_on_failing_sink_does_not_panic() {
+        let mut writer = StreamWriter::new(FailAfterHeader { accepted: 0 }).unwrap();
+        writer.record(&Event::TaskEnd(TaskId(1)));
+        assert_eq!(writer.stats().events, 1);
+        // Buffer holds a partial chunk; the sink will reject the flush.
+        drop(writer); // must not panic
+    }
+
+    #[test]
+    fn events_after_hard_error_are_counted_as_dropped() {
+        let mut writer =
+            StreamWriter::with_chunk_bytes(FailAfterHeader { accepted: 0 }, 64).unwrap();
+        for _ in 0..200 {
+            writer.record(&Event::TaskEnd(TaskId(1)));
+        }
+        let stats = writer.stats();
+        assert!(stats.dropped_events > 0, "{stats:?}");
+        let err = writer.finish().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+    }
+
+    #[test]
+    fn transient_sink_errors_are_retried_into_a_valid_trace() {
+        use futrace_util::faultinject::{FaultyWriter, IoFaults, TransientKind};
+        let faults = IoFaults {
+            transient_every: Some(2),
+            transient_kind: Some(TransientKind::WouldBlock),
+            short_op_every: Some(3),
+            ..IoFaults::default()
+        };
+        let mut writer =
+            StreamWriter::with_chunk_bytes(FaultyWriter::new(Vec::new(), faults), 64).unwrap();
+        let mut log = futrace_runtime::EventLog::new();
+        run_serial(&mut log, |ctx: &mut futrace_runtime::SerialCtx<_>| {
+            let a = ctx.shared_array(32, 0u64, "grid");
+            for i in 0..32usize {
+                a.write(ctx, i, i as u64);
+            }
+        });
+        for e in &log.events {
+            writer.record(e);
+        }
+        let (faulty, stats) = writer.finish().unwrap();
+        assert!(stats.io_retries > 0, "retry path exercised: {stats:?}");
+        assert_eq!(stats.dropped_events, 0);
+        let bytes = faulty.into_inner();
+        let decoded: Vec<Event> = FramedEvents::new(&bytes, false)
+            .map(|e| e.unwrap())
+            .collect();
+        assert_eq!(decoded, log.events, "trace identical despite faults");
+    }
+
+    #[test]
+    fn truncation_error_reports_offset_and_sizes() {
+        let (bytes, _, _) = record_program();
+        let cut = &bytes[..bytes.len() - 3];
+        let err = FramedEvents::new(cut, true)
+            .find_map(|r| r.err())
+            .expect("must error");
+        let FrameError::TruncatedChunk {
+            offset,
+            available,
+            expected,
+            ..
+        } = err
+        else {
+            panic!("{err:?}");
+        };
+        assert!(offset >= HEADER_LEN);
+        match expected {
+            Some(want) => assert!(available < want),
+            None => assert!(available < CHUNK_HEADER_LEN),
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("byte offset"), "{shown}");
+    }
+
+    #[test]
+    fn corrupt_error_reports_offset_and_both_crcs() {
+        let (mut bytes, _, _) = record_program();
+        let victim = HEADER_LEN + CHUNK_HEADER_LEN + 3;
+        bytes[victim] ^= 0x40;
+        let err = chunks(&bytes).find_map(|r| r.err()).expect("must error");
+        let FrameError::CorruptChunk {
+            chunk,
+            offset,
+            stored,
+            computed,
+        } = err
+        else {
+            panic!("{err:?}");
+        };
+        assert_eq!(chunk, 0);
+        assert_eq!(offset, HEADER_LEN);
+        assert_ne!(stored, computed);
+        let shown = err.to_string();
+        assert!(shown.contains("expected crc") && shown.contains("actual"), "{shown}");
+    }
+
+    #[test]
+    fn chunks_consumed_counts_every_boundary() {
+        let (bytes, stats, _) = record_program();
+        let mut it = FramedEvents::new(&bytes, false);
+        for e in it.by_ref() {
+            e.unwrap();
+        }
+        assert_eq!(it.chunks_consumed(), stats.chunks);
     }
 }

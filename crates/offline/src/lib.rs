@@ -33,14 +33,21 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod checkpoint;
 pub mod crc32;
 pub mod framed;
 pub mod shard;
+pub mod supervise;
 
+pub use checkpoint::{is_checkpoint, Checkpoint, CheckpointError, RouterProgress, TraceFingerprint};
 pub use framed::{FrameError, FramedEvents, StreamWriter, WriterStats};
 pub use shard::{
     detect_sharded, detect_sharded_events, run_sharded_events, ShardOptions, ShardPlan,
     ShardStats, ShardedOutcome, ShardedRun,
+};
+pub use supervise::{
+    run_supervised, ChunkedEvents, SupervisedOutcome, SupervisionReport, SuperviseError,
+    SupervisorPlan, SyntheticChunks,
 };
 
 use futrace_runtime::trace::DecodeError;
@@ -103,6 +110,16 @@ impl TraceEvents<'_> {
     pub fn skipped_chunks(&self) -> u64 {
         match self {
             TraceEvents::Framed(it) => it.skipped_chunks(),
+            TraceEvents::Flat(_) => 0,
+        }
+    }
+
+    /// Chunks fully consumed so far. A v1 flat trace has no chunk
+    /// structure, so it exposes no boundaries (checkpointing requires a
+    /// framed trace).
+    pub fn chunks_consumed(&self) -> u64 {
+        match self {
+            TraceEvents::Framed(it) => it.chunks_consumed(),
             TraceEvents::Flat(_) => 0,
         }
     }

@@ -1,0 +1,1216 @@
+//! Supervised sharded analysis: fault-isolated workers, a watchdog, and
+//! recovery by restart-from-snapshot, degrade-to-serial, or
+//! suspend-to-checkpoint (DESIGN S38).
+//!
+//! The plain [`crate::shard`] pipeline assumes nothing goes wrong: a
+//! panicking worker aborts the process, a wedged worker hangs the router
+//! forever, and a killed process loses all progress. This module wraps the
+//! same routing discipline in a supervisor:
+//!
+//! * **Workers are spawned detached** (`std::thread::spawn`, not a scope)
+//!   with the analysis loop under `catch_unwind`, so a worker panic
+//!   becomes a [`FromWorker::Died`] message instead of a process abort,
+//!   and a wedged worker can be *abandoned* — the supervisor drops its
+//!   sender and moves on, which a scoped join could never do.
+//! * **The watchdog** bounds every wait: routing uses
+//!   [`crate::channel::Sender::send_timeout`], collection uses
+//!   [`crate::channel::Receiver::recv_timeout`]. A deadline expiring means
+//!   a worker is stalled; it is treated exactly like a dead one.
+//! * **Restart-from-snapshot**: at chunk boundaries the supervisor can
+//!   barrier-snapshot every worker ([`Checkpointable::save_state`]). A
+//!   replacement worker is rebuilt from scratch — control-prefix replay,
+//!   state restore, then replay of the batches routed since the snapshot
+//!   (the supervisor retains them; their volume is bounded by the
+//!   checkpoint interval). Injected faults are one-shot, modelling the
+//!   transient failures restart is for.
+//! * **Degrade-to-serial**: when restarts are exhausted (or recovery
+//!   itself fails), the supervisor falls back to a fresh single-threaded
+//!   run over the whole stream — slower, but the verdict is identical by
+//!   the sharding soundness argument with `N = 1`.
+//! * **Suspend/resume**: `stop_after_chunks` turns the barrier snapshot
+//!   into a [`Checkpoint`] and returns
+//!   [`SupervisedOutcome::Suspended`]; a later run passes the checkpoint
+//!   back and continues from the boundary with byte-identical results
+//!   (`tests/fault_tolerance.rs` proves this over random programs and
+//!   kill points).
+//!
+//! Every decision is recorded in a [`SupervisionReport`] so `tracetool
+//! analyze` can surface restarts, degradations, and resumes without
+//! changing the verdict lines CI diffs against.
+
+use crate::channel::{self, Receiver, RecvTimeout, SendTimeout, Sender};
+use crate::checkpoint::{Checkpoint, CheckpointError, RouterProgress, TraceFingerprint};
+use crate::shard::{ShardPlan, ShardStats};
+use futrace_runtime::engine::{Checkpointable, StateError};
+use futrace_runtime::Event;
+use futrace_util::faultinject::{FaultPlan, WorkerFault};
+use futrace_util::ids::{LocId, TaskId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// An event stream that knows how many trace chunks it has fully
+/// consumed. Chunk boundaries are the only points where the supervisor
+/// snapshots or suspends — they are stable across runs (a fresh run and a
+/// resumed run cut the stream identically), which is what makes
+/// checkpoint/resume deterministic.
+pub trait ChunkedEvents: Iterator {
+    /// Chunks fully consumed so far (monotone).
+    fn chunks_consumed(&self) -> u64;
+
+    /// Damaged chunks skipped so far (lenient framed reads; 0 otherwise).
+    fn skipped_chunks(&self) -> u64 {
+        0
+    }
+}
+
+impl ChunkedEvents for crate::framed::FramedEvents<'_> {
+    fn chunks_consumed(&self) -> u64 {
+        crate::framed::FramedEvents::chunks_consumed(self)
+    }
+    fn skipped_chunks(&self) -> u64 {
+        crate::framed::FramedEvents::skipped_chunks(self)
+    }
+}
+
+impl ChunkedEvents for crate::TraceEvents<'_> {
+    fn chunks_consumed(&self) -> u64 {
+        crate::TraceEvents::chunks_consumed(self)
+    }
+    fn skipped_chunks(&self) -> u64 {
+        crate::TraceEvents::skipped_chunks(self)
+    }
+}
+
+/// Imposes synthetic chunk boundaries (every `every` events) on any event
+/// iterator, so in-memory event streams can exercise checkpoint/resume
+/// without a framed encoding round-trip.
+pub struct SyntheticChunks<I> {
+    inner: I,
+    every: u64,
+    pulled: u64,
+}
+
+impl<I> SyntheticChunks<I> {
+    /// Wraps `inner` with a boundary after every `every` events (≥ 1).
+    pub fn new(inner: I, every: u64) -> Self {
+        SyntheticChunks {
+            inner,
+            every: every.max(1),
+            pulled: 0,
+        }
+    }
+}
+
+impl<I: Iterator> Iterator for SyntheticChunks<I> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.pulled += 1;
+        }
+        item
+    }
+}
+
+impl<I: Iterator> ChunkedEvents for SyntheticChunks<I> {
+    fn chunks_consumed(&self) -> u64 {
+        // A chunk is complete once an event *past* it has been pulled, so
+        // the event just returned is never part of a "consumed" chunk —
+        // matching the framed reader's accounting.
+        self.pulled.saturating_sub(1) / self.every
+    }
+}
+
+/// Supervisor configuration.
+#[derive(Clone, Debug)]
+pub struct SupervisorPlan {
+    /// The routing parameters shared with the unsupervised pipeline.
+    pub shard: ShardPlan,
+    /// Deadline for any single wait on a worker. Expiry marks the worker
+    /// stalled and triggers recovery.
+    pub watchdog: Duration,
+    /// Barrier-snapshot every N chunk boundaries (enables worker restart
+    /// and bounds replay-buffer memory). `None` disables snapshots;
+    /// worker death then degrades to serial unless a restart can replay
+    /// from the stream start (it can, as long as nothing was snapshotted).
+    pub checkpoint_every_chunks: Option<u64>,
+    /// Suspend into a [`Checkpoint`] once this many chunks (absolute,
+    /// including chunks skipped over by a resume) are consumed.
+    pub stop_after_chunks: Option<u64>,
+    /// Worker restarts allowed before degrading to serial.
+    pub max_restarts: u32,
+    /// Fingerprint stamped into produced checkpoints, if known.
+    pub fingerprint: Option<TraceFingerprint>,
+    /// Injected fault: panic a worker at its Nth processed op (one-shot).
+    pub worker_panic: Option<WorkerFault>,
+    /// Injected fault: stall a worker at its Nth processed op (one-shot).
+    pub worker_stall: Option<WorkerFault>,
+    /// How long an injected stall sleeps.
+    pub stall_for: Duration,
+}
+
+impl Default for SupervisorPlan {
+    fn default() -> Self {
+        SupervisorPlan {
+            shard: ShardPlan::default(),
+            watchdog: Duration::from_secs(30),
+            checkpoint_every_chunks: None,
+            stop_after_chunks: None,
+            max_restarts: 2,
+            fingerprint: None,
+            worker_panic: None,
+            worker_stall: None,
+            stall_for: Duration::from_millis(100),
+        }
+    }
+}
+
+impl SupervisorPlan {
+    /// Copies the worker-level faults out of a [`FaultPlan`] (I/O faults
+    /// are applied at the reader/writer layer, not here).
+    pub fn with_faults(mut self, faults: &FaultPlan) -> Self {
+        self.worker_panic = faults.worker_panic;
+        self.worker_stall = faults.worker_stall;
+        self
+    }
+}
+
+/// What the supervisor had to do during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Workers restarted from a snapshot (or from scratch via replay).
+    pub shard_restarts: u64,
+    /// Falls back to a fresh serial run (0 or 1).
+    pub degradations: u64,
+    /// 1 if this run was resumed from a checkpoint.
+    pub resumed_from_checkpoint: u64,
+    /// Watchdog deadlines that expired (stalled worker detections).
+    pub watchdog_timeouts: u64,
+    /// Barrier snapshots completed.
+    pub snapshots_taken: u64,
+}
+
+impl SupervisionReport {
+    /// True if anything noteworthy happened (drives conditional output).
+    pub fn any(&self) -> bool {
+        *self != SupervisionReport::default()
+    }
+}
+
+/// Outcome of a supervised run.
+pub enum SupervisedOutcome<R> {
+    /// The stream was fully analyzed.
+    Completed {
+        /// Merged analysis report (identical to the unsupervised verdict).
+        report: R,
+        /// Pipeline accounting.
+        stats: ShardStats,
+        /// What the supervisor did.
+        supervision: SupervisionReport,
+    },
+    /// The run was suspended at a chunk boundary (`stop_after_chunks`).
+    Suspended {
+        /// The resumable snapshot.
+        checkpoint: Checkpoint,
+        /// What the supervisor did.
+        supervision: SupervisionReport,
+    },
+}
+
+/// Why a supervised run failed outright (recoverable faults never surface
+/// here — they restart or degrade).
+#[derive(Debug)]
+pub enum SuperviseError<E> {
+    /// The event stream itself failed (strict-mode decode error).
+    Stream(E),
+    /// A checkpoint could not be applied to this run.
+    Checkpoint(CheckpointError),
+    /// Restoring a shard's state blob failed.
+    Restore(StateError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for SuperviseError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuperviseError::Stream(e) => write!(f, "{e}"),
+            SuperviseError::Checkpoint(e) => write!(f, "{e}"),
+            SuperviseError::Restore(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for SuperviseError<E> {}
+
+#[derive(Clone)]
+enum Op {
+    Control(Event),
+    Access {
+        task: TaskId,
+        loc: LocId,
+        write: bool,
+        index: u64,
+    },
+}
+
+enum ToWorker {
+    Batch(Vec<Op>),
+    Snapshot,
+}
+
+enum FromWorker<R> {
+    Snapshot {
+        shard: usize,
+        epoch: u64,
+        state: Vec<u8>,
+        accesses: u64,
+    },
+    Done {
+        shard: usize,
+        epoch: u64,
+        report: R,
+        accesses: u64,
+    },
+    Died {
+        shard: usize,
+        epoch: u64,
+    },
+}
+
+fn spawn_worker<A>(
+    shard: usize,
+    epoch: u64,
+    mut analysis: A,
+    mut accesses: u64,
+    rx: Receiver<ToWorker>,
+    tx: Sender<FromWorker<A::Report>>,
+    panic_at: Option<u64>,
+    stall: Option<(u64, Duration)>,
+) where
+    A: Checkpointable + Send + 'static,
+    A::Report: Send + 'static,
+{
+    std::thread::spawn(move || {
+        let died_tx = tx.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let mut ops_done = 0u64;
+            let mut stall = stall;
+            loop {
+                match rx.recv() {
+                    Some(ToWorker::Batch(batch)) => {
+                        for op in batch {
+                            ops_done += 1;
+                            if let Some((at, dur)) = stall {
+                                if ops_done == at {
+                                    stall = None;
+                                    std::thread::sleep(dur);
+                                }
+                            }
+                            if panic_at == Some(ops_done) {
+                                panic!("injected worker fault (shard {shard}, op {ops_done})");
+                            }
+                            match op {
+                                Op::Control(e) => analysis.apply_control(&e),
+                                Op::Access {
+                                    task,
+                                    loc,
+                                    write,
+                                    index,
+                                } => {
+                                    accesses += 1;
+                                    if write {
+                                        analysis.check_write_at(task, loc, index);
+                                    } else {
+                                        analysis.check_read_at(task, loc, index);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(ToWorker::Snapshot) => {
+                        let mut state = Vec::new();
+                        analysis.save_state(&mut state);
+                        if tx
+                            .send(FromWorker::Snapshot {
+                                shard,
+                                epoch,
+                                state,
+                                accesses,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    None => {
+                        let report = analysis.finish();
+                        let _ = tx.send(FromWorker::Done {
+                            shard,
+                            epoch,
+                            report,
+                            accesses,
+                        });
+                        return;
+                    }
+                }
+            }
+        }));
+        if outcome.is_err() {
+            let _ = died_tx.send(FromWorker::Died { shard, epoch });
+        }
+    });
+}
+
+struct Slot {
+    tx: Option<Sender<ToWorker>>,
+    epoch: u64,
+    /// Batches routed since the last completed snapshot, for replay into a
+    /// replacement worker. Volume is bounded by the checkpoint interval.
+    replay: Vec<Vec<Op>>,
+    /// Last snapshot of this shard's access-derived state.
+    snapshot: Option<Vec<u8>>,
+    snapshot_accesses: u64,
+    panic_at: Option<u64>,
+    stall_at: Option<(u64, Duration)>,
+}
+
+/// Signals "stop supervising, fall back to a fresh serial run".
+struct Degrade;
+
+struct Supervisor<A: Checkpointable + Send + 'static, F: Fn() -> A>
+where
+    A::Report: Send + 'static,
+{
+    factory: F,
+    plan: SupervisorPlan,
+    n: usize,
+    slots: Vec<Slot>,
+    results_tx: Sender<FromWorker<A::Report>>,
+    results_rx: Receiver<FromWorker<A::Report>>,
+    next_epoch: u64,
+    /// Every control event consumed so far — the replay source for both
+    /// worker restart and checkpoint files. Small by the control/access
+    /// asymmetry that justifies sharding in the first place.
+    control_prefix: Vec<Event>,
+    /// `control_prefix` length at the last completed snapshot.
+    snapshot_control_len: usize,
+    supervision: SupervisionReport,
+}
+
+impl<A, F> Supervisor<A, F>
+where
+    A: Checkpointable + Send + 'static,
+    A::Report: Send + 'static,
+    F: Fn() -> A,
+{
+    fn spawn_slot(&mut self, shard: usize, analysis: A, accesses: u64) {
+        let (tx, rx) = channel::bounded(self.plan.shard.channel_capacity.max(1));
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let slot = &mut self.slots[shard];
+        slot.tx = Some(tx);
+        slot.epoch = epoch;
+        spawn_worker(
+            shard,
+            epoch,
+            analysis,
+            accesses,
+            rx,
+            self.results_tx.clone(),
+            slot.panic_at.take(),
+            slot.stall_at.take(),
+        );
+    }
+
+    /// Rebuilds shard `shard`'s worker: fresh analysis, control-prefix
+    /// replay up to the last snapshot, state restore, then replay of the
+    /// retained post-snapshot batches. Returns `Degrade` when the restart
+    /// budget is exhausted or recovery itself fails.
+    fn restart(&mut self, shard: usize) -> Result<(), Degrade> {
+        if self.supervision.shard_restarts >= self.plan.max_restarts as u64 {
+            return Err(Degrade);
+        }
+        self.supervision.shard_restarts += 1;
+        self.slots[shard].tx = None; // abandon the old incarnation
+
+        let mut analysis = (self.factory)();
+        for e in &self.control_prefix[..self.snapshot_control_len] {
+            analysis.apply_control(e);
+        }
+        if let Some(state) = &self.slots[shard].snapshot {
+            if analysis.restore_state(state).is_err() {
+                return Err(Degrade);
+            }
+        }
+        let accesses = self.slots[shard].snapshot_accesses;
+        self.spawn_slot(shard, analysis, accesses);
+
+        let replay: Vec<Vec<Op>> = self.slots[shard].replay.clone();
+        for batch in replay {
+            self.send_batch(shard, batch, false)?;
+        }
+        Ok(())
+    }
+
+    /// Sends one batch with the watchdog; on stall or death, recovers (at
+    /// most once per call when `recover` is set) and re-sends.
+    fn send_batch(&mut self, shard: usize, batch: Vec<Op>, recover: bool) -> Result<(), Degrade> {
+        let Some(tx) = &self.slots[shard].tx else {
+            return Err(Degrade);
+        };
+        match tx.send_timeout(ToWorker::Batch(batch), self.plan.watchdog) {
+            SendTimeout::Sent => Ok(()),
+            SendTimeout::Full(item) => {
+                self.supervision.watchdog_timeouts += 1;
+                if !recover {
+                    return Err(Degrade);
+                }
+                self.restart(shard)?;
+                let ToWorker::Batch(batch) = item else {
+                    unreachable!()
+                };
+                self.send_batch(shard, batch, false)
+            }
+            SendTimeout::Disconnected(item) => {
+                if !recover {
+                    return Err(Degrade);
+                }
+                self.drain_results();
+                self.restart(shard)?;
+                let ToWorker::Batch(batch) = item else {
+                    unreachable!()
+                };
+                self.send_batch(shard, batch, false)
+            }
+        }
+    }
+
+    /// Consumes any queued worker messages without blocking (stale `Died`
+    /// notices from abandoned incarnations, mostly).
+    fn drain_results(&mut self) {
+        while let RecvTimeout::Item(_) = self.results_rx.recv_timeout(Duration::ZERO) {}
+    }
+
+    /// Routes a batch and retains it for post-snapshot replay.
+    fn dispatch(&mut self, shard: usize, batch: Vec<Op>) -> Result<(), Degrade> {
+        self.slots[shard].replay.push(batch.clone());
+        self.send_batch(shard, batch, true)
+    }
+
+    /// Barrier snapshot: every worker saves its state at a consistent cut
+    /// (all routed batches FIFO-precede the snapshot request). On success
+    /// the replay buffers reset. Dead or stalled workers are restarted and
+    /// re-asked, within the restart budget.
+    fn snapshot_barrier(&mut self) -> Result<(), Degrade> {
+        for shard in 0..self.n {
+            self.request_snapshot(shard)?;
+        }
+        let mut pending: Vec<Option<(Vec<u8>, u64)>> = vec![None; self.n];
+        let mut got = 0usize;
+        while got < self.n {
+            match self.results_rx.recv_timeout(self.plan.watchdog) {
+                RecvTimeout::Item(FromWorker::Snapshot {
+                    shard,
+                    epoch,
+                    state,
+                    accesses,
+                }) => {
+                    if epoch == self.slots[shard].epoch && pending[shard].is_none() {
+                        pending[shard] = Some((state, accesses));
+                        got += 1;
+                    }
+                }
+                RecvTimeout::Item(FromWorker::Died { shard, epoch }) => {
+                    if epoch == self.slots[shard].epoch {
+                        self.restart(shard)?;
+                        self.request_snapshot(shard)?;
+                    }
+                }
+                RecvTimeout::Item(FromWorker::Done { .. }) => {
+                    // Stale Done from an abandoned incarnation; ignore.
+                }
+                RecvTimeout::Timeout => {
+                    self.supervision.watchdog_timeouts += 1;
+                    // Restart every shard that has not answered yet.
+                    for shard in 0..self.n {
+                        if pending[shard].is_none() {
+                            self.restart(shard)?;
+                            self.request_snapshot(shard)?;
+                        }
+                    }
+                }
+                RecvTimeout::Disconnected => return Err(Degrade),
+            }
+        }
+        for (shard, entry) in pending.into_iter().enumerate() {
+            let (state, accesses) = entry.expect("barrier collected all shards");
+            let slot = &mut self.slots[shard];
+            slot.snapshot = Some(state);
+            slot.snapshot_accesses = accesses;
+            slot.replay.clear();
+        }
+        self.snapshot_control_len = self.control_prefix.len();
+        self.supervision.snapshots_taken += 1;
+        Ok(())
+    }
+
+    fn request_snapshot(&mut self, shard: usize) -> Result<(), Degrade> {
+        let Some(tx) = &self.slots[shard].tx else {
+            return Err(Degrade);
+        };
+        match tx.send_timeout(ToWorker::Snapshot, self.plan.watchdog) {
+            SendTimeout::Sent => Ok(()),
+            SendTimeout::Full(_) => {
+                self.supervision.watchdog_timeouts += 1;
+                self.restart(shard)?;
+                self.request_snapshot_once(shard)
+            }
+            SendTimeout::Disconnected(_) => {
+                self.drain_results();
+                self.restart(shard)?;
+                self.request_snapshot_once(shard)
+            }
+        }
+    }
+
+    fn request_snapshot_once(&mut self, shard: usize) -> Result<(), Degrade> {
+        let Some(tx) = &self.slots[shard].tx else {
+            return Err(Degrade);
+        };
+        match tx.send_timeout(ToWorker::Snapshot, self.plan.watchdog) {
+            SendTimeout::Sent => Ok(()),
+            _ => Err(Degrade),
+        }
+    }
+
+    /// Closes all inputs and collects one report per shard, restarting
+    /// (and immediately closing) replacements for workers that die or
+    /// stall during finalization.
+    fn collect(&mut self) -> Result<Vec<(A::Report, u64)>, Degrade> {
+        for slot in &mut self.slots {
+            slot.tx = None;
+        }
+        let mut reports: Vec<Option<(A::Report, u64)>> =
+            (0..self.n).map(|_| None).collect();
+        let mut got = 0usize;
+        while got < self.n {
+            match self.results_rx.recv_timeout(self.plan.watchdog) {
+                RecvTimeout::Item(FromWorker::Done {
+                    shard,
+                    epoch,
+                    report,
+                    accesses,
+                }) => {
+                    if epoch == self.slots[shard].epoch && reports[shard].is_none() {
+                        reports[shard] = Some((report, accesses));
+                        got += 1;
+                    }
+                }
+                RecvTimeout::Item(FromWorker::Died { shard, epoch }) => {
+                    if epoch == self.slots[shard].epoch && reports[shard].is_none() {
+                        self.restart(shard)?;
+                        self.slots[shard].tx = None; // close → it will finish
+                    }
+                }
+                RecvTimeout::Item(FromWorker::Snapshot { .. }) => {}
+                RecvTimeout::Timeout => {
+                    self.supervision.watchdog_timeouts += 1;
+                    for shard in 0..self.n {
+                        if reports[shard].is_none() {
+                            self.restart(shard)?;
+                            self.slots[shard].tx = None;
+                        }
+                    }
+                }
+                RecvTimeout::Disconnected => return Err(Degrade),
+            }
+        }
+        Ok(reports
+            .into_iter()
+            .map(|r| r.expect("collected all shards"))
+            .collect())
+    }
+}
+
+/// Runs the supervised sharded pipeline.
+///
+/// `make_events` must produce a *fresh* stream over the same trace on
+/// every call — the supervisor re-reads from the start for degradation
+/// and resume skipping. `factory` builds one analysis replica; the merged
+/// report uses [`futrace_runtime::engine::LocRoutable::merge_sharded`] and
+/// is identical to the unsupervised (and serial) verdict.
+pub fn run_supervised<A, I, E, MF, F>(
+    make_events: MF,
+    factory: F,
+    plan: &SupervisorPlan,
+    resume: Option<&Checkpoint>,
+) -> Result<SupervisedOutcome<A::Report>, SuperviseError<E>>
+where
+    A: Checkpointable + Send + 'static,
+    A::Report: Send + 'static,
+    I: ChunkedEvents + Iterator<Item = Result<Event, E>>,
+    MF: Fn() -> I,
+    F: Fn() -> A,
+{
+    let n = match resume {
+        Some(cp) => cp.shards.max(1),
+        None => plan.shard.shards.max(1),
+    };
+    let batch_cap = plan.shard.batch_events.max(1);
+    let (results_tx, results_rx) = channel::bounded(n.max(4) * 4);
+
+    let mut sup = Supervisor {
+        factory,
+        plan: plan.clone(),
+        n,
+        slots: (0..n)
+            .map(|shard| Slot {
+                tx: None,
+                epoch: 0,
+                replay: Vec::new(),
+                snapshot: None,
+                snapshot_accesses: 0,
+                panic_at: plan.worker_panic.as_ref().and_then(|f| f.trigger_for(shard, n)),
+                stall_at: plan
+                    .worker_stall
+                    .as_ref()
+                    .and_then(|f| f.trigger_for(shard, n))
+                    .map(|at| (at, plan.stall_for)),
+            })
+            .collect(),
+        results_tx,
+        results_rx,
+        next_epoch: 1,
+        control_prefix: Vec::new(),
+        snapshot_control_len: 0,
+        supervision: SupervisionReport::default(),
+    };
+
+    let mut events = make_events();
+    let mut index = 0u64;
+    let mut router = RouterProgress::default();
+
+    // Resume: rebuild every shard from the checkpoint, then skip the
+    // already-incorporated prefix of the stream.
+    if let Some(cp) = resume {
+        if cp.shard_states.len() != n || cp.per_shard_accesses.len() != n {
+            return Err(SuperviseError::Checkpoint(CheckpointError::Inconsistent(
+                format!(
+                    "{} state blob(s) for {} shard(s)",
+                    cp.shard_states.len(),
+                    n
+                ),
+            )));
+        }
+        sup.supervision.resumed_from_checkpoint = 1;
+        sup.control_prefix = cp.control_events.clone();
+        sup.snapshot_control_len = sup.control_prefix.len();
+        index = cp.next_access_index;
+        router = cp.router;
+        for shard in 0..n {
+            let mut analysis = (sup.factory)();
+            for e in &sup.control_prefix {
+                analysis.apply_control(e);
+            }
+            analysis
+                .restore_state(&cp.shard_states[shard])
+                .map_err(SuperviseError::Restore)?;
+            sup.slots[shard].snapshot = Some(cp.shard_states[shard].clone());
+            sup.slots[shard].snapshot_accesses = cp.per_shard_accesses[shard];
+            sup.spawn_slot(shard, analysis, cp.per_shard_accesses[shard]);
+        }
+        for _ in 0..cp.events_consumed {
+            match events.next() {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => return Err(SuperviseError::Stream(e)),
+                None => {
+                    return Err(SuperviseError::Checkpoint(CheckpointError::Inconsistent(
+                        "trace is shorter than the checkpoint's consumed prefix".into(),
+                    )))
+                }
+            }
+        }
+    } else {
+        for shard in 0..n {
+            let analysis = (sup.factory)();
+            sup.spawn_slot(shard, analysis, 0);
+        }
+    }
+
+    let mut buffers: Vec<Vec<Op>> = (0..n).map(|_| Vec::with_capacity(batch_cap)).collect();
+    let mut cur_chunks = events.chunks_consumed();
+    let mut last_snapshot_chunk = cur_chunks;
+    let mut events_consumed = resume.map(|cp| cp.events_consumed).unwrap_or(0);
+    let mut degraded = false;
+    let mut stream_err: Option<E> = None;
+    let mut suspend: Option<Checkpoint> = None;
+
+    macro_rules! flush_shard {
+        ($shard:expr) => {{
+            let shard = $shard;
+            if !buffers[shard].is_empty() {
+                let batch = std::mem::replace(&mut buffers[shard], Vec::with_capacity(batch_cap));
+                if sup.dispatch(shard, batch).is_err() {
+                    degraded = true;
+                }
+            }
+        }};
+    }
+
+    'route: while !degraded {
+        let item = events.next();
+        let boundary = events.chunks_consumed();
+        let Some(item) = item else {
+            break 'route;
+        };
+        let e = match item {
+            Ok(e) => e,
+            Err(err) => {
+                stream_err = Some(err);
+                break 'route;
+            }
+        };
+
+        if boundary > cur_chunks {
+            cur_chunks = boundary;
+            let stop_here = plan
+                .stop_after_chunks
+                .map(|stop| cur_chunks >= stop)
+                .unwrap_or(false);
+            let snapshot_here = plan
+                .checkpoint_every_chunks
+                .map(|every| cur_chunks - last_snapshot_chunk >= every)
+                .unwrap_or(false);
+            if stop_here || snapshot_here {
+                // Snapshot BEFORE routing the already-pulled event: the cut
+                // covers exactly the completed chunks.
+                for shard in 0..n {
+                    flush_shard!(shard);
+                    if degraded {
+                        break 'route;
+                    }
+                }
+                if sup.snapshot_barrier().is_err() {
+                    degraded = true;
+                    break 'route;
+                }
+                last_snapshot_chunk = cur_chunks;
+                if stop_here {
+                    suspend = Some(Checkpoint {
+                        shards: n,
+                        events_consumed,
+                        next_access_index: index,
+                        chunks_completed: cur_chunks,
+                        router,
+                        control_events: sup.control_prefix.clone(),
+                        per_shard_accesses: sup
+                            .slots
+                            .iter()
+                            .map(|s| s.snapshot_accesses)
+                            .collect(),
+                        shard_states: sup
+                            .slots
+                            .iter()
+                            .map(|s| s.snapshot.clone().expect("barrier just completed"))
+                            .collect(),
+                        fingerprint: plan.fingerprint,
+                    });
+                    break 'route;
+                }
+            }
+        }
+
+        events_consumed += 1;
+        router.events += 1;
+        match e {
+            Event::Read(task, loc) | Event::Write(task, loc) => {
+                let write = matches!(e, Event::Write(..));
+                if write {
+                    router.writes += 1;
+                } else {
+                    router.reads += 1;
+                }
+                let shard = loc.index() % n;
+                buffers[shard].push(Op::Access {
+                    task,
+                    loc,
+                    write,
+                    index,
+                });
+                index += 1;
+                if buffers[shard].len() >= batch_cap {
+                    flush_shard!(shard);
+                }
+            }
+            control => {
+                router.control_events += 1;
+                sup.control_prefix.push(control.clone());
+                for shard in 0..n {
+                    buffers[shard].push(Op::Control(control.clone()));
+                    if buffers[shard].len() >= batch_cap {
+                        flush_shard!(shard);
+                        if degraded {
+                            break 'route;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(err) = stream_err {
+        // Shut the workers down cleanly, then report the stream error.
+        for slot in &mut sup.slots {
+            slot.tx = None;
+        }
+        let _ = sup.collect();
+        return Err(SuperviseError::Stream(err));
+    }
+
+    if let Some(checkpoint) = suspend {
+        for slot in &mut sup.slots {
+            slot.tx = None;
+        }
+        let _ = sup.collect();
+        return Ok(SupervisedOutcome::Suspended {
+            checkpoint,
+            supervision: sup.supervision,
+        });
+    }
+
+    if !degraded {
+        for shard in 0..n {
+            flush_shard!(shard);
+        }
+    }
+
+    let collected = if degraded { Err(Degrade) } else { sup.collect() };
+    match collected {
+        Ok(results) => {
+            let mut stats = ShardStats {
+                shards: n,
+                events: router.events,
+                control_events: router.control_events,
+                reads: router.reads,
+                writes: router.writes,
+                accesses: index,
+                per_shard_accesses: Vec::with_capacity(n),
+                skipped_chunks: events.skipped_chunks(),
+            };
+            let mut reports = Vec::with_capacity(n);
+            for (report, accesses) in results {
+                stats.per_shard_accesses.push(accesses);
+                reports.push(report);
+            }
+            let report = (sup.factory)().merge_sharded(reports);
+            Ok(SupervisedOutcome::Completed {
+                report,
+                stats,
+                supervision: sup.supervision,
+            })
+        }
+        Err(Degrade) => {
+            // Last line of defense: a fresh, single-threaded pass over the
+            // whole stream. Slower, but the verdict is the serial one by
+            // construction.
+            sup.supervision.degradations += 1;
+            for slot in &mut sup.slots {
+                slot.tx = None;
+            }
+            drop(sup.results_rx);
+            let mut analysis = (sup.factory)();
+            let mut stats = ShardStats {
+                shards: 1,
+                ..ShardStats::default()
+            };
+            let mut index = 0u64;
+            let mut fresh = make_events();
+            loop {
+                match fresh.next() {
+                    Some(Ok(e)) => {
+                        stats.events += 1;
+                        match e {
+                            Event::Read(task, loc) => {
+                                stats.reads += 1;
+                                analysis.check_read_at(task, loc, index);
+                                index += 1;
+                            }
+                            Event::Write(task, loc) => {
+                                stats.writes += 1;
+                                analysis.check_write_at(task, loc, index);
+                                index += 1;
+                            }
+                            control => {
+                                stats.control_events += 1;
+                                analysis.apply_control(&control);
+                            }
+                        }
+                    }
+                    Some(Err(e)) => return Err(SuperviseError::Stream(e)),
+                    None => break,
+                }
+            }
+            stats.accesses = index;
+            stats.per_shard_accesses = vec![index];
+            stats.skipped_chunks = fresh.skipped_chunks();
+            let report = analysis.finish();
+            Ok(SupervisedOutcome::Completed {
+                report,
+                stats,
+                supervision: sup.supervision,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceError;
+    use futrace_detector::{RaceDetector, RaceReport};
+    use futrace_runtime::{replay, run_serial, EventLog, TaskCtx};
+
+    fn racy_log() -> EventLog {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(8, 0u64, "a");
+            ctx.finish(|ctx| {
+                for i in 0..8usize {
+                    let aw = a.clone();
+                    ctx.async_task(move |ctx| aw.write(ctx, i, 1));
+                }
+            });
+            for i in 0..8usize {
+                a.write(ctx, i, 2);
+            }
+            let aw = a.clone();
+            let _f = ctx.future(move |ctx| aw.write(ctx, 3, 9));
+            let _ = a.read(ctx, 3); // racy
+        });
+        log
+    }
+
+    fn serial_report(log: &EventLog) -> RaceReport {
+        let mut det = RaceDetector::new();
+        replay(&log.events, &mut det);
+        det.into_report()
+    }
+
+    fn plan_for_tests(shards: usize) -> SupervisorPlan {
+        SupervisorPlan {
+            shard: ShardPlan {
+                shards,
+                batch_events: 3,
+                channel_capacity: 2,
+            },
+            watchdog: Duration::from_millis(500),
+            stall_for: Duration::from_millis(40),
+            ..SupervisorPlan::default()
+        }
+    }
+
+    fn events_of(log: &EventLog) -> impl Fn() -> SyntheticChunks<
+        std::iter::Map<
+            std::vec::IntoIter<futrace_runtime::Event>,
+            fn(futrace_runtime::Event) -> Result<futrace_runtime::Event, TraceError>,
+        >,
+    > + '_ {
+        move || {
+            SyntheticChunks::new(
+                log.events
+                    .clone()
+                    .into_iter()
+                    .map(Ok as fn(_) -> Result<_, TraceError>),
+                5,
+            )
+        }
+    }
+
+    #[test]
+    fn clean_supervised_run_matches_serial() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let out = run_supervised(
+            events_of(&log),
+            RaceDetector::new,
+            &plan_for_tests(3),
+            None,
+        )
+        .unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            stats,
+            supervision,
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races);
+        assert_eq!(report.report.total_detected, serial.total_detected);
+        assert!(!supervision.any(), "clean run must report nothing");
+        assert_eq!(stats.per_shard_accesses.iter().sum::<u64>(), stats.accesses);
+    }
+
+    #[test]
+    fn injected_panic_restarts_with_checkpointing() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let mut plan = plan_for_tests(2);
+        plan.checkpoint_every_chunks = Some(1);
+        plan.worker_panic = Some(WorkerFault { shard: 1, at_op: 9 });
+        let out =
+            run_supervised(events_of(&log), RaceDetector::new, &plan, None).unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            supervision,
+            ..
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races, "verdict survives restart");
+        assert!(
+            supervision.shard_restarts >= 1,
+            "panic must be recovered by restart: {supervision:?}"
+        );
+        assert_eq!(supervision.degradations, 0);
+    }
+
+    #[test]
+    fn injected_panic_degrades_without_restart_budget() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let mut plan = plan_for_tests(2);
+        plan.max_restarts = 0;
+        plan.worker_panic = Some(WorkerFault { shard: 0, at_op: 5 });
+        let out =
+            run_supervised(events_of(&log), RaceDetector::new, &plan, None).unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            supervision,
+            stats,
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races, "degraded verdict is serial");
+        assert_eq!(supervision.degradations, 1);
+        assert_eq!(stats.shards, 1, "degraded run is serial");
+    }
+
+    #[test]
+    fn injected_stall_is_caught_by_watchdog() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let mut plan = plan_for_tests(2);
+        plan.watchdog = Duration::from_millis(30);
+        plan.stall_for = Duration::from_millis(400);
+        plan.checkpoint_every_chunks = Some(1);
+        plan.worker_stall = Some(WorkerFault { shard: 0, at_op: 7 });
+        let out =
+            run_supervised(events_of(&log), RaceDetector::new, &plan, None).unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            supervision,
+            ..
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races);
+        assert!(
+            supervision.watchdog_timeouts >= 1 || supervision.degradations == 1,
+            "stall must be detected: {supervision:?}"
+        );
+    }
+
+    #[test]
+    fn suspend_and_resume_is_identical_to_fresh() {
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let mut stop_plan = plan_for_tests(2);
+        stop_plan.stop_after_chunks = Some(2);
+        let out = run_supervised(
+            events_of(&log),
+            RaceDetector::new,
+            &stop_plan,
+            None,
+        )
+        .unwrap();
+        let SupervisedOutcome::Suspended {
+            checkpoint,
+            supervision,
+        } = out
+        else {
+            panic!("expected suspension");
+        };
+        assert_eq!(supervision.snapshots_taken, 1);
+        assert!(checkpoint.events_consumed > 0);
+        assert!(checkpoint.events_consumed < log.events.len() as u64);
+
+        // Round-trip the checkpoint through its codec, like the CLI does.
+        let restored = Checkpoint::decode(&checkpoint.encode()).unwrap();
+        let out = run_supervised(
+            events_of(&log),
+            RaceDetector::new,
+            &plan_for_tests(2),
+            Some(&restored),
+        )
+        .unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            supervision,
+            stats,
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races, "resumed verdict identical");
+        assert_eq!(report.report.total_detected, serial.total_detected);
+        assert_eq!(supervision.resumed_from_checkpoint, 1);
+        assert_eq!(
+            stats.events,
+            log.events.len() as u64,
+            "router progress carries across the suspend"
+        );
+    }
+
+    #[test]
+    fn resume_with_wrong_shard_count_is_rejected() {
+        let log = racy_log();
+        let mut stop_plan = plan_for_tests(2);
+        stop_plan.stop_after_chunks = Some(1);
+        let SupervisedOutcome::Suspended { mut checkpoint, .. } = run_supervised(
+            events_of(&log),
+            RaceDetector::new,
+            &stop_plan,
+            None,
+        )
+        .unwrap() else {
+            panic!("expected suspension");
+        };
+        checkpoint.shard_states.pop();
+        checkpoint.per_shard_accesses.pop();
+        match run_supervised(
+            events_of(&log),
+            RaceDetector::new,
+            &plan_for_tests(2),
+            Some(&checkpoint),
+        ) {
+            Err(SuperviseError::Checkpoint(_)) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("inconsistent checkpoint must be rejected"),
+        }
+    }
+
+    #[test]
+    fn synthetic_chunks_count_like_framed() {
+        let mut it = SyntheticChunks::new(0..10u32, 4);
+        assert_eq!(it.chunks_consumed(), 0);
+        for _ in 0..4 {
+            it.next();
+        }
+        assert_eq!(it.chunks_consumed(), 0, "4th event ends chunk 0, not past it");
+        it.next();
+        assert_eq!(it.chunks_consumed(), 1, "5th event is inside chunk 1");
+    }
+}

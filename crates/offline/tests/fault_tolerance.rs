@@ -1,0 +1,281 @@
+//! The fault-tolerant pipeline must be *invisible* in the verdict: killing
+//! an analysis at any chunk boundary and resuming from the checkpoint,
+//! restarting a panicked worker, or degrading to a serial pass must all
+//! produce exactly the serial detector's race report. Checked over ≥256
+//! random task-parallel programs (from `benchsuite::randomprog`) with
+//! random kill points, plus seeded writer-fault robustness.
+//!
+//! Replays: `FUTRACE_PROPCHECK_SEED=<seed>` (printed on failure).
+
+use futrace_benchsuite::randomprog::{self, GenParams};
+use futrace_detector::{RaceDetector, RaceReport};
+use futrace_offline::{
+    run_supervised, trace_events, Checkpoint, ShardPlan, StreamWriter, SupervisedOutcome,
+    SupervisorPlan,
+};
+use futrace_runtime::{replay, run_serial, EventLog};
+use futrace_util::faultinject::{FaultPlan, FaultyWriter, WorkerFault};
+use futrace_util::propcheck::{self, strategies, Config};
+use std::sync::Once;
+use std::time::Duration;
+
+/// Injected worker panics are *expected*; keep their default panic-hook
+/// spew out of the test output while letting real assertion failures
+/// through untouched.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(s) = info.payload().downcast_ref::<String>() {
+                if s.contains("injected worker fault") {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn record(seed: u64, params: &GenParams) -> EventLog {
+    let prog = randomprog::generate(seed, params);
+    let mut log = EventLog::new();
+    run_serial(&mut log, |ctx| {
+        randomprog::execute(ctx, &prog);
+    });
+    log
+}
+
+fn serial_report(log: &EventLog) -> RaceReport {
+    let mut det = RaceDetector::new();
+    replay(&log.events, &mut det);
+    det.into_report()
+}
+
+fn frame(log: &EventLog, chunk_bytes: usize) -> (Vec<u8>, u64) {
+    let mut w = StreamWriter::with_chunk_bytes(Vec::new(), chunk_bytes).unwrap();
+    for e in &log.events {
+        w.record(e);
+    }
+    let (blob, stats) = w.finish().unwrap();
+    (blob, stats.chunks)
+}
+
+fn plan(shards: usize) -> SupervisorPlan {
+    SupervisorPlan {
+        shard: ShardPlan {
+            shards,
+            // Tight batches and channels stress ordering; recovery must
+            // not depend on batching either.
+            batch_events: 16,
+            channel_capacity: 2,
+        },
+        watchdog: Duration::from_secs(5),
+        ..SupervisorPlan::default()
+    }
+}
+
+fn assert_verdict(got: &RaceReport, want: &RaceReport, ctx: &str) {
+    assert_eq!(got.total_detected, want.total_detected, "{ctx}: verdict diverged");
+    assert_eq!(got.races, want.races, "{ctx}: race report diverged");
+}
+
+#[test]
+fn kill_and_resume_equals_fresh_run() {
+    // Suspend at a random chunk boundary, round-trip the checkpoint
+    // through its byte codec (as the CLI does via a file), resume, and
+    // compare against the straight serial run.
+    let racy = std::cell::Cell::new(0u32);
+    let clean = std::cell::Cell::new(0u32);
+    propcheck::check(&Config::with_cases(256), &strategies::any_u64(), |seed| {
+        let log = record(seed, &GenParams::default());
+        let serial = serial_report(&log);
+        if serial.has_races() {
+            racy.set(racy.get() + 1);
+        } else {
+            clean.set(clean.get() + 1);
+        }
+        let (blob, chunks) = frame(&log, 64);
+        if chunks < 2 {
+            return; // no interior boundary to kill at
+        }
+        let shards = 2 + (seed % 2) as usize;
+        let kill_at = 1 + seed % (chunks - 1); // interior boundary
+        let mut stop_plan = plan(shards);
+        stop_plan.stop_after_chunks = Some(kill_at);
+        let out = run_supervised(
+            || trace_events(&blob, false),
+            RaceDetector::new,
+            &stop_plan,
+            None,
+        )
+        .unwrap();
+        let SupervisedOutcome::Suspended { checkpoint, .. } = out else {
+            panic!("seed {seed}: stop at chunk {kill_at}/{chunks} must suspend");
+        };
+        let restored = Checkpoint::decode(&checkpoint.encode())
+            .unwrap_or_else(|e| panic!("seed {seed}: checkpoint codec round-trip: {e}"));
+        let out = run_supervised(
+            || trace_events(&blob, false),
+            RaceDetector::new,
+            &plan(shards),
+            Some(&restored),
+        )
+        .unwrap();
+        let SupervisedOutcome::Completed {
+            report, supervision, ..
+        } = out
+        else {
+            panic!("seed {seed}: resume must complete");
+        };
+        assert_eq!(supervision.resumed_from_checkpoint, 1);
+        assert_verdict(
+            &report.report,
+            &serial,
+            &format!("seed {seed}, kill at {kill_at}/{chunks}, {shards} shards"),
+        );
+        let (reads, writes) = log.events.iter().fold((0u64, 0u64), |(r, w), e| match e {
+            futrace_runtime::Event::Read(..) => (r + 1, w),
+            futrace_runtime::Event::Write(..) => (r, w + 1),
+            _ => (r, w),
+        });
+        assert_eq!(
+            (report.stats.reads, report.stats.writes),
+            (reads, writes),
+            "seed {seed}: access accounting must survive the suspend"
+        );
+    });
+    assert!(racy.get() > 10, "too few racy programs ({})", racy.get());
+    assert!(clean.get() > 10, "too few clean programs ({})", clean.get());
+}
+
+#[test]
+fn every_kill_point_of_a_fixed_trace_resumes_identically() {
+    // Exhaustive over boundaries for a few seeds: no kill point may be
+    // special.
+    for seed in [7u64, 1234, 0xC0FFEE] {
+        let log = record(seed, &GenParams::future_heavy());
+        let serial = serial_report(&log);
+        let (blob, chunks) = frame(&log, 96);
+        for kill_at in 1..chunks {
+            let mut stop_plan = plan(3);
+            stop_plan.stop_after_chunks = Some(kill_at);
+            let out = run_supervised(
+                || trace_events(&blob, false),
+                RaceDetector::new,
+                &stop_plan,
+                None,
+            )
+            .unwrap();
+            let SupervisedOutcome::Suspended { checkpoint, .. } = out else {
+                panic!("seed {seed}: kill {kill_at}/{chunks} must suspend");
+            };
+            let out = run_supervised(
+                || trace_events(&blob, false),
+                RaceDetector::new,
+                &plan(3),
+                Some(&checkpoint),
+            )
+            .unwrap();
+            let SupervisedOutcome::Completed { report, .. } = out else {
+                panic!("seed {seed}: resume must complete");
+            };
+            assert_verdict(
+                &report.report,
+                &serial,
+                &format!("seed {seed}, kill {kill_at}/{chunks}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_panics_recover_with_the_serial_verdict() {
+    // A panicking worker either restarts (budget available) or degrades
+    // to the serial pass (budget exhausted); both must keep the verdict.
+    quiet_injected_panics();
+    let strat = strategies::tuple2(strategies::any_u64(), strategies::u8_range(0..2));
+    let restarts = std::cell::Cell::new(0u32);
+    let degrades = std::cell::Cell::new(0u32);
+    propcheck::check(&Config::with_cases(128), &strat, |(seed, with_budget)| {
+        let log = record(seed, &GenParams::default());
+        let serial = serial_report(&log);
+        let (blob, chunks) = frame(&log, 64);
+        let mut p = plan(2);
+        p.worker_panic = Some(WorkerFault {
+            shard: (seed % 2) as usize,
+            at_op: 1 + seed % 16,
+        });
+        if with_budget == 1 {
+            p.max_restarts = 2;
+            p.checkpoint_every_chunks = Some(1.max(chunks / 3));
+        } else {
+            p.max_restarts = 0;
+        }
+        let out = run_supervised(
+            || trace_events(&blob, false),
+            RaceDetector::new,
+            &p,
+            None,
+        )
+        .unwrap();
+        let SupervisedOutcome::Completed {
+            report, supervision, ..
+        } = out
+        else {
+            panic!("seed {seed}: no stop requested, must complete");
+        };
+        // A tiny program may never reach the trigger op — then the run is
+        // simply clean. The aggregate counters below prove both recovery
+        // paths fired often.
+        restarts.set(restarts.get() + supervision.shard_restarts as u32);
+        degrades.set(degrades.get() + supervision.degradations as u32);
+        assert_verdict(&report.report, &serial, &format!("seed {seed} (panic)"));
+    });
+    assert!(restarts.get() > 10, "restart path under-exercised ({})", restarts.get());
+    assert!(degrades.get() > 10, "degrade path under-exercised ({})", degrades.get());
+}
+
+#[test]
+fn seeded_writer_faults_never_panic_and_salvage_a_prefix() {
+    // Recording through a misbehaving sink must never panic; whatever
+    // bytes land on "disk" must read back (leniently) as a prefix-or-all
+    // of the original events followed by at most one terminal error.
+    propcheck::check(&Config::with_cases(128), &strategies::any_u64(), |seed| {
+        let log = record(seed, &GenParams::default());
+        let faults = FaultPlan::from_seed(seed);
+        let sink = FaultyWriter::new(Vec::new(), faults.write.clone());
+        let mut w = match StreamWriter::with_chunk_bytes(sink, 128) {
+            Ok(w) => w,
+            Err(_) => return, // header write hit a hard fault: fine, no file
+        };
+        for e in &log.events {
+            w.record(e);
+        }
+        let blob = match w.finish() {
+            Ok((sink, _)) => sink.into_inner(),
+            Err(e) => {
+                // Checked close: the error must carry context, not panic.
+                assert!(!e.to_string().is_empty(), "seed {seed}");
+                return;
+            }
+        };
+        let mut got = Vec::new();
+        for item in trace_events(&blob, true) {
+            match item {
+                Ok(e) => got.push(e),
+                Err(_) => break, // terminal damage; prefix property below
+            }
+        }
+        assert!(
+            got.len() <= log.events.len(),
+            "seed {seed}: salvage invented events"
+        );
+        // Lenient reads may skip whole damaged chunks, so `got` is a
+        // subsequence; every event must at least decode to a real one
+        // from the original stream order when nothing was dropped.
+        if got.len() == log.events.len() {
+            assert_eq!(got, log.events, "seed {seed}: clean round-trip diverged");
+        }
+    });
+}

@@ -111,6 +111,52 @@ pub trait LocRoutable: Analysis {
     fn merge_sharded(self, shards: Vec<Self::Report>) -> Self::Report;
 }
 
+/// Error restoring an analysis from a checkpoint state blob: the blob is
+/// truncated, corrupt, or was written by an incompatible analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError(pub String);
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis state restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<futrace_util::wire::WireError> for StateError {
+    fn from(e: futrace_util::wire::WireError) -> Self {
+        StateError(e.to_string())
+    }
+}
+
+/// A [`LocRoutable`] analysis whose *access-derived* state can be
+/// serialized and restored, enabling checkpoint/resume (DESIGN S38).
+///
+/// The split matters: control-driven state (the DTRG, vector clocks,
+/// task/finish bookkeeping) is rebuilt exactly by replaying the compact
+/// control-event prefix through [`Analysis::apply_control`] — the same
+/// property that makes sharding sound. Only state produced by access
+/// *checks* (shadow cells, discovered races, dedup sets, access
+/// counters) needs to round-trip through `save_state`/`restore_state`.
+/// A checkpoint is therefore: control prefix (v1 codec) + one opaque
+/// state blob per shard.
+///
+/// Contract: for any event prefix P and suffix S, running P, saving,
+/// restoring into a fresh instance that replayed P's control events, and
+/// running S must produce the same report as running P then S directly.
+/// Backend-cost counters (e.g. DTRG query expansions) are exempt, as they
+/// already are for the sharded merge.
+pub trait Checkpointable: LocRoutable {
+    /// Appends the access-derived state to `out` (self-delimiting).
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores access-derived state saved by [`Checkpointable::save_state`]
+    /// into `self`, which must be a fresh instance that has already
+    /// replayed the checkpoint's control-event prefix.
+    fn restore_state(&mut self, state: &[u8]) -> Result<(), StateError>;
+}
+
 /// Driver bookkeeping: what one [`run_analysis`] call consumed and did.
 /// Replaces the one-off event/check counting individual consumers used to
 /// maintain.
@@ -126,12 +172,26 @@ pub struct EngineCounters {
     pub writes: u64,
     /// Wall-clock time of the whole run (drive + finish), in ms.
     pub wall_ms: f64,
+    /// Shard workers restarted from a checkpoint after dying or stalling
+    /// (supervised pipeline only; 0 elsewhere).
+    pub shard_restarts: u64,
+    /// Runs degraded from the sharded to the serial path after an
+    /// unrecoverable worker failure (0 or 1 per run).
+    pub degradations: u64,
+    /// Runs that started from a checkpoint instead of the beginning of
+    /// the trace (0 or 1 per run).
+    pub resumed_from_checkpoint: u64,
 }
 
 impl EngineCounters {
     /// Access checks performed (reads + writes).
     pub fn checks(&self) -> u64 {
         self.reads + self.writes
+    }
+
+    /// True when the supervised pipeline recorded any recovery action.
+    pub fn had_supervision_events(&self) -> bool {
+        self.shard_restarts > 0 || self.degradations > 0 || self.resumed_from_checkpoint > 0
     }
 }
 
@@ -146,7 +206,17 @@ impl std::fmt::Display for EngineCounters {
             self.reads,
             self.writes,
             self.wall_ms
-        )
+        )?;
+        // Supervision outcomes are appended only when something happened,
+        // so output consumed by CI diffs is unchanged for clean runs.
+        if self.had_supervision_events() {
+            write!(
+                f,
+                "; supervision: {} restart(s), {} degradation(s), {} resume(s)",
+                self.shard_restarts, self.degradations, self.resumed_from_checkpoint
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -519,9 +589,25 @@ mod tests {
             reads: 4,
             writes: 2,
             wall_ms: 1.25,
+            ..EngineCounters::default()
         };
         let s = c.to_string();
         assert!(s.contains("10 events"), "{s}");
         assert!(s.contains("6 checks"), "{s}");
+        assert!(
+            !s.contains("supervision"),
+            "clean runs keep the legacy wording: {s}"
+        );
+        let supervised = EngineCounters {
+            shard_restarts: 2,
+            degradations: 1,
+            resumed_from_checkpoint: 1,
+            ..c
+        };
+        let s = supervised.to_string();
+        assert!(
+            s.contains("supervision: 2 restart(s), 1 degradation(s), 1 resume(s)"),
+            "{s}"
+        );
     }
 }

@@ -42,8 +42,8 @@ pub mod trace;
 
 pub use api::TaskCtx;
 pub use engine::{
-    run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome, Engine,
-    EngineCounters, EventSource, LocRoutable,
+    run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome,
+    Checkpointable, Engine, EngineCounters, EventSource, LocRoutable, StateError,
 };
 pub use memory::{SharedArray, SharedVar};
 pub use monitor::{replay, Event, EventLog, Monitor, NullMonitor, TaskKind};

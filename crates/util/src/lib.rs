@@ -25,10 +25,17 @@
 //!   replayable counterexample seeds) used by every randomized suite in the
 //!   workspace; the repository builds and tests fully offline with zero
 //!   external dependencies.
+//! * [`faultinject`] — seeded deterministic fault plans ([`faultinject::FaultPlan`])
+//!   that wrap any `io::Write`/`io::Read` with short ops, transient errors,
+//!   hard errors, and truncation, plus worker panic/stall trigger points and
+//!   the bounded [`faultinject::Backoff`] retry helper (DESIGN S38).
+//! * [`wire`] — the length-delimited varint codec used by checkpoint state
+//!   blobs (bounds-checked cursor, bit-exact floats).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faultinject;
 pub mod fxhash;
 pub mod ids;
 pub mod interval;
@@ -36,6 +43,7 @@ pub mod propcheck;
 pub mod rng;
 pub mod stats;
 pub mod unionfind;
+pub mod wire;
 
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{FinishId, LocId, StepId, TaskId};

@@ -76,6 +76,25 @@ impl Running {
         (self.count > 0).then_some(self.max)
     }
 
+    /// The raw accumulator state `(count, mean, m2, min, max)`, for
+    /// bit-exact checkpoint serialization. Round-trips through
+    /// [`Running::from_raw`] without any loss, so a resumed analysis
+    /// reports the same distribution a fresh run would.
+    pub fn to_raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Running::to_raw`] state.
+    pub fn from_raw(raw: (u64, f64, f64, f64, f64)) -> Running {
+        Running {
+            count: raw.0,
+            mean: raw.1,
+            m2: raw.2,
+            min: raw.3,
+            max: raw.4,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &Running) {
         if other.count == 0 {

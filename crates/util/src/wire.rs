@@ -1,0 +1,242 @@
+//! Tiny length-delimited wire codec for checkpoint state blobs.
+//!
+//! The fault-tolerant pipeline snapshots analysis state at chunk
+//! boundaries (DESIGN S38). Those snapshots must round-trip exactly,
+//! reject corruption with a structured error instead of a panic, and use
+//! no external crates — the same zero-dependency discipline as the v1
+//! trace codec. This module is the shared primitive layer: LEB128-style
+//! varints, fixed-width floats (bit-exact, so resumed statistics match a
+//! fresh run byte-for-byte), and a bounds-checked [`Cursor`] reader.
+//!
+//! The trace codec in `futrace-runtime` keeps its own private varint
+//! helpers; this module exists so *state* serializers in `core`,
+//! `baselines`, and `offline` don't each reinvent them.
+
+use std::fmt;
+
+/// Decoding error: the blob ended early or a field was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the field completed. Payload is a label for
+    /// the field being read.
+    Truncated(&'static str),
+    /// A field decoded to a structurally impossible value. Payload is a
+    /// label describing the violated expectation.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated while reading {what}"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, MSB = continuation).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Appends a `u32` as little-endian fixed width (used for CRCs, where a
+/// fixed layout keeps corruption checks simple).
+pub fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` by its IEEE-754 bit pattern (exact round-trip).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Bounds-checked reader over a byte slice; every accessor returns a
+/// [`WireError`] instead of panicking on truncated or malformed input.
+#[derive(Debug, Clone)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current byte offset from the start of the blob.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one varint; `what` labels the field in errors.
+    pub fn varint(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or(WireError::Truncated(what))?;
+            self.pos += 1;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::Malformed(what));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::Malformed(what));
+            }
+        }
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    pub fn u32_le(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as its bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        let bytes = self.take(8, what)?;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap())))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.varint(what)?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::Truncated(what));
+        }
+        self.take(len as usize, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, WireError> {
+        let bytes = self.bytes(what)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::Malformed(what))
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated(what));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut c = Cursor::new(&buf);
+            assert_eq!(c.varint("v").unwrap(), v);
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_varint_is_error_not_panic() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        for cut in 0..buf.len() {
+            let mut c = Cursor::new(&buf[..cut]);
+            assert_eq!(c.varint("v"), Err(WireError::Truncated("v")));
+        }
+    }
+
+    #[test]
+    fn overlong_varint_is_malformed() {
+        // Eleven continuation bytes encode more than 64 bits.
+        let buf = [0xFFu8; 11];
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.varint("v"), Err(WireError::Malformed("v")));
+    }
+
+    #[test]
+    fn mixed_fields_roundtrip() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 42);
+        put_u32_le(&mut buf, 0xDEAD_BEEF);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::INFINITY);
+        put_str(&mut buf, "loc[3]");
+        put_bytes(&mut buf, &[1, 2, 3]);
+
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.varint("a").unwrap(), 42);
+        assert_eq!(c.u32_le("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(c.f64("c").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.f64("d").unwrap(), f64::INFINITY);
+        assert_eq!(c.str("e").unwrap(), "loc[3]");
+        assert_eq!(c.bytes("f").unwrap(), &[1, 2, 3]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn bytes_length_beyond_input_is_truncated() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1000);
+        buf.extend_from_slice(&[0; 8]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.bytes("blob"), Err(WireError::Truncated("blob")));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.str("name"), Err(WireError::Malformed("name")));
+    }
+}
