@@ -43,6 +43,10 @@ use futrace_util::faultinject::{
 use std::io::BufWriter;
 use std::time::Duration;
 
+/// Snapshot interval (framed chunks) used when `--inject` is given
+/// without `--checkpoint-every`.
+const INJECT_CHECKPOINT_EVERY: u64 = 8;
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!("usage:");
@@ -354,9 +358,17 @@ fn analyze_supervised(args: &AnalyzeArgs, blob: &[u8], faults: Option<&FaultPlan
         cp
     });
 
+    // `--inject` without an explicit interval gets periodic snapshots by
+    // default (framed traces only — flat traces have no chunk
+    // boundaries): snapshots bound the supervisor's replay buffer and
+    // keep injected worker deaths restartable on long traces.
+    let checkpoint_every = args.checkpoint_every.or_else(|| {
+        (args.inject.is_some() && framed::is_framed(blob)).then_some(INJECT_CHECKPOINT_EVERY)
+    });
+
     let mut plan = SupervisorPlan {
         shard: ShardPlan::with_shards(args.shards.unwrap_or(ShardPlan::default().shards)),
-        checkpoint_every_chunks: args.checkpoint_every,
+        checkpoint_every_chunks: checkpoint_every,
         stop_after_chunks: args.stop_after,
         fingerprint: Some(TraceFingerprint::of(blob)),
         ..SupervisorPlan::default()

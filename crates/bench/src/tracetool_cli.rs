@@ -76,6 +76,8 @@ pub struct AnalyzeArgs {
     /// file plus worker panic/stall faults in the supervised pipeline.
     pub inject: Option<u64>,
     /// Barrier-snapshot every N chunk boundaries (supervised pipeline).
+    /// When absent but `--inject` is given on a framed trace, the tool
+    /// defaults an interval so the replay buffer stays bounded.
     pub checkpoint_every: Option<u64>,
     /// Write a resumable checkpoint to this path when the run suspends.
     pub checkpoint: Option<String>,

@@ -21,7 +21,10 @@
 //!   replacement worker is rebuilt from scratch — control-prefix replay,
 //!   state restore, then replay of the batches routed since the snapshot
 //!   (the supervisor retains them; their volume is bounded by the
-//!   checkpoint interval). Injected faults are one-shot, modelling the
+//!   checkpoint interval and capped by
+//!   [`SupervisorPlan::max_replay_ops`] — on overflow the buffer is
+//!   dropped and a death in that window degrades to serial instead of
+//!   hoarding memory). Injected faults are one-shot, modelling the
 //!   transient failures restart is for.
 //! * **Degrade-to-serial**: when restarts are exhausted (or recovery
 //!   itself fails), the supervisor falls back to a fresh single-threaded
@@ -132,13 +135,22 @@ pub struct SupervisorPlan {
     /// Barrier-snapshot every N chunk boundaries (enables worker restart
     /// and bounds replay-buffer memory). `None` disables snapshots;
     /// worker death then degrades to serial unless a restart can replay
-    /// from the stream start (it can, as long as nothing was snapshotted).
+    /// from the stream start (it can, while the stream prefix still fits
+    /// under [`SupervisorPlan::max_replay_ops`]).
     pub checkpoint_every_chunks: Option<u64>,
     /// Suspend into a [`Checkpoint`] once this many chunks (absolute,
     /// including chunks skipped over by a resume) are consumed.
     pub stop_after_chunks: Option<u64>,
     /// Worker restarts allowed before degrading to serial.
     pub max_restarts: u32,
+    /// Cap on ops retained in one shard's replay buffer between
+    /// snapshots. Without a cap a run with snapshots disabled (or a huge
+    /// interval) would hold a second full copy of the op stream, defeating
+    /// the streaming design. On overflow the buffer is discarded and the
+    /// shard is marked unrestartable until the next snapshot; a worker
+    /// death in that window degrades to serial instead of exhausting
+    /// memory.
+    pub max_replay_ops: u64,
     /// Fingerprint stamped into produced checkpoints, if known.
     pub fingerprint: Option<TraceFingerprint>,
     /// Injected fault: panic a worker at its Nth processed op (one-shot).
@@ -157,6 +169,7 @@ impl Default for SupervisorPlan {
             checkpoint_every_chunks: None,
             stop_after_chunks: None,
             max_restarts: 2,
+            max_replay_ops: 1 << 20,
             fingerprint: None,
             worker_panic: None,
             worker_stall: None,
@@ -364,8 +377,15 @@ struct Slot {
     tx: Option<Sender<ToWorker>>,
     epoch: u64,
     /// Batches routed since the last completed snapshot, for replay into a
-    /// replacement worker. Volume is bounded by the checkpoint interval.
+    /// replacement worker. Volume is bounded by the checkpoint interval
+    /// and, as a backstop, by [`SupervisorPlan::max_replay_ops`].
     replay: Vec<Vec<Op>>,
+    /// Ops currently retained in `replay`.
+    replay_ops: u64,
+    /// The replay buffer overflowed [`SupervisorPlan::max_replay_ops`] and
+    /// was discarded; the shard cannot be restarted until the next
+    /// snapshot resets it.
+    replay_lost: bool,
     /// Last snapshot of this shard's access-derived state.
     snapshot: Option<Vec<u8>>,
     snapshot_accesses: u64,
@@ -386,6 +406,11 @@ where
     slots: Vec<Slot>,
     results_tx: Sender<FromWorker<A::Report>>,
     results_rx: Receiver<FromWorker<A::Report>>,
+    /// Current-epoch messages rescued by [`Supervisor::drain_results`] —
+    /// e.g. another shard's Snapshot reply queued behind a dead shard's
+    /// notices. The barrier/collect loops consume these before waiting on
+    /// the channel, so a drain never costs a watchdog timeout.
+    stash: std::collections::VecDeque<FromWorker<A::Report>>,
     next_epoch: u64,
     /// Every control event consumed so far — the replay source for both
     /// worker restart and checkpoint files. Small by the control/access
@@ -426,7 +451,9 @@ where
     /// retained post-snapshot batches. Returns `Degrade` when the restart
     /// budget is exhausted or recovery itself fails.
     fn restart(&mut self, shard: usize) -> Result<(), Degrade> {
-        if self.supervision.shard_restarts >= self.plan.max_restarts as u64 {
+        if self.supervision.shard_restarts >= self.plan.max_restarts as u64
+            || self.slots[shard].replay_lost
+        {
             return Err(Degrade);
         }
         self.supervision.shard_restarts += 1;
@@ -484,16 +511,68 @@ where
         }
     }
 
-    /// Consumes any queued worker messages without blocking (stale `Died`
-    /// notices from abandoned incarnations, mostly).
+    /// Consumes any queued worker messages without blocking. Stale-epoch
+    /// messages (notices from abandoned incarnations) are dropped;
+    /// current-epoch ones are stashed for [`Supervisor::next_result`] —
+    /// discarding them would throw away e.g. another shard's Snapshot
+    /// reply and burn a watchdog timeout (and restart) recovering it.
     fn drain_results(&mut self) {
-        while let RecvTimeout::Item(_) = self.results_rx.recv_timeout(Duration::ZERO) {}
+        while let RecvTimeout::Item(msg) = self.results_rx.recv_timeout(Duration::ZERO) {
+            let (shard, epoch) = Self::msg_key(&msg);
+            if epoch == self.slots[shard].epoch {
+                self.stash.push_back(msg);
+            }
+        }
     }
 
-    /// Routes a batch and retains it for post-snapshot replay.
+    fn msg_key(msg: &FromWorker<A::Report>) -> (usize, u64) {
+        match msg {
+            FromWorker::Snapshot { shard, epoch, .. }
+            | FromWorker::Done { shard, epoch, .. }
+            | FromWorker::Died { shard, epoch } => (*shard, *epoch),
+        }
+    }
+
+    /// Next worker message: a still-current stashed one if any (entries can
+    /// go stale after a restart bumps the epoch), else a bounded wait on
+    /// the results channel.
+    fn next_result(&mut self, timeout: Duration) -> RecvTimeout<FromWorker<A::Report>> {
+        while let Some(msg) = self.stash.pop_front() {
+            let (shard, epoch) = Self::msg_key(&msg);
+            if epoch == self.slots[shard].epoch {
+                return RecvTimeout::Item(msg);
+            }
+        }
+        self.results_rx.recv_timeout(timeout)
+    }
+
+    /// Routes a batch and retains it for post-snapshot replay. The copy is
+    /// pushed only *after* the send succeeds: `restart` replays the whole
+    /// buffer, so retaining first would deliver a failed batch twice (once
+    /// via replay, once via the recovery re-send), duplicating control
+    /// events and inflating access counts in the replacement worker.
     fn dispatch(&mut self, shard: usize, batch: Vec<Op>) -> Result<(), Degrade> {
-        self.slots[shard].replay.push(batch.clone());
-        self.send_batch(shard, batch, true)
+        let retained = if self.slots[shard].replay_lost {
+            None
+        } else {
+            Some(batch.clone())
+        };
+        self.send_batch(shard, batch, true)?;
+        if let Some(retained) = retained {
+            let slot = &mut self.slots[shard];
+            slot.replay_ops += retained.len() as u64;
+            if slot.replay_ops > self.plan.max_replay_ops {
+                // Cap the buffer rather than hold a second copy of the
+                // stream: the shard is simply no longer restartable until
+                // the next snapshot resets it (death degrades to serial).
+                slot.replay = Vec::new();
+                slot.replay_ops = 0;
+                slot.replay_lost = true;
+            } else {
+                slot.replay.push(retained);
+            }
+        }
+        Ok(())
     }
 
     /// Barrier snapshot: every worker saves its state at a consistent cut
@@ -507,7 +586,7 @@ where
         let mut pending: Vec<Option<(Vec<u8>, u64)>> = vec![None; self.n];
         let mut got = 0usize;
         while got < self.n {
-            match self.results_rx.recv_timeout(self.plan.watchdog) {
+            match self.next_result(self.plan.watchdog) {
                 RecvTimeout::Item(FromWorker::Snapshot {
                     shard,
                     epoch,
@@ -547,6 +626,8 @@ where
             slot.snapshot = Some(state);
             slot.snapshot_accesses = accesses;
             slot.replay.clear();
+            slot.replay_ops = 0;
+            slot.replay_lost = false;
         }
         self.snapshot_control_len = self.control_prefix.len();
         self.supervision.snapshots_taken += 1;
@@ -593,7 +674,7 @@ where
             (0..self.n).map(|_| None).collect();
         let mut got = 0usize;
         while got < self.n {
-            match self.results_rx.recv_timeout(self.plan.watchdog) {
+            match self.next_result(self.plan.watchdog) {
                 RecvTimeout::Item(FromWorker::Done {
                     shard,
                     epoch,
@@ -667,6 +748,8 @@ where
                 tx: None,
                 epoch: 0,
                 replay: Vec::new(),
+                replay_ops: 0,
+                replay_lost: false,
                 snapshot: None,
                 snapshot_accesses: 0,
                 panic_at: plan.worker_panic.as_ref().and_then(|f| f.trigger_for(shard, n)),
@@ -679,6 +762,7 @@ where
             .collect(),
         results_tx,
         results_rx,
+        stash: std::collections::VecDeque::new(),
         next_epoch: 1,
         control_prefix: Vec::new(),
         snapshot_control_len: 0,
@@ -1062,7 +1146,7 @@ mod tests {
         let SupervisedOutcome::Completed {
             report,
             supervision,
-            ..
+            stats,
         } = out
         else {
             panic!("expected completion");
@@ -1073,6 +1157,40 @@ mod tests {
             "panic must be recovered by restart: {supervision:?}"
         );
         assert_eq!(supervision.degradations, 0);
+        // Exactly-once delivery across the restart: a batch re-sent after
+        // recovery must not ALSO be replayed from the retention buffer,
+        // which would inflate the per-shard access counters.
+        assert_eq!(
+            stats.per_shard_accesses.iter().sum::<u64>(),
+            stats.accesses,
+            "restart must not double-apply any batch"
+        );
+    }
+
+    #[test]
+    fn replay_overflow_degrades_to_serial() {
+        // With no snapshots and a tiny replay cap, the buffer overflows
+        // immediately; a worker death in that window cannot restart and
+        // must degrade to the (still correct) serial path rather than
+        // retain the whole stream.
+        let log = racy_log();
+        let serial = serial_report(&log);
+        let mut plan = plan_for_tests(2);
+        plan.max_replay_ops = 1;
+        plan.worker_panic = Some(WorkerFault { shard: 0, at_op: 5 });
+        let out =
+            run_supervised(events_of(&log), RaceDetector::new, &plan, None).unwrap();
+        let SupervisedOutcome::Completed {
+            report,
+            supervision,
+            stats,
+        } = out
+        else {
+            panic!("expected completion");
+        };
+        assert_eq!(report.report.races, serial.races, "degraded verdict is serial");
+        assert_eq!(supervision.degradations, 1);
+        assert_eq!(stats.shards, 1, "degraded run is serial");
     }
 
     #[test]
@@ -1111,7 +1229,7 @@ mod tests {
         let SupervisedOutcome::Completed {
             report,
             supervision,
-            ..
+            stats,
         } = out
         else {
             panic!("expected completion");
@@ -1120,6 +1238,11 @@ mod tests {
         assert!(
             supervision.watchdog_timeouts >= 1 || supervision.degradations == 1,
             "stall must be detected: {supervision:?}"
+        );
+        assert_eq!(
+            stats.per_shard_accesses.iter().sum::<u64>(),
+            stats.accesses,
+            "stall recovery must not double-apply any batch"
         );
     }
 

@@ -480,16 +480,26 @@ impl Backoff {
     }
 }
 
+/// Consecutive `Interrupted` results tolerated for free before the error
+/// propagates. std's `write_all` retries `Interrupted` unconditionally,
+/// but against a sink that returns it *persistently* (an injected
+/// `transient_every: 1` plan, or a genuinely wedged fd) an unconditional
+/// retry never terminates — so the free retries are bounded generously
+/// and the backoff budget takes over past the bound.
+const MAX_FREE_INTERRUPTS: u32 = 1024;
+
 /// `write_all` with bounded, deterministically jittered retries on
 /// transient errors ([`is_transient`]); `Interrupted` alone is retried
-/// for free (matching std's `write_all`), other transient kinds consume
-/// the backoff budget. Progress resets the budget, so the bound applies
+/// for free (matching std's `write_all`) up to [`MAX_FREE_INTERRUPTS`]
+/// consecutive times, after which it consumes the backoff budget like
+/// the other transient kinds. Progress resets both bounds, so they apply
 /// to consecutive failures. Never rewrites bytes already accepted.
 pub fn write_all_with_retry<W: Write>(
     sink: &mut W,
     mut buf: &[u8],
     backoff: &mut Backoff,
 ) -> io::Result<()> {
+    let mut interrupts = 0u32;
     while !buf.is_empty() {
         match sink.write(buf) {
             Ok(0) => {
@@ -501,8 +511,11 @@ pub fn write_all_with_retry<W: Write>(
             Ok(n) => {
                 buf = &buf[n..];
                 backoff.reset();
+                interrupts = 0;
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted && interrupts < MAX_FREE_INTERRUPTS => {
+                interrupts += 1;
+            }
             Err(e) if is_transient(e.kind()) => match backoff.next_delay() {
                 Some(d) => std::thread::sleep(d),
                 None => return Err(e),
@@ -522,14 +535,18 @@ pub fn read_to_end_with_retry<R: Read>(
 ) -> io::Result<usize> {
     let start = out.len();
     let mut scratch = [0u8; 16 * 1024];
+    let mut interrupts = 0u32;
     loop {
         match source.read(&mut scratch) {
             Ok(0) => return Ok(out.len() - start),
             Ok(n) => {
                 out.extend_from_slice(&scratch[..n]);
                 backoff.reset();
+                interrupts = 0;
             }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted && interrupts < MAX_FREE_INTERRUPTS => {
+                interrupts += 1;
+            }
             Err(e) if is_transient(e.kind()) => match backoff.next_delay() {
                 Some(d) => std::thread::sleep(d),
                 None => return Err(e),
@@ -616,6 +633,28 @@ mod tests {
         }
         assert!(w.stats().transients > 0);
         assert_eq!(w.into_inner(), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn persistent_interrupts_terminate_with_error() {
+        // A sink that fails EVERY call with Interrupted must not loop
+        // forever: the free retries are bounded, then the backoff budget
+        // is consumed, then the error propagates.
+        let faults = IoFaults {
+            transient_every: Some(1),
+            transient_kind: Some(TransientKind::Interrupted),
+            ..IoFaults::default()
+        };
+        let mut w = FaultyWriter::new(Vec::new(), faults.clone());
+        let mut backoff = Backoff::new(1, 2, Duration::from_micros(1));
+        let err = write_all_with_retry(&mut w, &[1u8; 4], &mut backoff).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted);
+
+        let mut r = FaultyReader::new(&[0u8; 4][..], faults);
+        let mut out = Vec::new();
+        let mut backoff = Backoff::new(1, 2, Duration::from_micros(1));
+        let err = read_to_end_with_retry(&mut r, &mut out, &mut backoff).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Interrupted);
     }
 
     #[test]
