@@ -1,0 +1,307 @@
+//! `dtrgperf` — measured perf harness for the DTRG detector's hot path.
+//!
+//! For each selected benchsuite program the harness:
+//!
+//! 1. records the serial depth-first event stream once ([`EventLog`]);
+//! 2. times the **uninstrumented** execution (the DSL under
+//!    [`NullMonitor`] — the denominator of the paper's slowdown column);
+//! 3. times the detector over the recorded stream with the hot-path
+//!    caches **on** (the default [`DetectorConfig`]) and **off**
+//!    (`caching: false`), through the engine's batched dispatch path;
+//! 4. asserts the two verdicts are identical, and
+//! 5. emits one JSON object per program into `BENCH_dtrg.json`:
+//!    median ns/event for each mode, the cached-vs-uncached improvement
+//!    factor, slowdown vs the uninstrumented run, and the cache
+//!    hit/miss counters (memo + shadow fast path).
+//!
+//! Sampling reuses the in-tree runner's protocol
+//! ([`futrace_bench::runner`]): `FUTRACE_BENCH_WARMUP` untimed then
+//! `FUTRACE_BENCH_SAMPLES` timed iterations, median-of-samples (robust
+//! to scheduling noise in CI).
+//!
+//! Usage: `dtrgperf [--out PATH] [--programs a,b,...] [--list]`
+
+use futrace_bench::runner::Runner;
+use futrace_benchsuite::{crypt, jacobi, pipeline, series, smithwaterman, sor};
+use futrace_detector::{DetectorConfig, RaceDetector};
+use futrace_runtime::engine::{run_analysis, source};
+use futrace_runtime::{run_serial, Event, EventLog, NullMonitor, TaskCtx};
+
+/// One benchsuite workload, name plus a monomorphization-friendly body.
+enum Workload {
+    Jacobi(jacobi::JacobiParams),
+    SmithWaterman(smithwaterman::SwParams),
+    Sor(sor::SorParams),
+    SeriesFuture(series::SeriesParams),
+    Pipeline(pipeline::PipelineParams),
+    Crypt(crypt::CryptParams),
+}
+
+impl Workload {
+    fn name(&self) -> &'static str {
+        match self {
+            Workload::Jacobi(_) => "jacobi",
+            Workload::SmithWaterman(_) => "smithwaterman",
+            Workload::Sor(_) => "sor",
+            Workload::SeriesFuture(_) => "series_future",
+            Workload::Pipeline(_) => "pipeline",
+            Workload::Crypt(_) => "crypt",
+        }
+    }
+
+    fn run<C: TaskCtx>(&self, ctx: &mut C) {
+        match self {
+            Workload::Jacobi(p) => {
+                jacobi::jacobi_run(ctx, p, false);
+            }
+            Workload::SmithWaterman(p) => {
+                smithwaterman::sw_run(ctx, p, false);
+            }
+            Workload::Sor(p) => {
+                sor::sor_run(ctx, p, false);
+            }
+            Workload::SeriesFuture(p) => {
+                series::series_future(ctx, p);
+            }
+            Workload::Pipeline(p) => {
+                pipeline::pipeline_run(ctx, p, false);
+            }
+            Workload::Crypt(p) => {
+                crypt::crypt_run(ctx, p, crypt::CryptVariant::Future);
+            }
+        }
+    }
+}
+
+fn all_workloads() -> Vec<Workload> {
+    vec![
+        Workload::Jacobi(jacobi::JacobiParams::scaled()),
+        Workload::SmithWaterman(smithwaterman::SwParams::scaled()),
+        Workload::Sor(sor::SorParams::scaled()),
+        Workload::SeriesFuture(series::SeriesParams::scaled()),
+        Workload::Pipeline(pipeline::PipelineParams::scaled()),
+        Workload::Crypt(crypt::CryptParams::scaled()),
+    ]
+}
+
+/// One program's measurements, serialized as one JSON object.
+struct ProgramResult {
+    name: &'static str,
+    events: u64,
+    accesses: u64,
+    races: u64,
+    uninstrumented_median_ns: u64,
+    cached_median_ns: u64,
+    uncached_median_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    shadow_hits: u64,
+}
+
+impl ProgramResult {
+    fn cached_ns_per_event(&self) -> f64 {
+        self.cached_median_ns as f64 / self.events.max(1) as f64
+    }
+
+    fn uncached_ns_per_event(&self) -> f64 {
+        self.uncached_median_ns as f64 / self.events.max(1) as f64
+    }
+
+    /// Cached-vs-uncached median speedup (>1 means the caches help).
+    fn improvement(&self) -> f64 {
+        self.uncached_median_ns as f64 / self.cached_median_ns.max(1) as f64
+    }
+
+    fn slowdown_cached(&self) -> f64 {
+        self.cached_median_ns as f64 / self.uninstrumented_median_ns.max(1) as f64
+    }
+
+    fn slowdown_uncached(&self) -> f64 {
+        self.uncached_median_ns as f64 / self.uninstrumented_median_ns.max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"events\":{},\"accesses\":{},\"races\":{},",
+                "\"uninstrumented_median_ns\":{},\"cached_median_ns\":{},",
+                "\"uncached_median_ns\":{},\"cached_ns_per_event\":{:.3},",
+                "\"uncached_ns_per_event\":{:.3},\"improvement\":{:.3},",
+                "\"slowdown_cached\":{:.3},\"slowdown_uncached\":{:.3},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"memo_hits\":{},",
+                "\"memo_misses\":{},\"shadow_hits\":{}}}"
+            ),
+            self.name,
+            self.events,
+            self.accesses,
+            self.races,
+            self.uninstrumented_median_ns,
+            self.cached_median_ns,
+            self.uncached_median_ns,
+            self.cached_ns_per_event(),
+            self.uncached_ns_per_event(),
+            self.improvement(),
+            self.slowdown_cached(),
+            self.slowdown_uncached(),
+            self.cache_hits,
+            self.cache_misses,
+            self.memo_hits,
+            self.memo_misses,
+            self.shadow_hits,
+        )
+    }
+}
+
+fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
+    // Record the stream once; every detector run replays it, so the
+    // detector timings exclude DSL execution cost.
+    let mut log = EventLog::new();
+    run_serial(&mut log, |ctx| w.run(ctx));
+    let events = log.events;
+    let accesses = events
+        .iter()
+        .filter(|e| matches!(e, Event::Read(..) | Event::Write(..)))
+        .count() as u64;
+
+    let cached_cfg = DetectorConfig::default();
+    let uncached_cfg = DetectorConfig {
+        caching: false,
+        ..DetectorConfig::default()
+    };
+    let replay = |cfg: &DetectorConfig| {
+        match run_analysis(
+            source::recorded(&events),
+            RaceDetector::with_config(cfg.clone()),
+        ) {
+            Ok(out) => out,
+            Err(never) => match never {},
+        }
+    };
+
+    // The caches must never change the verdict (the equivalence suite
+    // checks this over random programs; re-assert on the real workloads).
+    let cached_out = replay(&cached_cfg);
+    let uncached_out = replay(&uncached_cfg);
+    assert_eq!(
+        cached_out.report.report.races, uncached_out.report.report.races,
+        "{}: cached and uncached verdicts must be identical",
+        w.name()
+    );
+    let dtrg = &cached_out.report.stats.dtrg;
+    let (cache_hits, cache_misses) = (dtrg.memo_hits + dtrg.shadow_hits, dtrg.memo_misses);
+
+    let mut group = runner.benchmark_group(format!("dtrgperf/{}", w.name()));
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut nm = NullMonitor;
+            run_serial(&mut nm, |ctx| w.run(ctx));
+        })
+    });
+    group.bench_function("cached", |b| b.iter(|| replay(&cached_cfg)));
+    group.bench_function("uncached", |b| b.iter(|| replay(&uncached_cfg)));
+    group.finish();
+
+    let recs = runner.records();
+    let median = |suffix: &str| {
+        recs.iter()
+            .rev()
+            .find(|r| r.bench == suffix && r.group.ends_with(w.name()))
+            .expect("record just measured")
+            .median_ns
+    };
+    ProgramResult {
+        name: w.name(),
+        events: events.len() as u64,
+        accesses,
+        races: cached_out.report.report.total_detected,
+        uninstrumented_median_ns: median("uninstrumented"),
+        cached_median_ns: median("cached"),
+        uncached_median_ns: median("uncached"),
+        cache_hits,
+        cache_misses,
+        memo_hits: dtrg.memo_hits,
+        memo_misses: dtrg.memo_misses,
+        shadow_hits: dtrg.shadow_hits,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_dtrg.json");
+    let mut selected: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--programs" => {
+                selected = Some(
+                    args.next()
+                        .expect("--programs needs a comma-separated list")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect(),
+                )
+            }
+            "--list" => {
+                for w in all_workloads() {
+                    println!("{}", w.name());
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: dtrgperf [--out PATH] [--programs a,b,...] [--list]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workloads: Vec<Workload> = all_workloads()
+        .into_iter()
+        .filter(|w| {
+            selected
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == w.name()))
+        })
+        .collect();
+    if let Some(names) = &selected {
+        let known: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+        for n in names {
+            assert!(
+                known.contains(&n.as_str()),
+                "unknown program {n:?} (try --list)"
+            );
+        }
+    }
+
+    let mut runner = Runner::from_env();
+    let results: Vec<ProgramResult> = workloads.iter().map(|w| measure(w, &mut runner)).collect();
+
+    println!();
+    println!(
+        "{:<14} {:>9} {:>12} {:>12} {:>12} {:>8} {:>12}",
+        "program", "events", "uninstr", "cached", "uncached", "improve", "cache h/m"
+    );
+    for r in &results {
+        println!(
+            "{:<14} {:>9} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>7.2}x {:>7}/{}",
+            r.name,
+            r.events,
+            r.uninstrumented_median_ns as f64 / 1e6,
+            r.cached_median_ns as f64 / 1e6,
+            r.uncached_median_ns as f64 / 1e6,
+            r.improvement(),
+            r.cache_hits,
+            r.cache_misses,
+        );
+    }
+
+    let body: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+    let json = format!(
+        "{{\n  \"harness\": \"dtrgperf\",\n  \"unit\": \"ns\",\n  \"programs\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -306,13 +306,10 @@ fn print_report(name: &str, report: &AnyReport) -> bool {
     }
 }
 
-/// Runs a registry detector serially over an in-memory event list.
+/// Runs a registry detector serially over an in-memory event list,
+/// through the engine's batched dispatch path.
 fn run_detector(name: &str, events: &[Event]) -> AnalysisOutcome<AnyReport> {
-    let iter = events.iter().cloned().map(Ok::<_, std::convert::Infallible>);
-    match detectors::run_on_events(name, iter) {
-        Ok(o) => o,
-        Err(never) => match never {},
-    }
+    detectors::run_on_recorded(name, events)
 }
 
 fn print_engine_counters(counters: &EngineCounters) {
@@ -451,6 +448,7 @@ fn analyze_supervised(args: &AnalyzeArgs, blob: &[u8], faults: Option<&FaultPlan
                 "accesses:    {} reads, {} writes; per shard: {:?}",
                 s.reads, s.writes, s.per_shard_accesses
             );
+            let (cache_hits, cache_misses) = report.cache_counters().unwrap_or((0, 0));
             let counters = EngineCounters {
                 events: s.events,
                 control_events: s.control_events,
@@ -460,6 +458,8 @@ fn analyze_supervised(args: &AnalyzeArgs, blob: &[u8], faults: Option<&FaultPlan
                 shard_restarts: supervision.shard_restarts,
                 degradations: supervision.degradations,
                 resumed_from_checkpoint: supervision.resumed_from_checkpoint,
+                cache_hits,
+                cache_misses,
             };
             print_engine_counters(&counters);
             print_report(&args.detector, &report)

@@ -103,6 +103,29 @@ impl AnyReport {
             AnyReport::Closure(r) => r.races.iter().map(|x| format!("{x:?}")).collect(),
         }
     }
+
+    /// Hot-path cache totals as `(hits, misses)`: the DTRG's memo and
+    /// shadow fast-path counters (only the memo records misses — every
+    /// slow-path check is one). `None` for the uncached detectors.
+    pub fn cache_counters(&self) -> Option<(u64, u64)> {
+        match self {
+            AnyReport::Dtrg(r) => Some((
+                r.stats.dtrg.memo_hits + r.stats.dtrg.shadow_hits,
+                r.stats.dtrg.memo_misses,
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Copies the report's cache totals into the driver counters (a no-op for
+/// detectors without a hot-path cache).
+fn fill_cache_counters(mut o: AnalysisOutcome<AnyReport>) -> AnalysisOutcome<AnyReport> {
+    if let Some((hits, misses)) = o.report.cache_counters() {
+        o.counters.cache_hits = hits;
+        o.counters.cache_misses = misses;
+    }
+    o
 }
 
 /// Runs the named detector over an event stream through the engine
@@ -119,7 +142,7 @@ where
     let events = source::stream(events);
     match name {
         "dtrg" => run_analysis(events, RaceDetector::new())
-            .map(|o| o.map(|r| AnyReport::Dtrg(Box::new(r)))),
+            .map(|o| fill_cache_counters(o.map(|r| AnyReport::Dtrg(Box::new(r))))),
         "espbags" => run_analysis(events, EspBags::new()).map(|o| o.map(AnyReport::Baseline)),
         // The trace's programming model is richer than spawn-sync /
         // fork-join, so the strict variants would panic on the first
@@ -135,6 +158,38 @@ where
         }
         "closure" => run_analysis(events, ClosureDetector::new())
             .map(|o| o.map(|r| AnyReport::Closure(Box::new(r)))),
+        other => panic!("unknown detector {other:?} (validate with is_detector)"),
+    }
+}
+
+/// As [`run_on_events`] for an already-decoded event list, driven through
+/// the engine's batched dispatch path (consecutive accesses are handed to
+/// the analysis as flat slices instead of one virtual call per event).
+/// Infallible, so the error type disappears.
+///
+/// # Panics
+///
+/// Panics on an unknown name — validate with [`is_detector`] first.
+pub fn run_on_recorded(name: &str, events: &[Event]) -> AnalysisOutcome<AnyReport> {
+    fn go<A>(events: &[Event], analysis: A) -> AnalysisOutcome<A::Report>
+    where
+        A: futrace_runtime::engine::Analysis,
+    {
+        match run_analysis(source::recorded(events), analysis) {
+            Ok(o) => o,
+            Err(never) => match never {},
+        }
+    }
+    match name {
+        "dtrg" => fill_cache_counters(
+            go(events, RaceDetector::new()).map(|r| AnyReport::Dtrg(Box::new(r))),
+        ),
+        "espbags" => go(events, EspBags::new()).map(AnyReport::Baseline),
+        "spbags" => go(events, SpBags::new_lenient()).map(AnyReport::Baseline),
+        "offsetspan" => go(events, OffsetSpan::new_lenient()).map(AnyReport::Baseline),
+        "spd3" => go(events, Spd3::new()).map(AnyReport::Baseline),
+        "vc" => go(events, VectorClockDetector::new()).map(AnyReport::Baseline),
+        "closure" => go(events, ClosureDetector::new()).map(|r| AnyReport::Closure(Box::new(r))),
         other => panic!("unknown detector {other:?} (validate with is_detector)"),
     }
 }

@@ -319,7 +319,7 @@ pub fn expected_tasks(p: &CryptParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futrace_detector::detect_races_with_stats;
+    use crate::testutil::detect_races_with_stats;
     use futrace_runtime::{run_parallel, run_serial, NullMonitor};
 
     #[test]

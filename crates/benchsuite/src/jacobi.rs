@@ -194,7 +194,7 @@ pub fn expected_nt_joins(p: &JacobiParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futrace_detector::detect_races_with_stats;
+    use crate::testutil::detect_races_with_stats;
     use futrace_runtime::run_parallel;
 
     fn grids_close(a: &[f64], b: &[f64]) -> bool {

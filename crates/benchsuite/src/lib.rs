@@ -41,3 +41,29 @@ pub mod series;
 pub mod smithwaterman;
 pub mod sor;
 pub mod strassen;
+
+/// In-crate stand-ins for the deprecated `futrace_detector` entry points.
+/// This crate sits below the `futrace` umbrella, so it cannot use the
+/// `Analyze` builder without a dependency cycle; its tests drive the
+/// engine directly instead.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use futrace_detector::{DetectorStats, RaceDetector, RaceReport};
+    use futrace_runtime::engine::{run_analysis_live, Engine};
+    use futrace_runtime::SerialCtx;
+
+    pub(crate) fn detect_races<F>(f: F) -> RaceReport
+    where
+        F: FnOnce(&mut SerialCtx<Engine<RaceDetector>>),
+    {
+        run_analysis_live(f, RaceDetector::new()).report.report
+    }
+
+    pub(crate) fn detect_races_with_stats<F>(f: F) -> (RaceReport, DetectorStats)
+    where
+        F: FnOnce(&mut SerialCtx<Engine<RaceDetector>>),
+    {
+        let report = run_analysis_live(f, RaceDetector::new()).report;
+        (report.report, report.stats)
+    }
+}

@@ -330,7 +330,7 @@ pub fn peek_block(m: &SharedArray<f64>, p: &LuParams, bi: usize, bj: usize) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futrace_detector::detect_races_with_stats;
+    use crate::testutil::detect_races_with_stats;
     use futrace_runtime::run_parallel;
 
     fn close(a: &[f64], b: &[f64]) -> bool {

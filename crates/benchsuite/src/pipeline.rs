@@ -145,7 +145,7 @@ pub fn expected_nt_joins(p: &PipelineParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futrace_detector::detect_races_with_stats;
+    use crate::testutil::detect_races_with_stats;
     use futrace_runtime::run_parallel;
 
     #[test]

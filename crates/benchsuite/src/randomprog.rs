@@ -243,7 +243,7 @@ pub fn execute<C: TaskCtx>(ctx: &mut C, prog: &Program) -> futrace_runtime::Shar
 mod tests {
     use super::*;
     use futrace_baselines::{run_baseline, BaselineDetector, ClosureDetector};
-    use futrace_detector::detect_races;
+    use crate::testutil::detect_races;
     use futrace_runtime::{run_serial, EventLog};
 
     #[test]

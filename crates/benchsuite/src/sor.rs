@@ -144,7 +144,7 @@ pub fn expected_tasks(p: &SorParams) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use futrace_detector::detect_races_with_stats;
+    use crate::testutil::detect_races_with_stats;
     use futrace_runtime::run_parallel;
 
     fn close(a: &[f64], b: &[f64]) -> bool {

@@ -67,7 +67,7 @@ pub fn to_dot(dtrg: &mut Dtrg, title: &str) -> String {
         // Only draw each set's nt list once, from its representative-most
         // member (the first member encountered per set key).
 
-        let data_nt: Vec<TaskId> = dtrg.set_data(t).nt.clone();
+        let data_nt: Vec<TaskId> = dtrg.set_data(t).nt.to_vec();
         let key = dtrg.set_data(t).interval.pre;
         if groups[&key][0] == t {
             for p in data_nt {

@@ -29,7 +29,107 @@
 use futrace_runtime::monitor::TaskKind;
 use futrace_util::ids::TaskId;
 use futrace_util::interval::{Interval, IntervalLabeler};
-use futrace_util::{FxHashSet, UnionFind};
+use futrace_util::{FxHashMap, FxHashSet, UnionFind};
+
+/// Inline capacity of [`NtSet`]. The paper observes (§5) that producers
+/// and consumers sit 1–2 non-tree hops apart, and across the benchsuite
+/// almost every set stores at most a couple of non-tree predecessors, so
+/// four inline slots cover the common case without heap traffic.
+const NT_INLINE: usize = 4;
+
+/// Small-set of non-tree predecessor tasks: up to [`NT_INLINE`] entries
+/// inline, spilling to a heap vector only for sets that accumulate many
+/// unjoined producers (wavefront programs under heavy merging).
+#[derive(Clone, Debug)]
+pub enum NtSet {
+    /// At most `NT_INLINE` entries, stored in place.
+    Inline {
+        /// Number of valid entries in `buf`.
+        len: u8,
+        /// Entry storage; only `buf[..len]` is meaningful.
+        buf: [TaskId; NT_INLINE],
+    },
+    /// Spilled storage once the inline capacity is exceeded.
+    Spilled(Vec<TaskId>),
+}
+
+impl Default for NtSet {
+    fn default() -> Self {
+        NtSet::new()
+    }
+}
+
+impl NtSet {
+    /// Empty set (no allocation).
+    pub const fn new() -> Self {
+        NtSet::Inline {
+            len: 0,
+            buf: [TaskId(0); NT_INLINE],
+        }
+    }
+
+    /// Number of stored predecessors.
+    pub fn len(&self) -> usize {
+        match self {
+            NtSet::Inline { len, .. } => *len as usize,
+            NtSet::Spilled(v) => v.len(),
+        }
+    }
+
+    /// True if no predecessor is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `t` is stored.
+    pub fn contains(&self, t: TaskId) -> bool {
+        self.as_slice().contains(&t)
+    }
+
+    /// The stored predecessors as a slice (inline or spilled).
+    #[inline]
+    pub fn as_slice(&self) -> &[TaskId] {
+        match self {
+            NtSet::Inline { len, buf } => &buf[..*len as usize],
+            NtSet::Spilled(v) => v,
+        }
+    }
+
+    /// Copies the stored predecessors into a fresh vector.
+    pub fn to_vec(&self) -> Vec<TaskId> {
+        self.as_slice().to_vec()
+    }
+
+    /// Appends `t` (no deduplication — callers check [`NtSet::contains`]
+    /// first, mirroring the old `Vec` usage), spilling when the inline
+    /// buffer is full.
+    pub fn push(&mut self, t: TaskId) {
+        match self {
+            NtSet::Inline { len, buf } => {
+                if (*len as usize) < NT_INLINE {
+                    buf[*len as usize] = t;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(NT_INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(t);
+                    *self = NtSet::Spilled(v);
+                }
+            }
+            NtSet::Spilled(v) => v.push(t),
+        }
+    }
+
+    /// Unions `other` into `self`, deduplicating (Algorithm 7's
+    /// `nt := nt_A ∪ nt_B`).
+    pub fn merge_from(&mut self, other: &NtSet) {
+        for &t in other.as_slice() {
+            if !self.contains(t) {
+                self.push(t);
+            }
+        }
+    }
+}
 
 /// Per-set attributes (the record the paper attaches to every disjoint
 /// set: `pre`/`post`, `nt`, `lsa`; `parent` lives per task).
@@ -39,7 +139,7 @@ pub struct SetData {
     /// spawn-tree root.
     pub interval: Interval,
     /// Sources of non-tree join edges into any member of this set.
-    pub nt: Vec<TaskId>,
+    pub nt: NtSet,
     /// Lowest significant ancestor: the nearest ancestor task whose set had
     /// performed a non-tree join when this task was spawned.
     pub lsa: Option<TaskId>,
@@ -76,14 +176,30 @@ pub struct DtrgCounters {
     pub precede_calls: u64,
     /// Nodes expanded across all `Visit` traversals.
     pub visit_expansions: u64,
+    /// `Precede` queries answered from the memo table (no `Visit` run).
+    pub memo_hits: u64,
+    /// `Precede` queries that ran `Visit` and populated the memo.
+    pub memo_misses: u64,
+    /// Access checks answered by the shadow-cell fast path without
+    /// consulting the DTRG at all (maintained by the detector).
+    pub shadow_hits: u64,
 }
+
+/// Sentinel in the `task_parent` column for "no parent" (main).
+const NO_PARENT: u32 = u32::MAX;
 
 /// The dynamic task reachability graph.
 #[derive(Clone, Debug)]
 pub struct Dtrg {
     labeler: IntervalLabeler,
     sets: UnionFind<SetData>,
-    tasks: Vec<TaskMeta>,
+    /// Per-task facts in struct-of-arrays layout: the hot queries
+    /// (`is_future` in Algorithm 9's reader rule, `own` in the O(1)
+    /// ancestor test) each touch one dense homogeneous column instead of
+    /// striding over a wider record.
+    task_parent: Vec<u32>,
+    task_kind: Vec<TaskKind>,
+    task_own: Vec<Interval>,
     /// Scratch for `precede` (kept to avoid per-query allocation).
     visit_stack: Vec<TaskId>,
     /// Visited-set fast path: realistic queries (paper §5: producers and
@@ -92,6 +208,21 @@ pub struct Dtrg {
     /// takes over when a query blows past the inline capacity.
     visited_small: Vec<usize>,
     visited: FxHashSet<usize>,
+    /// Graph-mutation epoch: bumped exactly when an ordering edge is added
+    /// between existing nodes — a real set union (merging `get`, finish
+    /// end) or a newly stored non-tree predecessor. `on_task_create` /
+    /// `on_task_end` never add edges between existing nodes, so they keep
+    /// the epoch, and every cached `precede` verdict stays valid within
+    /// one epoch (verdicts are monotone: they can only flip false→true,
+    /// and only when an edge is added; see DESIGN S39).
+    epoch: u64,
+    /// Memoized `precede` verdicts keyed on `(Find(a), Find(b))` set
+    /// representatives. Representatives are stable within an epoch (only
+    /// unions change them, and unions bump the epoch), so entries are
+    /// valid while `memo_epoch == epoch` and lazily cleared otherwise.
+    memo: FxHashMap<(u32, u32), bool>,
+    memo_epoch: u64,
+    memo_enabled: bool,
     /// Counters.
     pub counters: DtrgCounters,
 }
@@ -111,39 +242,73 @@ impl Dtrg {
         let mut sets = UnionFind::with_capacity(1024);
         let key = sets.make_set(SetData {
             interval: own,
-            nt: Vec::new(),
+            nt: NtSet::new(),
             lsa: None,
         });
         debug_assert_eq!(key, TaskId::MAIN.index());
         Dtrg {
             labeler,
             sets,
-            tasks: vec![TaskMeta {
-                parent: None,
-                kind: TaskKind::Main,
-                own,
-            }],
+            task_parent: vec![NO_PARENT],
+            task_kind: vec![TaskKind::Main],
+            task_own: vec![own],
             visit_stack: Vec::new(),
             visited_small: Vec::new(),
             visited: FxHashSet::default(),
+            epoch: 0,
+            memo: FxHashMap::default(),
+            memo_epoch: 0,
+            memo_enabled: true,
             counters: DtrgCounters::default(),
         }
     }
 
     /// Number of tasks known (including main).
     pub fn task_count(&self) -> usize {
-        self.tasks.len()
+        self.task_own.len()
     }
 
-    /// Per-task facts.
-    pub fn meta(&self, t: TaskId) -> &TaskMeta {
-        &self.tasks[t.index()]
+    /// Per-task facts, assembled by value from the SoA columns.
+    pub fn meta(&self, t: TaskId) -> TaskMeta {
+        TaskMeta {
+            parent: self.parent_of(t),
+            kind: self.task_kind[t.index()],
+            own: self.task_own[t.index()],
+        }
+    }
+
+    /// Spawn-tree parent (`None` for main).
+    #[inline]
+    pub fn parent_of(&self, t: TaskId) -> Option<TaskId> {
+        let p = self.task_parent[t.index()];
+        if p == NO_PARENT {
+            None
+        } else {
+            Some(TaskId(p))
+        }
     }
 
     /// The paper's `IsFuture`.
     #[inline]
     pub fn is_future(&self, t: TaskId) -> bool {
-        self.tasks[t.index()].kind.is_future()
+        self.task_kind[t.index()].is_future()
+    }
+
+    /// Current graph-mutation epoch (see the field docs; the detector's
+    /// shadow fast path keys its cached verdicts on this).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Enables or disables the `precede` memo table (enabled by default).
+    /// Disabling also drops any cached verdicts, restoring the uncached
+    /// pre-memo query path exactly.
+    pub fn set_memo_enabled(&mut self, enabled: bool) {
+        self.memo_enabled = enabled;
+        if !enabled {
+            self.memo.clear();
+        }
     }
 
     /// Set attributes of the set currently containing `t`.
@@ -160,14 +325,14 @@ impl Dtrg {
     /// ancestor of `d`.
     #[inline]
     pub fn is_ancestor(&self, a: TaskId, d: TaskId) -> bool {
-        self.tasks[a.index()].own.contains(&self.tasks[d.index()].own)
+        self.task_own[a.index()].contains(&self.task_own[d.index()])
     }
 
     /// Algorithm 2: task creation. Assigns the child its preorder value and
     /// a temporary postorder value, creates its singleton set, and derives
     /// its `lsa` from the parent's set.
     pub fn on_task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind) {
-        debug_assert_eq!(child.index(), self.tasks.len(), "dense spawn-order ids");
+        debug_assert_eq!(child.index(), self.task_own.len(), "dense spawn-order ids");
         let own = self.labeler.on_spawn();
         let pdata = self.sets.payload(parent.index());
         let lsa = if pdata.nt.is_empty() {
@@ -177,15 +342,13 @@ impl Dtrg {
         };
         let key = self.sets.make_set(SetData {
             interval: own,
-            nt: Vec::new(),
+            nt: NtSet::new(),
             lsa,
         });
         debug_assert_eq!(key, child.index());
-        self.tasks.push(TaskMeta {
-            parent: Some(parent),
-            kind,
-            own,
-        });
+        self.task_parent.push(parent.0);
+        self.task_kind.push(kind);
+        self.task_own.push(own);
     }
 
     /// Algorithm 3: task termination. Replaces the temporary postorder with
@@ -194,23 +357,26 @@ impl Dtrg {
     /// set's label is its label).
     pub fn on_task_end(&mut self, task: TaskId) {
         let post = self.labeler.on_terminate();
-        self.tasks[task.index()].own.post = post;
+        self.task_own[task.index()].post = post;
         let data = self.sets.payload_mut(task.index());
-        debug_assert_eq!(data.interval.pre, self.tasks[task.index()].own.pre);
+        debug_assert_eq!(data.interval.pre, self.task_own[task.index()].pre);
         data.interval.post = post;
     }
 
     /// Algorithm 7: `Merge(S_A, S_B)` — union keeping `S_A`'s label and
-    /// `lsa`, with `nt` the union of both sides.
+    /// `lsa`, with `nt` the union of both sides. Bumps the mutation epoch
+    /// only when the union actually joins two distinct sets (a repeated
+    /// `get` on an already-merged future adds no edge, so cached verdicts
+    /// stay valid).
     fn merge(&mut self, a: TaskId, b: TaskId) {
         self.counters.merges += 1;
+        if self.sets.same_set(a.index(), b.index()) {
+            return;
+        }
+        self.epoch += 1;
         self.sets.union_with(a.index(), b.index(), |pa, pb| {
             let mut nt = pa.nt;
-            for t in pb.nt {
-                if !nt.contains(&t) {
-                    nt.push(t);
-                }
-            }
+            nt.merge_from(&pb.nt);
             SetData {
                 interval: pa.interval,
                 nt,
@@ -227,17 +393,16 @@ impl Dtrg {
         if !self.is_ancestor(a, b) {
             self.counters.graph_nt_joins += 1;
         }
-        let bparent = self.tasks[b.index()]
-            .parent
-            .expect("future task has a parent");
+        let bparent = self.parent_of(b).expect("future task has a parent");
         if self.sets.same_set(a.index(), bparent.index()) {
             self.counters.merging_gets += 1;
             self.merge(a, b);
         } else {
             self.counters.nt_edges += 1;
             let data = self.sets.payload_mut(a.index());
-            if !data.nt.contains(&b) {
+            if !data.nt.contains(b) {
                 data.nt.push(b);
+                self.epoch += 1;
             }
         }
     }
@@ -267,6 +432,35 @@ impl Dtrg {
         }
         let ra = self.sets.find(a.index());
         let la = self.sets.payload_no_compress(ra).interval;
+
+        // Memoized path: the first `Visit` iteration's two O(1) verdicts
+        // (same set, ancestor subsumption) are answered without touching
+        // the work stack, and full traversal results are cached per
+        // representative pair until the next graph mutation. Disabled mode
+        // falls through to the exact pre-memo query below (the perf
+        // harness's before/after baseline).
+        let mut memo_key = None;
+        if self.memo_enabled {
+            let rb = self.sets.find(b.index());
+            if rb == ra {
+                return true;
+            }
+            let lb = self.sets.payload_no_compress(rb).interval;
+            if la.contains(&lb) {
+                return true;
+            }
+            if self.memo_epoch != self.epoch {
+                self.memo.clear();
+                self.memo_epoch = self.epoch;
+            }
+            let key = (ra as u32, rb as u32);
+            if let Some(&v) = self.memo.get(&key) {
+                self.counters.memo_hits += 1;
+                return v;
+            }
+            self.counters.memo_misses += 1;
+            memo_key = Some(key);
+        }
 
         debug_assert!(self.visit_stack.is_empty());
         self.visited_small.clear();
@@ -336,7 +530,7 @@ impl Dtrg {
             // Lines 15–20: immediate non-tree predecessors of this node.
             // (`visit_stack` and `sets` are disjoint fields, so the borrows
             // split.)
-            self.visit_stack.extend_from_slice(&data.nt);
+            self.visit_stack.extend_from_slice(data.nt.as_slice());
             // Lines 21–29: walk the significant-ancestor chain, exploring
             // each significant set's non-tree predecessors.
             let mut anc = data.lsa;
@@ -358,11 +552,14 @@ impl Dtrg {
                 }
                 self.counters.visit_expansions += 1;
                 let adata = self.sets.payload_no_compress(rx);
-                self.visit_stack.extend_from_slice(&adata.nt);
+                self.visit_stack.extend_from_slice(adata.nt.as_slice());
                 anc = adata.lsa;
             }
         }
         self.visit_stack.clear();
+        if let Some(key) = memo_key {
+            self.memo.insert(key, found);
+        }
         found
     }
 
@@ -385,7 +582,7 @@ impl Dtrg {
             if cur == a {
                 return true;
             }
-            match self.tasks[cur.index()].parent {
+            match self.parent_of(cur) {
                 Some(p) => cur = p,
                 None => return false,
             }
@@ -403,7 +600,7 @@ impl Dtrg {
     pub fn spawn_path(&self, t: TaskId) -> Vec<TaskId> {
         let mut path = vec![t];
         let mut cur = t;
-        while let Some(p) = self.tasks[cur.index()].parent {
+        while let Some(p) = self.parent_of(cur) {
             path.push(p);
             cur = p;
         }
@@ -608,7 +805,7 @@ mod tests {
         d.g.on_get(b, a);
         d.g.on_task_end(b);
         d.g.on_get(M, b);
-        assert!(d.g.set_data(M).nt.contains(&a));
+        assert!(d.g.set_data(M).nt.contains(a));
     }
 
     #[test]
@@ -645,6 +842,119 @@ mod tests {
         let _ = d.g.precede(M, a);
         assert_eq!(d.g.counters.precede_calls, before + 2);
         assert!(d.g.counters.visit_expansions > 0);
+    }
+
+    #[test]
+    fn memo_epoch_invalidates_on_get() {
+        // A ends unjoined; B is a later sibling, so precede(A, B) is false
+        // and the verdict lands in the memo. B's get() then stores a
+        // non-tree edge, which must bump the epoch and flip the recomputed
+        // verdict to true.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        assert!(!d.g.precede(a, b));
+        assert_eq!(d.g.counters.memo_misses, 1);
+        assert!(!d.g.precede(a, b), "repeat query served from the memo");
+        assert_eq!(d.g.counters.memo_hits, 1);
+
+        let e0 = d.g.epoch();
+        d.g.on_get(b, a); // non-tree edge
+        assert!(d.g.epoch() > e0, "stored nt edge must bump the epoch");
+        assert!(d.g.precede(a, b), "stale memo entry must not survive");
+        assert_eq!(d.g.counters.memo_hits, 1, "post-bump query recomputes");
+    }
+
+    #[test]
+    fn memo_epoch_invalidates_on_finish_end() {
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Async);
+        d.g.on_task_end(a);
+        assert!(!d.g.precede(a, M), "unjoined async is parallel to main");
+        let e0 = d.g.epoch();
+        d.g.on_finish_end(M, &[a]); // merge: an ordering edge appears
+        assert!(d.g.epoch() > e0, "finish-end merge must bump the epoch");
+        assert!(d.g.precede(a, M), "verdict flips after the merge");
+    }
+
+    #[test]
+    fn idempotent_operations_keep_the_epoch() {
+        // Epoch bumps only on *actual* graph mutations: repeated gets on
+        // an already-recorded future (both the nt-edge and merged shapes)
+        // and plain task create/end add no edges between existing nodes.
+        let mut d = Driver::new();
+        let a = d.spawn(M, TaskKind::Future);
+        d.g.on_task_end(a);
+        let b = d.spawn(M, TaskKind::Future);
+        d.g.on_get(b, a);
+        let e = d.g.epoch();
+        d.g.on_get(b, a); // nt edge already stored
+        assert_eq!(d.g.epoch(), e);
+        d.g.on_task_end(b);
+        d.g.on_get(M, a); // merge A into main's set
+        let e = d.g.epoch();
+        d.g.on_get(M, a); // already merged
+        assert_eq!(d.g.epoch(), e);
+        let c = d.spawn(M, TaskKind::Async);
+        d.g.on_task_end(c);
+        assert_eq!(d.g.epoch(), e, "create/end add no edges");
+    }
+
+    #[test]
+    fn memo_disabled_matches_enabled_verdicts() {
+        let build = |memo: bool| {
+            let mut d = Driver::new();
+            d.g.set_memo_enabled(memo);
+            let a = d.spawn(M, TaskKind::Future);
+            d.g.on_task_end(a);
+            let b = d.spawn(M, TaskKind::Future);
+            d.g.on_get(b, a);
+            let c = d.spawn(b, TaskKind::Future);
+            let tasks = [M, a, b, c];
+            let mut verdicts = Vec::new();
+            for x in tasks {
+                for y in tasks {
+                    verdicts.push(d.g.precede(x, y));
+                    verdicts.push(d.g.precede(x, y)); // repeat: memo path
+                }
+            }
+            (verdicts, d.g.counters)
+        };
+        let (with, cw) = build(true);
+        let (without, cwo) = build(false);
+        assert_eq!(with, without);
+        assert_eq!(cw.precede_calls, cwo.precede_calls);
+        assert!(cw.memo_hits > 0, "repeat queries must hit the memo");
+        assert_eq!(cwo.memo_hits + cwo.memo_misses, 0, "disabled mode never memoizes");
+        assert!(
+            cw.visit_expansions < cwo.visit_expansions,
+            "memo must save traversal work: {} vs {}",
+            cw.visit_expansions,
+            cwo.visit_expansions
+        );
+    }
+
+    #[test]
+    fn nt_set_spills_past_inline_capacity() {
+        let mut s = NtSet::new();
+        assert!(s.is_empty());
+        for i in 1..=9u32 {
+            if !s.contains(TaskId(i)) {
+                s.push(TaskId(i));
+            }
+        }
+        s.push(TaskId(9)); // callers may push duplicates explicitly
+        assert_eq!(s.len(), 10);
+        assert!(matches!(s, NtSet::Spilled(_)));
+        assert!(s.contains(TaskId(4)));
+        assert_eq!(s.as_slice()[0], TaskId(1));
+        let mut t = NtSet::new();
+        t.push(TaskId(4));
+        t.merge_from(&s);
+        // 1..=9 minus the 4 already present; s's duplicate 9 is dropped too.
+        assert_eq!(t.len(), 9, "merge deduplicates");
+        assert_eq!(t.to_vec()[0], TaskId(4));
     }
 }
 

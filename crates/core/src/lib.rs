@@ -23,18 +23,26 @@
 //! that input (Appendix A).
 //!
 //! ```
-//! use futrace_detector::detect_races;
+//! use futrace_detector::RaceDetector;
+//! use futrace_runtime::engine::run_analysis_live;
 //! use futrace_runtime::TaskCtx;
 //!
-//! let report = detect_races(|ctx| {
-//!     let x = ctx.shared_var(0u64, "x");
-//!     let x2 = x.clone();
-//!     let f = ctx.future(move |ctx| x2.write(ctx, 42));
-//!     ctx.get(&f); // join before reading: race-free
-//!     assert_eq!(x.read(ctx), 42);
-//! });
-//! assert!(!report.has_races());
+//! let out = run_analysis_live(
+//!     |ctx| {
+//!         let x = ctx.shared_var(0u64, "x");
+//!         let x2 = x.clone();
+//!         let f = ctx.future(move |ctx| x2.write(ctx, 42));
+//!         ctx.get(&f); // join before reading: race-free
+//!         assert_eq!(x.read(ctx), 42);
+//!     },
+//!     RaceDetector::new(),
+//! );
+//! assert!(!out.report.report.has_races());
 //! ```
+//!
+//! Downstream users should prefer the `futrace::Analyze` builder in the
+//! umbrella crate, which fronts this detector and the offline backends
+//! with one entry point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,10 +54,11 @@ pub mod report;
 pub mod shadow;
 pub mod stats;
 
-pub use detector::{
-    detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig, DtrgReport,
-    MemoryFootprint, RaceDetector,
-};
+// The deprecated entry points stay exported so existing callers keep
+// compiling during the migration window.
+#[allow(deprecated)]
+pub use detector::{detect_races, detect_races_in_trace, detect_races_with_stats};
+pub use detector::{DetectorConfig, DtrgReport, MemoryFootprint, RaceDetector};
 pub use dtrg::{Dtrg, DtrgCounters, SetData};
 pub use report::{AccessKind, Race, RaceReport};
 pub use shadow::{Readers, ShadowCell, ShadowMemory};

@@ -108,6 +108,22 @@ impl Iterator for ReadersIter<'_> {
     }
 }
 
+/// The detector's most recent *clean* verdict on a cell: which task
+/// accessed it, with which kind, under which DTRG mutation epoch. While
+/// the epoch is unchanged, an identical access is a provable no-op
+/// (DESIGN S39), so the detector can skip the reader/writer `Precede`
+/// checks entirely. Racy checks are never cached — repeating them must
+/// re-count the race, exactly as the uncached detector does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LastClean {
+    /// The task whose check came back clean.
+    pub task: TaskId,
+    /// True for a write check, false for a read check.
+    pub write: bool,
+    /// `Dtrg::epoch()` at the moment of the check.
+    pub epoch: u64,
+}
+
 /// One shadow cell `M_s` (§4.2).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShadowCell {
@@ -115,6 +131,8 @@ pub struct ShadowCell {
     pub writer: Option<TaskId>,
     /// The stored readers (`M_s.r`).
     pub readers: Readers,
+    /// Fast-path cache: the last clean verdict on this cell, if any.
+    pub last_clean: Option<LastClean>,
 }
 
 /// Flat shadow memory indexed by dense location ids.
@@ -185,7 +203,7 @@ impl ShadowMemory {
         self.cells
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.writer.is_some() || !c.readers.is_empty())
+            .filter(|(_, c)| c.writer.is_some() || !c.readers.is_empty() || c.last_clean.is_some())
     }
 
     /// Grows the cell vector to at least `len` cells. Checkpoint restore

@@ -57,7 +57,13 @@ impl std::fmt::Display for DetectorStats {
         writeln!(f, "  nt-edges:  {}", self.dtrg.nt_edges)?;
         writeln!(f, "merges:      {}", self.dtrg.merges)?;
         writeln!(f, "precede:     {}", self.dtrg.precede_calls)?;
-        write!(f, "visits:      {}", self.dtrg.visit_expansions)
+        writeln!(f, "visits:      {}", self.dtrg.visit_expansions)?;
+        writeln!(
+            f,
+            "memo:        {} hit(s), {} miss(es)",
+            self.dtrg.memo_hits, self.dtrg.memo_misses
+        )?;
+        write!(f, "fast-path:   {} hit(s)", self.dtrg.shadow_hits)
     }
 }
 

@@ -90,8 +90,12 @@ fn precede_calls_track_accesses_and_readers() {
 #[test]
 fn first_race_only_skips_remaining_queries() {
     let run = |first_only: bool| -> u64 {
+        // Caching off: with the clean-verdict fast path on, the full run's
+        // repeated reads stop issuing `Precede` queries too, and this test
+        // is about first-race mode skipping work the *query path* would do.
         let mut det = RaceDetector::with_config(DetectorConfig {
             first_race_only: first_only,
+            caching: false,
             ..Default::default()
         });
         run_serial(&mut det, |ctx| {

@@ -42,7 +42,7 @@ fn table1_states() {
 
                 // --- Table 1(a): the state "after step 11" -----------
                 let dtrg = ctx.monitor_mut().dtrg_mut();
-                let p_t3 = dtrg.set_data(T3).nt.clone();
+                let p_t3 = dtrg.set_data(T3).nt.to_vec();
                 assert_eq!(p_t3, vec![T1, T2], "P(T3) = {{T1, T2}}");
                 for t in [T4, T5, T6] {
                     assert_eq!(dtrg.set_data(t).lsa, Some(T3), "LSA({t}) = T3");
@@ -69,8 +69,8 @@ fn table1_states() {
         // The merged set keeps the ancestor-most label (T0's) and inherits
         // T3's non-tree predecessors.
         assert_eq!(dtrg.set_data(T0).interval.pre, 0);
-        assert!(dtrg.set_data(T0).nt.contains(&T1));
-        assert!(dtrg.set_data(T0).nt.contains(&T2));
+        assert!(dtrg.set_data(T0).nt.contains(T1));
+        assert!(dtrg.set_data(T0).nt.contains(T2));
         // Everything merged precedes T0's current step; T1/T2 do too, but
         // through the non-tree edges rather than set membership.
         for t in [T1, T2, T3, T4, T5, T6] {

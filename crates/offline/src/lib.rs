@@ -136,6 +136,123 @@ pub fn trace_events(data: &[u8], lenient: bool) -> TraceEvents<'_> {
     }
 }
 
+/// Batched counterpart of [`trace_events`]: yields whole decoded chunks
+/// (`Vec<Event>`) instead of one event at a time, for the engine's batched
+/// dispatch path ([`futrace_runtime::engine::source::chunks`]). A framed
+/// trace yields one batch per intact chunk; a flat v1 trace decodes as a
+/// single batch. The event sequence is identical to [`trace_events`] with
+/// the same `lenient` flag (including which chunks a lenient read skips).
+/// Construct via [`trace_chunks`].
+pub struct TraceChunks<'a> {
+    inner: ChunksInner<'a>,
+    lenient: bool,
+    skipped: u64,
+    done: bool,
+}
+
+enum ChunksInner<'a> {
+    Framed(framed::ChunkIter<'a>),
+    Flat(Option<&'a [u8]>),
+}
+
+impl Iterator for TraceChunks<'_> {
+    type Item = Result<Vec<futrace_runtime::Event>, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            match &mut self.inner {
+                ChunksInner::Flat(blob) => {
+                    let blob = blob.take()?;
+                    self.done = true;
+                    return Some(
+                        futrace_runtime::trace::decode(blob).map_err(TraceError::from),
+                    );
+                }
+                ChunksInner::Framed(chunks) => {
+                    let item = match chunks.next() {
+                        Some(item) => item,
+                        None => return None,
+                    };
+                    let chunk = match item {
+                        Ok(c) => c,
+                        // CRC damage is chunk-local (the iterator resyncs);
+                        // structural damage fuses either way, matching the
+                        // per-event reader.
+                        Err(e @ FrameError::CorruptChunk { .. }) => {
+                            if self.lenient {
+                                self.skipped += 1;
+                                continue;
+                            }
+                            self.done = true;
+                            return Some(Err(e.into()));
+                        }
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e.into()));
+                        }
+                    };
+                    let index = chunk.index;
+                    match futrace_runtime::trace::decode(chunk.payload) {
+                        Ok(events) if events.len() as u64 == chunk.event_count as u64 => {
+                            return Some(Ok(events));
+                        }
+                        Ok(_) => {
+                            if self.lenient {
+                                self.skipped += 1;
+                                continue;
+                            }
+                            self.done = true;
+                            return Some(Err(FrameError::Decode {
+                                chunk: index,
+                                error: DecodeError::Malformed("event count mismatch"),
+                            }
+                            .into()));
+                        }
+                        Err(error) => {
+                            if self.lenient {
+                                self.skipped += 1;
+                                continue;
+                            }
+                            self.done = true;
+                            return Some(Err(FrameError::Decode {
+                                chunk: index,
+                                error,
+                            }
+                            .into()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TraceChunks<'_> {
+    /// Damaged chunks skipped so far (lenient framed reads only).
+    pub fn skipped_chunks(&self) -> u64 {
+        self.skipped
+    }
+}
+
+/// Chunk-batched reader over a trace blob in either format. See
+/// [`TraceChunks`].
+pub fn trace_chunks(data: &[u8], lenient: bool) -> TraceChunks<'_> {
+    let inner = if framed::is_framed(data) {
+        ChunksInner::Framed(framed::chunks(data))
+    } else {
+        ChunksInner::Flat(Some(data))
+    };
+    TraceChunks {
+        inner,
+        lenient,
+        skipped: 0,
+        done: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +282,45 @@ mod tests {
         assert!(framed::is_framed(&v2));
         let got: Vec<Event> = trace_events(&v2, false).map(|e| e.unwrap()).collect();
         assert_eq!(got, events);
+    }
+
+    #[test]
+    fn trace_chunks_matches_trace_events() {
+        let events = sample_events();
+        // Flat v1: one batch holding the whole trace.
+        let v1 = trace::encode(&events);
+        let batches: Vec<Vec<Event>> =
+            trace_chunks(&v1, false).map(|b| b.unwrap()).collect();
+        assert_eq!(batches, vec![events.clone()]);
+
+        // Framed v2, multiple small chunks: concatenated batches equal the
+        // per-event stream.
+        let mut w = StreamWriter::with_chunk_bytes(Vec::new(), 8).unwrap();
+        for e in &events {
+            w.record(e);
+        }
+        let (v2, _) = w.finish().unwrap();
+        let flat: Vec<Event> = trace_chunks(&v2, false)
+            .flat_map(|b| b.unwrap())
+            .collect();
+        let per_event: Vec<Event> = trace_events(&v2, false).map(|e| e.unwrap()).collect();
+        assert_eq!(flat, per_event);
+        assert_eq!(flat, events);
+
+        // Damage one chunk: strict errors, lenient skips and counts it —
+        // the same salvage the per-event reader performs.
+        let mut damaged = v2.clone();
+        let n = damaged.len();
+        damaged[n - 1] ^= 0xFF;
+        assert!(trace_chunks(&damaged, false).any(|b| b.is_err()));
+        let mut lenient = trace_chunks(&damaged, true);
+        let salvaged: Vec<Event> = lenient.by_ref().filter_map(|b| b.ok()).flatten().collect();
+        let mut lenient_events = trace_events(&damaged, true);
+        let salvaged_per_event: Vec<Event> =
+            lenient_events.by_ref().filter_map(|e| e.ok()).collect();
+        assert_eq!(salvaged, salvaged_per_event);
+        assert_eq!(lenient.skipped_chunks(), lenient_events.skipped_chunks());
+        assert!(lenient.skipped_chunks() > 0);
     }
 
     #[test]

@@ -89,9 +89,40 @@ pub trait Analysis {
     /// Checks a shared-memory write by `task` at `loc`.
     fn check_write_at(&mut self, task: TaskId, loc: LocId, index: u64);
 
+    /// Checks a flat run of consecutive accesses; `ops[k]` carries global
+    /// index `first_index + k`. The default implementation dispatches each
+    /// op to `check_read_at`/`check_write_at`, so the contract is exactly
+    /// the per-event one; analyses may override it to amortize per-check
+    /// overhead across a run (the batched decode path produces long runs —
+    /// real traces are access-dominated).
+    fn check_batch(&mut self, ops: &[AccessOp], first_index: u64) {
+        for (k, op) in ops.iter().enumerate() {
+            let index = first_index + k as u64;
+            if op.write {
+                self.check_write_at(op.task, op.loc, index);
+            } else {
+                self.check_read_at(op.task, op.loc, index);
+            }
+        }
+    }
+
     /// Consumes the analysis and produces its final report (runs any
     /// deferred work, e.g. the closure detector's whole analysis).
     fn finish(self) -> Self::Report;
+}
+
+/// One flattened shared-memory access: an element of a batched run of
+/// consecutive `Read`/`Write` events (see [`Analysis::check_batch`] and
+/// [`Engine::consume_slice`]). Three words, `Copy`, no enum dispatch —
+/// the batched hot path moves these instead of [`Event`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOp {
+    /// The accessing task.
+    pub task: TaskId,
+    /// The accessed location.
+    pub loc: LocId,
+    /// True for a write, false for a read.
+    pub write: bool,
 }
 
 /// Capability marker for analyses whose access checks are independent per
@@ -181,6 +212,14 @@ pub struct EngineCounters {
     /// Runs that started from a checkpoint instead of the beginning of
     /// the trace (0 or 1 per run).
     pub resumed_from_checkpoint: u64,
+    /// Hot-path cache hits reported by the analysis (0 for analyses
+    /// without caches). The engine never fills these itself: consumers
+    /// copy them from analysis statistics after the run so the display
+    /// can surface them next to the driver's own counts.
+    pub cache_hits: u64,
+    /// Hot-path cache misses reported by the analysis (0 for analyses
+    /// without caches).
+    pub cache_misses: u64,
 }
 
 impl EngineCounters {
@@ -207,6 +246,15 @@ impl std::fmt::Display for EngineCounters {
             self.writes,
             self.wall_ms
         )?;
+        // Cache statistics are appended only when the analysis has a
+        // cache, so output consumed by CI diffs is unchanged elsewhere.
+        if self.cache_hits > 0 || self.cache_misses > 0 {
+            write!(
+                f,
+                "; cache: {} hit(s), {} miss(es)",
+                self.cache_hits, self.cache_misses
+            )?;
+        }
         // Supervision outcomes are appended only when something happened,
         // so output consumed by CI diffs is unchanged for clean runs.
         if self.had_supervision_events() {
@@ -249,6 +297,9 @@ pub struct Engine<A: Analysis> {
     analysis: A,
     counters: EngineCounters,
     next_index: u64,
+    /// Reused batch buffer for [`Engine::consume_slice`], so flattening a
+    /// run of accesses allocates only on growth.
+    batch: Vec<AccessOp>,
 }
 
 impl<A: Analysis> Engine<A> {
@@ -258,6 +309,57 @@ impl<A: Analysis> Engine<A> {
             analysis,
             counters: EngineCounters::default(),
             next_index: 0,
+            batch: Vec::new(),
+        }
+    }
+
+    /// Feeds a slice of events, batching each run of consecutive
+    /// `Read`/`Write` events into one [`Analysis::check_batch`] call.
+    /// Equivalent to calling [`Engine::consume`] per event (same splits,
+    /// same indices, same counters) — only the dispatch granularity
+    /// changes, which is what the batched decode paths are for.
+    pub fn consume_slice(&mut self, events: &[Event]) {
+        let mut i = 0;
+        while i < events.len() {
+            match events[i] {
+                Event::Read(..) | Event::Write(..) => {
+                    self.batch.clear();
+                    let mut writes = 0u64;
+                    while let Some(e) = events.get(i) {
+                        let op = match *e {
+                            Event::Read(task, loc) => AccessOp {
+                                task,
+                                loc,
+                                write: false,
+                            },
+                            Event::Write(task, loc) => {
+                                writes += 1;
+                                AccessOp {
+                                    task,
+                                    loc,
+                                    write: true,
+                                }
+                            }
+                            _ => break,
+                        };
+                        self.batch.push(op);
+                        i += 1;
+                    }
+                    let n = self.batch.len() as u64;
+                    self.counters.events += n;
+                    self.counters.writes += writes;
+                    self.counters.reads += n - writes;
+                    let first = self.next_index;
+                    self.next_index = first + n;
+                    self.analysis.check_batch(&self.batch, first);
+                }
+                ref control => {
+                    self.counters.events += 1;
+                    self.counters.control_events += 1;
+                    self.analysis.apply_control(control);
+                    i += 1;
+                }
+            }
         }
     }
 
@@ -390,9 +492,9 @@ pub mod source {
     impl<A: Analysis> EventSource<A> for Recorded<'_> {
         type Error = Infallible;
         fn drive(self, engine: &mut Engine<A>) -> Result<(), Infallible> {
-            for e in self.0 {
-                engine.consume(e);
-            }
+            // The whole recording is one in-memory slice: drive it through
+            // the batched path so access runs dispatch as flat slices.
+            engine.consume_slice(self.0);
             Ok(())
         }
     }
@@ -420,6 +522,37 @@ pub mod source {
         fn drive(self, engine: &mut Engine<A>) -> Result<(), E> {
             for item in self.0 {
                 engine.consume(&item?);
+            }
+            Ok(())
+        }
+    }
+
+    /// A fallible stream of decoded event chunks (see [`chunks`]).
+    pub struct Chunks<I>(I);
+
+    /// Source over an iterator of whole decoded chunks (e.g. the framed
+    /// v2 reader's per-chunk event vectors). Each chunk is fed through
+    /// the batched [`Engine::consume_slice`] path, so runs of consecutive
+    /// accesses dispatch as flat [`AccessOp`] slices instead of one event
+    /// at a time — the per-event source overhead that the one-at-a-time
+    /// [`stream`] source pays on access-dominated traces. The first chunk
+    /// error aborts the run.
+    pub fn chunks<I, E>(it: I) -> Chunks<I>
+    where
+        I: Iterator<Item = Result<Vec<Event>, E>>,
+    {
+        Chunks(it)
+    }
+
+    impl<A, I, E> EventSource<A> for Chunks<I>
+    where
+        A: Analysis,
+        I: Iterator<Item = Result<Vec<Event>, E>>,
+    {
+        type Error = E;
+        fn drive(self, engine: &mut Engine<A>) -> Result<(), E> {
+            for chunk in self.0 {
+                engine.consume_slice(&chunk?);
             }
             Ok(())
         }
@@ -579,6 +712,90 @@ mod tests {
         ];
         let err = run_analysis(source::stream(events.into_iter()), Probe::default()).unwrap_err();
         assert_eq!(err, "damaged");
+    }
+
+    #[test]
+    fn consume_slice_matches_per_event_consume() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let a = ctx.shared_array(4, 0u64, "a");
+            a.write(ctx, 0, 1);
+            a.write(ctx, 1, 2);
+            let a2 = a.clone();
+            let f = ctx.future(move |ctx| {
+                let _ = a2.read(ctx, 0);
+                let _ = a2.read(ctx, 1);
+                a2.write(ctx, 2, 3);
+            });
+            ctx.get(&f);
+            let _ = a.read(ctx, 2);
+        });
+
+        let mut per_event = Engine::new(Probe::default());
+        for e in &log.events {
+            per_event.consume(e);
+        }
+        let mut batched = Engine::new(Probe::default());
+        batched.consume_slice(&log.events);
+
+        let (pa, ca) = per_event.into_parts();
+        let (pb, cb) = batched.into_parts();
+        assert_eq!(pa.control, pb.control);
+        assert_eq!(pa.checks, pb.checks, "same checks, same global indices");
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn chunks_source_matches_stream_source() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, |ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            x.write(ctx, 1);
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| {
+                let _ = x2.read(ctx);
+            });
+            ctx.get(&f);
+            let _ = x.read(ctx);
+        });
+
+        // Split the recording into uneven chunks (including an empty one).
+        let cuts = [0, 1, log.events.len() / 2, log.events.len()];
+        let chunks: Vec<Result<Vec<Event>, &str>> = cuts
+            .windows(2)
+            .map(|w| Ok(log.events[w[0]..w[1]].to_vec()))
+            .collect();
+        let chunked = run_analysis(source::chunks(chunks.into_iter()), Probe::default()).unwrap();
+        let streamed = run_analysis(
+            source::stream(log.events.iter().cloned().map(Ok::<Event, &str>)),
+            Probe::default(),
+        )
+        .unwrap();
+        assert_eq!(chunked.report.control, streamed.report.control);
+        assert_eq!(chunked.report.checks, streamed.report.checks);
+
+        // Errors propagate from the chunk stream.
+        let bad: Vec<Result<Vec<Event>, &str>> = vec![Ok(Vec::new()), Err("damaged")];
+        let err = run_analysis(source::chunks(bad.into_iter()), Probe::default()).unwrap_err();
+        assert_eq!(err, "damaged");
+    }
+
+    #[test]
+    fn counters_display_shows_cache_stats_only_when_present() {
+        let c = EngineCounters {
+            events: 3,
+            ..EngineCounters::default()
+        };
+        assert!(!c.to_string().contains("cache"), "{c}");
+        let cached = EngineCounters {
+            cache_hits: 5,
+            cache_misses: 2,
+            ..c
+        };
+        assert!(
+            cached.to_string().contains("cache: 5 hit(s), 2 miss(es)"),
+            "{cached}"
+        );
     }
 
     #[test]

@@ -78,9 +78,10 @@ fn build<C: TaskCtx>(ctx: &mut C, forget_dep: bool) -> SharedArray<u64> {
 
 fn main() {
     // --- Correct build graph: certified determinate. --------------------
-    let (report, stats) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         build(ctx, false);
-    });
+    }).run().unwrap();
+    let (report, stats) = (outcome.races, outcome.stats);
     println!("correct build graph:   {report}");
     println!(
         "  {} build tasks, {} cross-step joins ({} non-tree)",
@@ -100,9 +101,9 @@ fn main() {
     println!("  parallel build reproduces the serial artifacts bit-for-bit\n");
 
     // --- One forgotten dependency: caught in a single serial run. -------
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         build(ctx, true);
-    });
+    }).run().unwrap().races;
     println!("cc-parser forgets its lexer.o dependency:");
     println!("{report}");
     assert!(report.has_races());

@@ -36,7 +36,7 @@ fn main() {
     // `future<T> b` as a shared cell holding a task id; the second async
     // reads it while the first wrote it in parallel.
     println!("== serial race detection on the handle exchange ==");
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         // Shared handle slots (0 = null).
         let slot_a = ctx.shared_var(0u32, "handle.a");
         let slot_b = ctx.shared_var(0u32, "handle.b");
@@ -61,7 +61,7 @@ fn main() {
             let _ = fb;
             sb2.write(ctx, 2); // publish b's handle — RACY write
         });
-    });
+    }).run().unwrap().races;
     println!("{report}");
     assert!(
         report.has_races(),

@@ -63,7 +63,7 @@ fn main() {
             {
                 let dtrg = ctx.monitor_mut().0.dtrg_mut();
                 assert!(!dtrg.same_set(tc, ta), "non-tree join: no merge");
-                assert!(dtrg.set_data(tc).nt.contains(&ta), "T_A ∈ P(T_C)");
+                assert!(dtrg.set_data(tc).nt.contains(ta), "T_A ∈ P(T_C)");
             }
             let _ = m.read(ctx, 8);
             // T_D (T4) spawned under T_C after the non-tree join:

@@ -37,14 +37,15 @@ fn main() {
 
     // Instrumented serial run (the Racedet column) + verification.
     let t = Timer::start();
-    let (report, stats) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         let out = jacobi_run(ctx, &p, false);
         let got = out.snapshot();
         assert!(got
             .iter()
             .zip(&reference)
             .all(|(a, b)| (a - b).abs() < 1e-12));
-    });
+    }).run().unwrap();
+    let (report, stats) = (outcome.races, outcome.stats);
     println!("instrumented serial: {:8.2} ms", t.elapsed_ms());
     assert!(!report.has_races());
     println!("\n-- detector statistics --\n{stats}\n");

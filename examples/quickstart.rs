@@ -13,7 +13,7 @@ fn main() {
     // the future first. Depending on scheduling, the read could see either
     // value: a determinacy race.
     println!("== racy version ==");
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         let total = ctx.shared_var(0i64, "total");
         let t = total.clone();
         let _sum = ctx.future(move |ctx| {
@@ -23,7 +23,7 @@ fn main() {
         // BUG: no ctx.get(&_sum) here.
         let v = total.read(ctx);
         println!("main observed total = {v}");
-    });
+    }).run().unwrap().races;
     println!("{report}");
     assert!(report.has_races());
 
@@ -33,7 +33,7 @@ fn main() {
     // certifies it functionally AND structurally deterministic for this
     // input, and deadlock-free.
     println!("== fixed version ==");
-    let (report, stats) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         let total = ctx.shared_var(0i64, "total");
         let t = total.clone();
         let sum = ctx.future(move |ctx| {
@@ -44,7 +44,8 @@ fn main() {
         let v = total.read(ctx);
         assert_eq!(v, 5050);
         println!("main observed total = {v}");
-    });
+    }).run().unwrap();
+    let (report, stats) = (outcome.races, outcome.stats);
     println!("{report}");
     println!("-- run statistics --\n{stats}");
     assert!(!report.has_races());

@@ -1,0 +1,490 @@
+//! `Analyze` — the one front door for DTRG race detection.
+//!
+//! Before this module, running the detector meant picking from a zoo of
+//! entry points: `detect_races` / `detect_races_with_stats` /
+//! `detect_races_in_trace` for serial runs, a hand-assembled
+//! [`run_sharded_events`] call for sharded replay, and a hand-built
+//! [`SupervisorPlan`] for fault-tolerant runs — each returning a
+//! differently-shaped result (`RaceReport`, `(RaceReport, DetectorStats)`,
+//! `DtrgReport`, `ShardedRun`, `SupervisedOutcome`). The builder collapses
+//! all of it:
+//!
+//! ```
+//! use futrace::Analyze;
+//! use futrace::runtime::TaskCtx;
+//!
+//! let outcome = Analyze::program(|ctx| {
+//!     let x = ctx.shared_var(0u64, "x");
+//!     let x2 = x.clone();
+//!     let f = ctx.future(move |ctx| x2.write(ctx, 1));
+//!     ctx.get(&f);
+//!     let _ = x.read(ctx);
+//! })
+//! .run()
+//! .unwrap();
+//! assert!(!outcome.has_races());
+//! assert_eq!(outcome.stats.shared_mem(), 2);
+//! ```
+//!
+//! Every run — program, trace file, trace blob, or event slice; serial,
+//! sharded, or supervised — produces the same [`AnalysisOutcome`]: races,
+//! detector statistics, measured footprint, engine counters (with the
+//! hot-path cache hit/miss totals filled in), and the optional
+//! sharding/supervision accounting. Sources and options compose:
+//! `Analyze::trace(path).shards(4).checkpoint_every(8).run()` replays a
+//! recorded trace through the supervised sharded pipeline.
+//!
+//! A program source is recorded to an [`EventLog`] and replayed through
+//! the engine's batched dispatch path. The serial executor is
+//! deterministic, so the replayed verdict is identical to a live run's
+//! (the equivalence the replay test suite pins down) — and it lets the
+//! same program feed the serial, sharded, and supervised backends
+//! unchanged.
+
+use crate::detector::{DetectorConfig, DetectorStats, MemoryFootprint, RaceDetector, RaceReport};
+use crate::offline::{
+    run_sharded_events, run_supervised, trace_chunks, trace_events, ShardPlan, ShardStats,
+    SupervisedOutcome, SuperviseError, SupervisionReport, SupervisorPlan, SyntheticChunks,
+    TraceError,
+};
+use crate::runtime::engine::{run_analysis, source, EngineCounters};
+use crate::runtime::{run_serial, Event, EventLog, SerialCtx};
+use crate::util::faultinject::FaultPlan;
+use crate::util::stats::Timer;
+use std::convert::Infallible;
+
+/// Everything one analysis run produces, whatever the source and backend.
+///
+/// This is the merge of the old `DtrgReport` vs `RaceReport` +
+/// `DetectorStats` duality: one type carrying the verdict, the run's
+/// structural statistics, the measured space bound, the engine's
+/// bookkeeping, and — when the sharded or supervised backend ran — its
+/// pipeline accounting.
+#[derive(Clone, Debug)]
+pub struct AnalysisOutcome {
+    /// Deduplicated, capped race report (the verdict).
+    pub races: RaceReport,
+    /// Structural statistics and DTRG cost counters (Table 2's columns,
+    /// plus the memo and fast-path cache counters).
+    pub stats: DetectorStats,
+    /// Theorem 1's space bound, measured at the end of the run.
+    pub footprint: MemoryFootprint,
+    /// Engine counters: events consumed, checks performed, wall time,
+    /// cache hit/miss totals, and any supervision suffix.
+    pub engine: EngineCounters,
+    /// Sharded-pipeline accounting, when `.shards(n)` ran the sharded or
+    /// supervised backend.
+    pub sharding: Option<ShardStats>,
+    /// What the supervisor did, when the supervised backend ran.
+    pub supervision: Option<SupervisionReport>,
+}
+
+impl AnalysisOutcome {
+    /// True iff any race was detected.
+    pub fn has_races(&self) -> bool {
+        self.races.has_races()
+    }
+
+    fn from_dtrg(report: crate::detector::DtrgReport, mut engine: EngineCounters) -> Self {
+        // Surface the analysis's hot-path cache counters next to the
+        // driver's own counts: hits from both cache layers, misses from
+        // the memo (the shadow fast path has no distinct miss event —
+        // every slow-path check is one).
+        engine.cache_hits = report.stats.dtrg.memo_hits + report.stats.dtrg.shadow_hits;
+        engine.cache_misses = report.stats.dtrg.memo_misses;
+        AnalysisOutcome {
+            races: report.report,
+            stats: report.stats,
+            footprint: report.footprint,
+            engine,
+            sharding: None,
+            supervision: None,
+        }
+    }
+}
+
+/// Why an [`Analyze::run`] failed. Program and event-slice sources are
+/// infallible; the variants cover trace I/O, trace decoding, and
+/// supervised-pipeline failures.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Reading the trace file failed.
+    Io(String, std::io::Error),
+    /// The trace blob failed to decode (strict mode, or unrecoverable
+    /// structural damage in lenient mode).
+    Trace(TraceError),
+    /// The supervised pipeline could not complete the run.
+    Supervise(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Io(path, e) => write!(f, "cannot read trace {path}: {e}"),
+            AnalyzeError::Trace(e) => write!(f, "invalid trace: {e}"),
+            AnalyzeError::Supervise(e) => write!(f, "supervised run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<TraceError> for AnalyzeError {
+    fn from(e: TraceError) -> Self {
+        AnalyzeError::Trace(e)
+    }
+}
+
+type Program<'a> = Box<dyn FnOnce(&mut SerialCtx<EventLog>) + 'a>;
+
+enum Source<'a> {
+    Program(Program<'a>),
+    TracePath(String),
+    TraceBytes(&'a [u8]),
+    Events(&'a [Event]),
+}
+
+/// Builder for one DTRG analysis run. Construct with
+/// [`Analyze::program`], [`Analyze::trace`], [`Analyze::trace_bytes`], or
+/// [`Analyze::events`]; configure; then [`Analyze::run`].
+pub struct Analyze<'a> {
+    source: Source<'a>,
+    config: DetectorConfig,
+    shards: Option<usize>,
+    checkpoint_every: Option<u64>,
+    fault_seed: Option<u64>,
+    lenient: bool,
+}
+
+impl<'a> Analyze<'a> {
+    fn new(source: Source<'a>) -> Self {
+        Analyze {
+            source,
+            config: DetectorConfig::default(),
+            shards: None,
+            checkpoint_every: None,
+            fault_seed: None,
+            lenient: false,
+        }
+    }
+
+    /// Analyzes a serial depth-first execution of `f` (the DSL program
+    /// form the old `detect_races` took). The execution is recorded and
+    /// replayed through the configured backend; the serial executor is
+    /// deterministic, so the verdict is identical to a live run's.
+    pub fn program<F>(f: F) -> Self
+    where
+        F: FnOnce(&mut SerialCtx<EventLog>) + 'a,
+    {
+        Analyze::new(Source::Program(Box::new(f)))
+    }
+
+    /// Analyzes a recorded trace file (flat v1 or framed v2, sniffed by
+    /// magic).
+    pub fn trace(path: impl Into<String>) -> Self {
+        Analyze::new(Source::TracePath(path.into()))
+    }
+
+    /// Analyzes an in-memory trace blob (flat v1 or framed v2).
+    pub fn trace_bytes(blob: &'a [u8]) -> Self {
+        Analyze::new(Source::TraceBytes(blob))
+    }
+
+    /// Analyzes an already-decoded event slice (an [`EventLog`]'s
+    /// events).
+    pub fn events(events: &'a [Event]) -> Self {
+        Analyze::new(Source::Events(events))
+    }
+
+    /// Uses an explicit detector configuration (report caps, first-race
+    /// mode, hot-path caching).
+    pub fn detector(mut self, config: DetectorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the sharded offline backend with `n` detect workers
+    /// (verdict identical to the serial run's).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
+    /// Runs under the fault-tolerant supervisor, barrier-snapshotting
+    /// every `chunks` chunk boundaries so dead or stalled workers restart
+    /// from the last snapshot.
+    pub fn checkpoint_every(mut self, chunks: u64) -> Self {
+        self.checkpoint_every = Some(chunks);
+        self
+    }
+
+    /// Injects the deterministic fault plan expanded from `seed` (worker
+    /// panics/stalls; see [`FaultPlan::from_seed`]) and runs under the
+    /// supervisor, which must recover without changing the verdict.
+    pub fn fault_plan(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Skips damaged chunks of a framed trace (counting them) instead of
+    /// failing the run.
+    pub fn lenient(mut self, lenient: bool) -> Self {
+        self.lenient = lenient;
+        self
+    }
+
+    /// Runs the configured analysis.
+    pub fn run(self) -> Result<AnalysisOutcome, AnalyzeError> {
+        let Analyze {
+            source,
+            config,
+            shards,
+            checkpoint_every,
+            fault_seed,
+            lenient,
+        } = self;
+        let supervised = checkpoint_every.is_some() || fault_seed.is_some();
+
+        // Resolve the source into a trace blob or an owned event list.
+        let (blob, events): (Option<Vec<u8>>, Option<Vec<Event>>) = match source {
+            Source::Program(f) => {
+                let mut log = EventLog::new();
+                run_serial(&mut log, f);
+                (None, Some(log.events))
+            }
+            Source::TracePath(path) => {
+                let data = std::fs::read(&path).map_err(|e| AnalyzeError::Io(path.clone(), e))?;
+                (Some(data), None)
+            }
+            Source::TraceBytes(b) => (Some(b.to_vec()), None),
+            Source::Events(e) => (None, Some(e.to_vec())),
+        };
+
+        let timer = Timer::start();
+        if supervised {
+            let plan = {
+                let mut plan = SupervisorPlan {
+                    shard: ShardPlan::with_shards(shards.unwrap_or(ShardPlan::default().shards)),
+                    ..SupervisorPlan::default()
+                };
+                plan.checkpoint_every_chunks = checkpoint_every;
+                if let Some(seed) = fault_seed {
+                    plan = plan.with_faults(&FaultPlan::from_seed(seed));
+                }
+                plan
+            };
+            let factory = || RaceDetector::with_config(config.clone());
+            let out = match (&blob, &events) {
+                (Some(data), _) => {
+                    run_supervised(|| trace_events(data, lenient), factory, &plan, None)
+                        .map_err(erase_supervise_error)?
+                }
+                (None, Some(events)) => run_supervised(
+                    || {
+                        SyntheticChunks::new(
+                            events.iter().cloned().map(Ok as fn(_) -> Result<_, TraceError>),
+                            SYNTHETIC_CHUNK_EVENTS,
+                        )
+                    },
+                    factory,
+                    &plan,
+                    None,
+                )
+                .map_err(erase_supervise_error)?,
+                (None, None) => unreachable!("source resolution always yields one"),
+            };
+            let SupervisedOutcome::Completed {
+                report,
+                stats,
+                supervision,
+            } = out
+            else {
+                unreachable!("no stop_after requested, the run must complete");
+            };
+            let engine = engine_from_shards(&stats, timer.elapsed_ms(), Some(&supervision));
+            let mut outcome = AnalysisOutcome::from_dtrg(report, engine);
+            outcome.sharding = Some(stats);
+            outcome.supervision = Some(supervision);
+            return Ok(outcome);
+        }
+
+        if let Some(n) = shards {
+            let factory = || RaceDetector::with_config(config.clone());
+            let plan = ShardPlan::with_shards(n);
+            let run = match (&blob, &events) {
+                (Some(data), _) => {
+                    let mut it = trace_events(data, lenient);
+                    let mut run = run_sharded_events(&mut it, &plan, factory)?;
+                    run.stats.skipped_chunks = it.skipped_chunks();
+                    run
+                }
+                (None, Some(events)) => {
+                    let it = events.iter().cloned().map(Ok as fn(_) -> Result<_, Infallible>);
+                    match run_sharded_events(it, &plan, factory) {
+                        Ok(run) => run,
+                        Err(never) => match never {},
+                    }
+                }
+                (None, None) => unreachable!("source resolution always yields one"),
+            };
+            let engine = engine_from_shards(&run.stats, timer.elapsed_ms(), None);
+            let mut outcome = AnalysisOutcome::from_dtrg(run.report, engine);
+            outcome.sharding = Some(run.stats);
+            return Ok(outcome);
+        }
+
+        // Plain serial replay: chunk-batched decode for trace blobs, the
+        // batched in-memory path for event slices.
+        let detector = RaceDetector::with_config(config);
+        let out = match (&blob, &events) {
+            (Some(data), _) => run_analysis(source::chunks(trace_chunks(data, lenient)), detector)?,
+            (None, Some(events)) => match run_analysis(source::recorded(events), detector) {
+                Ok(out) => out,
+                Err(never) => match never {},
+            },
+            (None, None) => unreachable!("source resolution always yields one"),
+        };
+        Ok(AnalysisOutcome::from_dtrg(out.report, out.counters))
+    }
+}
+
+/// Synthetic chunk granularity used when supervising an in-memory event
+/// list (which has no framed boundaries of its own).
+const SYNTHETIC_CHUNK_EVENTS: u64 = 4096;
+
+fn erase_supervise_error(e: SuperviseError<TraceError>) -> AnalyzeError {
+    match e {
+        SuperviseError::Stream(e) => AnalyzeError::Trace(e),
+        other => AnalyzeError::Supervise(other.to_string()),
+    }
+}
+
+/// Builds engine counters from sharded-pipeline accounting, the exact
+/// assembly `tracetool` used to do by hand.
+fn engine_from_shards(
+    stats: &ShardStats,
+    wall_ms: f64,
+    supervision: Option<&SupervisionReport>,
+) -> EngineCounters {
+    let mut c = EngineCounters {
+        events: stats.events,
+        control_events: stats.control_events,
+        reads: stats.reads,
+        writes: stats.writes,
+        wall_ms,
+        ..EngineCounters::default()
+    };
+    if let Some(s) = supervision {
+        c.shard_restarts = s.shard_restarts;
+        c.degradations = s.degradations;
+        c.resumed_from_checkpoint = s.resumed_from_checkpoint;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::TaskCtx;
+
+    fn racy(ctx: &mut SerialCtx<EventLog>) {
+        let x = ctx.shared_var(0u64, "x");
+        let x2 = x.clone();
+        let _f = ctx.future(move |ctx| x2.write(ctx, 1));
+        let _ = x.read(ctx); // no get(): a race
+    }
+
+    #[test]
+    fn program_run_reports_race_and_counters() {
+        let out = Analyze::program(racy).run().unwrap();
+        assert!(out.has_races());
+        assert_eq!(out.stats.shared_mem(), 2);
+        assert_eq!(out.engine.checks(), 2);
+        assert!(out.sharding.is_none());
+        assert!(out.supervision.is_none());
+    }
+
+    #[test]
+    fn builder_options_compose() {
+        let out = Analyze::program(|ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| x2.write(ctx, 1));
+            ctx.get(&f);
+            let _ = x.read(ctx);
+        })
+        .detector(DetectorConfig {
+            first_race_only: true,
+            ..DetectorConfig::default()
+        })
+        .shards(2)
+        .run()
+        .unwrap();
+        assert!(!out.has_races());
+        let sharding = out.sharding.expect("sharded backend ran");
+        assert_eq!(sharding.shards, 2);
+    }
+
+    #[test]
+    fn trace_bytes_and_events_agree_with_program() {
+        let mut log = EventLog::new();
+        run_serial(&mut log, racy);
+        let blob = crate::runtime::trace::encode(&log.events);
+
+        let from_program = Analyze::program(racy).run().unwrap();
+        let from_events = Analyze::events(&log.events).run().unwrap();
+        let from_blob = Analyze::trace_bytes(&blob).run().unwrap();
+        for out in [&from_events, &from_blob] {
+            assert_eq!(out.races.races, from_program.races.races);
+            assert_eq!(out.races.total_detected, from_program.races.total_detected);
+            assert_eq!(out.stats.shared_mem(), from_program.stats.shared_mem());
+        }
+    }
+
+    #[test]
+    fn supervised_run_completes_with_accounting() {
+        let out = Analyze::program(racy)
+            .shards(2)
+            .checkpoint_every(2)
+            .run()
+            .unwrap();
+        assert!(out.has_races());
+        let supervision = out.supervision.expect("supervised backend ran");
+        assert_eq!(supervision.resumed_from_checkpoint, 0);
+        assert!(out.sharding.is_some());
+    }
+
+    #[test]
+    fn missing_trace_file_is_an_io_error() {
+        let err = Analyze::trace("/nonexistent/definitely-missing.ftrc")
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Io(..)), "{err}");
+        assert!(err.to_string().contains("definitely-missing"));
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_trace_error() {
+        let err = Analyze::trace_bytes(&[0xFF, 0xFE, 0xFD]).run().unwrap_err();
+        assert!(matches!(err, AnalyzeError::Trace(_)), "{err}");
+    }
+
+    #[test]
+    fn cache_counters_reach_the_engine_display() {
+        let out = Analyze::program(|ctx| {
+            let x = ctx.shared_var(0u64, "x");
+            for _ in 0..32 {
+                let _ = x.read(ctx); // repeated clean reads: fast-path hits
+            }
+        })
+        .run()
+        .unwrap();
+        assert!(!out.has_races());
+        assert!(out.stats.dtrg.shadow_hits > 0);
+        assert_eq!(
+            out.engine.cache_hits,
+            out.stats.dtrg.memo_hits + out.stats.dtrg.shadow_hits
+        );
+        assert!(out.engine.to_string().contains("cache:"), "{}", out.engine);
+    }
+}

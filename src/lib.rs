@@ -29,7 +29,7 @@
 //!
 //! // A racy program: two async tasks write the same shared cell without
 //! // synchronization.
-//! let report = detect_races(|ctx| {
+//! let outcome = Analyze::program(|ctx| {
 //!     let x = ctx.shared_var(0i64, "x");
 //!     ctx.finish(|ctx| {
 //!         let xa = x.clone();
@@ -37,9 +37,15 @@
 //!         let xb = x.clone();
 //!         ctx.async_task(move |ctx| xb.write(ctx, 2));
 //!     });
-//! });
-//! assert!(report.has_races());
+//! })
+//! .run()
+//! .unwrap();
+//! assert!(outcome.has_races());
 //! ```
+
+pub mod analyze;
+
+pub use analyze::{AnalysisOutcome, Analyze, AnalyzeError};
 
 pub use futrace_baselines as baselines;
 pub use futrace_benchsuite as benchsuite;
@@ -51,14 +57,17 @@ pub use futrace_util as util;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
+    pub use crate::analyze::{AnalysisOutcome, Analyze, AnalyzeError};
+    // The deprecated entry points stay exported so existing callers keep
+    // compiling during the migration window.
+    #[allow(deprecated)]
+    pub use futrace_detector::{detect_races, detect_races_in_trace, detect_races_with_stats};
     pub use futrace_detector::{
-        detect_races, detect_races_in_trace, detect_races_with_stats, DetectorConfig,
-        DtrgReport, MemoryFootprint, RaceDetector, RaceReport,
+        DetectorConfig, DtrgReport, MemoryFootprint, RaceDetector, RaceReport,
     };
     pub use futrace_runtime::accumulator::Accumulator;
     pub use futrace_runtime::engine::{
-        run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome,
-        Engine, EngineCounters,
+        run_analysis, run_analysis_live, run_analysis_recorded, Analysis, Engine, EngineCounters,
     };
     pub use futrace_runtime::memory::{SharedArray, SharedVar};
     pub use futrace_runtime::serial::{run_serial, FutureHandle, SerialCtx};

@@ -4,13 +4,13 @@
 //! communication is accumulator-only is certified race-free — while the
 //! same reduction hand-rolled over a shared cell is (correctly) racy.
 
-use futrace::detector::detect_races;
+use futrace::Analyze;
 use futrace::runtime::accumulator::{Accumulator, MaxOp, SumOp};
 use futrace::runtime::{run_parallel, TaskCtx};
 
 #[test]
 fn accumulator_reduction_is_race_free() {
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         let acc = Accumulator::<u64, SumOp>::new();
         ctx.finish(|ctx| {
             for i in 1..=64u64 {
@@ -19,7 +19,9 @@ fn accumulator_reduction_is_race_free() {
             }
         });
         assert_eq!(acc.get(), 64 * 65 / 2);
-    });
+    })
+    .run()
+    .unwrap();
     assert!(!report.has_races());
 }
 
@@ -27,7 +29,7 @@ fn accumulator_reduction_is_race_free() {
 fn hand_rolled_reduction_is_racy() {
     // The same sum through a shared cell: read-modify-write per task —
     // the detector flags it, which is exactly why HJ offers accumulators.
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         let cell = ctx.shared_var(0u64, "sum");
         ctx.finish(|ctx| {
             for i in 1..=8u64 {
@@ -38,14 +40,16 @@ fn hand_rolled_reduction_is_racy() {
                 });
             }
         });
-    });
+    })
+    .run()
+    .unwrap();
     assert!(report.has_races());
 }
 
 #[test]
 fn mixed_accumulator_and_shared_memory_program() {
     // Shared-memory traffic stays fully checked around accumulator use.
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         let data = ctx.shared_array(32, 0u64, "data");
         let best = Accumulator::<u64, MaxOp>::new();
         // Phase 1: fill the array (disjoint writes, race-free).
@@ -60,7 +64,9 @@ fn mixed_accumulator_and_shared_memory_program() {
             ctx.forasync(0..32, move |ctx, i| b.put(d.read(ctx, i)));
         });
         assert_eq!(best.get(), 12);
-    });
+    })
+    .run()
+    .unwrap();
     assert!(!report.has_races());
 }
 

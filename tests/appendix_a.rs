@@ -32,7 +32,7 @@ fn racy_handle_exchange<M: futrace::runtime::Monitor>(ctx: &mut SerialCtx<M>) {
 
 #[test]
 fn handle_race_is_detected_serially() {
-    let report = detect_races(racy_handle_exchange);
+    let report = Analyze::program(racy_handle_exchange).run().unwrap().races;
     assert!(report.has_races());
     let first = report.first().unwrap();
     assert!(
@@ -47,7 +47,7 @@ fn synchronized_handle_exchange_is_race_free_and_cannot_deadlock() {
     // The fixed protocol: handles flow through finish boundaries (the
     // consumers start only after the producers' finish completed), so no
     // cycle can form and the detector certifies it.
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         let slot_a = ctx.shared_var(0u32, "handle.a");
         let sa = slot_a.clone();
         ctx.finish(|ctx| {
@@ -57,7 +57,7 @@ fn synchronized_handle_exchange_is_race_free_and_cannot_deadlock() {
         ctx.async_task(move |ctx| {
             let _ = slot_a.read(ctx);
         });
-    });
+    }).run().unwrap().races;
     assert!(!report.has_races());
 }
 
@@ -94,9 +94,9 @@ fn race_free_random_programs_never_deadlock_in_parallel() {
     let mut checked = 0;
     for seed in 0..120u64 {
         let prog = generate(seed, &GenParams::future_heavy());
-        let report = detect_races(|ctx| {
+        let report = Analyze::program(|ctx| {
             execute(ctx, &prog);
-        });
+        }).run().unwrap().races;
         if report.has_races() {
             continue;
         }

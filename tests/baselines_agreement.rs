@@ -15,7 +15,8 @@ use futrace::baselines::{
     VectorClockDetector,
 };
 use futrace::benchsuite::randomprog::{execute, generate, GenParams, Program};
-use futrace::detector::{detect_races, RaceDetector};
+use futrace::detector::RaceDetector;
+use futrace::Analyze;
 use futrace::offline::{run_sharded_events, trace_events, ShardPlan, StreamWriter};
 use futrace::runtime::engine::{run_analysis, run_analysis_live, source, Analysis};
 use futrace::runtime::run_serial;
@@ -25,9 +26,11 @@ use futrace::util::propcheck::{self, strategies, Config};
 fn async_finish_programs_all_detectors_agree() {
     for seed in 0..300u64 {
         let prog = generate(seed, &GenParams::async_finish_only());
-        let dtrg = detect_races(|ctx| {
+        let dtrg = Analyze::program(|ctx| {
             execute(ctx, &prog);
         })
+        .run()
+        .unwrap()
         .has_races();
 
         let mut esp = EspBags::new();
@@ -68,9 +71,11 @@ fn async_finish_programs_all_detectors_agree() {
 fn future_programs_dtrg_vclock_closure_agree() {
     for seed in 0..300u64 {
         let prog = generate(seed, &GenParams::future_heavy());
-        let dtrg = detect_races(|ctx| {
+        let dtrg = Analyze::program(|ctx| {
             execute(ctx, &prog);
         })
+        .run()
+        .unwrap()
         .has_races();
 
         let mut vc = VectorClockDetector::new();
@@ -92,9 +97,11 @@ fn esp_bags_over_approximates_on_futures() {
     let mut over_approximations = 0u32;
     for seed in 0..300u64 {
         let prog = generate(seed, &GenParams::future_heavy());
-        let truth = detect_races(|ctx| {
+        let truth = Analyze::program(|ctx| {
             execute(ctx, &prog);
         })
+        .run()
+        .unwrap()
         .has_races();
 
         let mut esp = EspBags::new();

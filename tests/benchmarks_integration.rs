@@ -4,15 +4,16 @@
 
 use futrace::baselines::{run_baseline, BaselineDetector, ClosureDetector, EspBags};
 use futrace::benchsuite::{crypt, jacobi, series, smithwaterman, strassen};
-use futrace::detector::detect_races_with_stats;
+use futrace::Analyze;
 
 #[test]
 fn jacobi_detector_matches_oracle_clean_and_planted() {
     let p = jacobi::JacobiParams::tiny();
     for planted in [false, true] {
-        let (report, _) = detect_races_with_stats(|ctx| {
+        let outcome = Analyze::program(|ctx| {
             jacobi::jacobi_run(ctx, &p, planted);
-        });
+        }).run().unwrap();
+        let report = outcome.races;
         let mut oracle = ClosureDetector::new();
         run_baseline(&mut oracle, |ctx| {
             jacobi::jacobi_run(ctx, &p, planted);
@@ -26,9 +27,10 @@ fn jacobi_detector_matches_oracle_clean_and_planted() {
 fn smithwaterman_detector_matches_oracle_clean_and_planted() {
     let p = smithwaterman::SwParams::tiny();
     for planted in [false, true] {
-        let (report, _) = detect_races_with_stats(|ctx| {
+        let outcome = Analyze::program(|ctx| {
             smithwaterman::sw_run(ctx, &p, planted);
-        });
+        }).run().unwrap();
+        let report = outcome.races;
         let mut oracle = ClosureDetector::new();
         run_baseline(&mut oracle, |ctx| {
             smithwaterman::sw_run(ctx, &p, planted);
@@ -53,9 +55,10 @@ fn series_and_crypt_match_esp_bags_on_af_variants() {
     // The af variants are pure async-finish: ESP-bags is exact there and
     // must agree with the DTRG detector (both: race-free).
     let sp = series::SeriesParams::tiny();
-    let (rep, _) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         series::series_af(ctx, &sp);
-    });
+    }).run().unwrap();
+    let rep = outcome.races;
     let mut esp = EspBags::new();
     run_baseline(&mut esp, |ctx| {
         series::series_af(ctx, &sp);
@@ -65,9 +68,10 @@ fn series_and_crypt_match_esp_bags_on_af_variants() {
     assert_eq!(esp.ignored_gets, 0);
 
     let cp = crypt::CryptParams::tiny();
-    let (rep, _) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         crypt::crypt_run(ctx, &cp, crypt::CryptVariant::AsyncFinish);
-    });
+    }).run().unwrap();
+    let rep = outcome.races;
     let mut esp = EspBags::new();
     run_baseline(&mut esp, |ctx| {
         crypt::crypt_run(ctx, &cp, crypt::CryptVariant::AsyncFinish);
@@ -81,9 +85,10 @@ fn structural_formulas_hold_at_scaled_sizes() {
     // Beyond the tiny sizes used elsewhere, verify #Tasks / #NTJoins at
     // the laptop-scale parameters (cheap structural runs: Jacobi + SW).
     let p = jacobi::JacobiParams::scaled();
-    let (rep, stats) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         jacobi::jacobi_run(ctx, &p, false);
-    });
+    }).run().unwrap();
+    let (rep, stats) = (outcome.races, outcome.stats);
     assert!(!rep.has_races());
     assert_eq!(stats.tasks, jacobi::expected_tasks(&p));
     assert_eq!(stats.nt_joins(), jacobi::expected_nt_joins(&p));
@@ -93,9 +98,10 @@ fn structural_formulas_hold_at_scaled_sizes() {
         tiles: 10,
         seed: 0xac97,
     };
-    let (rep, stats) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         smithwaterman::sw_run(ctx, &p, false);
-    });
+    }).run().unwrap();
+    let (rep, stats) = (outcome.races, outcome.stats);
     assert!(!rep.has_races());
     assert_eq!(stats.tasks, smithwaterman::expected_tasks(&p));
     assert_eq!(stats.nt_joins(), smithwaterman::expected_nt_joins(&p));
@@ -104,9 +110,10 @@ fn structural_formulas_hold_at_scaled_sizes() {
 #[test]
 fn planted_race_reports_point_at_the_grid() {
     let p = jacobi::JacobiParams::tiny();
-    let (report, _) = detect_races_with_stats(|ctx| {
+    let outcome = Analyze::program(|ctx| {
         jacobi::jacobi_run(ctx, &p, true);
-    });
+    }).run().unwrap();
+    let report = outcome.races;
     let first = report.first().expect("planted race");
     assert!(
         first.loc_name.starts_with("jacobi."),

@@ -7,19 +7,20 @@
 //! it will always be reported in all runs".
 
 use futrace::benchsuite::randomprog::{execute, generate, GenParams};
-use futrace::detector::{detect_races, RaceDetector};
+use futrace::detector::RaceDetector;
+use futrace::Analyze;
 use futrace::runtime::{run_parallel, run_serial, EventLog, NullMonitor, TaskCtx};
 
 #[test]
 fn detector_verdict_is_run_independent() {
     for seed in 0..200u64 {
         let prog = generate(seed, &GenParams::default());
-        let r1 = detect_races(|ctx| {
+        let r1 = Analyze::program(|ctx| {
             execute(ctx, &prog);
-        });
-        let r2 = detect_races(|ctx| {
+        }).run().unwrap().races;
+        let r2 = Analyze::program(|ctx| {
             execute(ctx, &prog);
-        });
+        }).run().unwrap().races;
         assert_eq!(r1.has_races(), r2.has_races(), "seed {seed}");
         assert_eq!(r1.total_detected, r2.total_detected, "seed {seed}");
         assert_eq!(r1.races, r2.races, "seed {seed}");
@@ -49,9 +50,9 @@ fn race_free_programs_are_schedule_deterministic() {
     let mut race_free_found = 0;
     for seed in 0..300u64 {
         let prog = generate(seed, &GenParams::default());
-        let report = detect_races(|ctx| {
+        let report = Analyze::program(|ctx| {
             execute(ctx, &prog);
-        });
+        }).run().unwrap().races;
         if report.has_races() {
             continue;
         }

@@ -11,7 +11,7 @@ use futrace::baselines::ClosureDetector;
 use futrace::benchsuite::randomprog::{execute, generate, GenParams};
 use futrace::compgraph::oracle::Reachability;
 use futrace::compgraph::CompGraph;
-use futrace::detector::detect_races;
+use futrace::Analyze;
 use futrace::runtime::engine::run_analysis_live;
 use futrace::util::propcheck::{self, strategies, Config};
 
@@ -35,9 +35,9 @@ fn oracle_first_race_index(g: &CompGraph) -> Option<u64> {
 
 fn check_seed(seed: u64, params: &GenParams) {
     let prog = generate(seed, params);
-    let report = detect_races(|ctx| {
+    let report = Analyze::program(|ctx| {
         execute(ctx, &prog);
-    });
+    }).run().unwrap().races;
     let oracle = run_analysis_live(
         |ctx| {
             execute(ctx, &prog);

@@ -15,7 +15,7 @@
 
 use futrace::baselines::{run_baseline, BaselineDetector, ClosureDetector};
 use futrace::benchsuite::randomprog::{execute, Program, Stmt};
-use futrace::detector::detect_races;
+use futrace::Analyze;
 
 /// Enumerates all statement sequences of exactly `size` statements, where
 /// nested bodies count toward the size. `futures_in_scope` tracks how many
@@ -77,9 +77,11 @@ fn all_small_programs_match_the_oracle() {
             body,
             locs: 1,
         };
-        let det = detect_races(|ctx| {
+        let det = Analyze::program(|ctx| {
             execute(ctx, &prog);
         })
+        .run()
+        .unwrap()
         .has_races();
         let mut oracle = ClosureDetector::new();
         run_baseline(&mut oracle, |ctx| {
