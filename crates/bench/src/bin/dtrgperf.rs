@@ -22,66 +22,16 @@
 //! Usage: `dtrgperf [--out PATH] [--programs a,b,...] [--list]`
 
 use futrace_bench::runner::Runner;
-use futrace_benchsuite::{crypt, jacobi, pipeline, series, smithwaterman, sor};
+use futrace_benchsuite::registry::{self, Scale, Workload};
 use futrace_detector::{DetectorConfig, RaceDetector};
 use futrace_runtime::engine::{run_analysis, source};
-use futrace_runtime::{run_serial, Event, EventLog, NullMonitor, TaskCtx};
+use futrace_runtime::{Event, EventLog, NullMonitor};
 
-/// One benchsuite workload, name plus a monomorphization-friendly body.
-enum Workload {
-    Jacobi(jacobi::JacobiParams),
-    SmithWaterman(smithwaterman::SwParams),
-    Sor(sor::SorParams),
-    SeriesFuture(series::SeriesParams),
-    Pipeline(pipeline::PipelineParams),
-    Crypt(crypt::CryptParams),
-}
-
-impl Workload {
-    fn name(&self) -> &'static str {
-        match self {
-            Workload::Jacobi(_) => "jacobi",
-            Workload::SmithWaterman(_) => "smithwaterman",
-            Workload::Sor(_) => "sor",
-            Workload::SeriesFuture(_) => "series_future",
-            Workload::Pipeline(_) => "pipeline",
-            Workload::Crypt(_) => "crypt",
-        }
-    }
-
-    fn run<C: TaskCtx>(&self, ctx: &mut C) {
-        match self {
-            Workload::Jacobi(p) => {
-                jacobi::jacobi_run(ctx, p, false);
-            }
-            Workload::SmithWaterman(p) => {
-                smithwaterman::sw_run(ctx, p, false);
-            }
-            Workload::Sor(p) => {
-                sor::sor_run(ctx, p, false);
-            }
-            Workload::SeriesFuture(p) => {
-                series::series_future(ctx, p);
-            }
-            Workload::Pipeline(p) => {
-                pipeline::pipeline_run(ctx, p, false);
-            }
-            Workload::Crypt(p) => {
-                crypt::crypt_run(ctx, p, crypt::CryptVariant::Future);
-            }
-        }
-    }
-}
-
-fn all_workloads() -> Vec<Workload> {
-    vec![
-        Workload::Jacobi(jacobi::JacobiParams::scaled()),
-        Workload::SmithWaterman(smithwaterman::SwParams::scaled()),
-        Workload::Sor(sor::SorParams::scaled()),
-        Workload::SeriesFuture(series::SeriesParams::scaled()),
-        Workload::Pipeline(pipeline::PipelineParams::scaled()),
-        Workload::Crypt(crypt::CryptParams::scaled()),
-    ]
+/// The profiled subset of the benchsuite registry: every workload with
+/// `perf: true`, at [`Scale::Perf`] sizes (scaled sizes except where the
+/// kernel would dominate the measurement — see `SeriesParams::perf`).
+fn all_workloads() -> Vec<&'static Workload> {
+    registry::workloads().iter().filter(|w| w.perf).collect()
 }
 
 /// One program's measurements, serialized as one JSON object.
@@ -157,8 +107,7 @@ impl ProgramResult {
 fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
     // Record the stream once; every detector run replays it, so the
     // detector timings exclude DSL execution cost.
-    let mut log = EventLog::new();
-    run_serial(&mut log, |ctx| w.run(ctx));
+    let log: EventLog = w.record(Scale::Perf, false);
     let events = log.events;
     let accesses = events
         .iter()
@@ -187,16 +136,16 @@ fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
     assert_eq!(
         cached_out.report.report.races, uncached_out.report.report.races,
         "{}: cached and uncached verdicts must be identical",
-        w.name()
+        w.name
     );
     let dtrg = &cached_out.report.stats.dtrg;
     let (cache_hits, cache_misses) = (dtrg.memo_hits + dtrg.shadow_hits, dtrg.memo_misses);
 
-    let mut group = runner.benchmark_group(format!("dtrgperf/{}", w.name()));
+    let mut group = runner.benchmark_group(format!("dtrgperf/{}", w.name));
     group.bench_function("uninstrumented", |b| {
         b.iter(|| {
             let mut nm = NullMonitor;
-            run_serial(&mut nm, |ctx| w.run(ctx));
+            w.run_into(&mut nm, Scale::Perf, false);
         })
     });
     group.bench_function("cached", |b| b.iter(|| replay(&cached_cfg)));
@@ -207,12 +156,12 @@ fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
     let median = |suffix: &str| {
         recs.iter()
             .rev()
-            .find(|r| r.bench == suffix && r.group.ends_with(w.name()))
+            .find(|r| r.bench == suffix && r.group.ends_with(w.name))
             .expect("record just measured")
             .median_ns
     };
     ProgramResult {
-        name: w.name(),
+        name: w.name,
         events: events.len() as u64,
         accesses,
         races: cached_out.report.report.total_detected,
@@ -245,7 +194,7 @@ fn main() {
             }
             "--list" => {
                 for w in all_workloads() {
-                    println!("{}", w.name());
+                    println!("{}", w.name);
                 }
                 return;
             }
@@ -257,16 +206,16 @@ fn main() {
         }
     }
 
-    let workloads: Vec<Workload> = all_workloads()
+    let workloads: Vec<&Workload> = all_workloads()
         .into_iter()
         .filter(|w| {
             selected
                 .as_ref()
-                .is_none_or(|names| names.iter().any(|n| n == w.name()))
+                .is_none_or(|names| names.iter().any(|n| n == w.name))
         })
         .collect();
     if let Some(names) = &selected {
-        let known: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+        let known: Vec<&str> = workloads.iter().map(|w| w.name).collect();
         for n in names {
             assert!(
                 known.contains(&n.as_str()),

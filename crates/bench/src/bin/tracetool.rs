@@ -19,15 +19,25 @@
 //! # structural summary / full integrity check of a trace file:
 //! tracetool info /tmp/jacobi.trace
 //! tracetool verify /tmp/jacobi.trace
+//!
+//! # differential fuzzing: generate future-heavy random programs, run all
+//! # registered detectors (serial + sharded), classify disagreements
+//! # against the expected-unsoundness notes, shrink anything unexpected:
+//! tracetool fuzz [--programs N] [--seed S] [--gen nontree|future-heavy|default]
+//!     [--out-dir DIR] [--time-budget-secs T] [--break-detector NAME]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 invalid/damaged trace, 2 usage error, 3 races
 //! detected by `analyze` (`compare` always exits 0 when the trace reads
-//! cleanly — its product is the agreement report, not a verdict).
+//! cleanly — its product is the agreement report, not a verdict), 4
+//! unexpected detector disagreement found by `fuzz` (a minimized `.ftrc`
+//! reproducer is written to `--out-dir`).
 
 use futrace_bench::detectors::{self, AnyReport, DETECTOR_NAMES};
-use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, CompareArgs, RecordArgs};
-use futrace_benchsuite::{jacobi, lu, pipeline, smithwaterman};
+use futrace_bench::fuzzdiff;
+use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, CompareArgs, FuzzArgs, RecordArgs};
+use futrace_benchsuite::randomprog::GenParams;
+use futrace_benchsuite::registry::{self, Scale};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
 use futrace_detector::RaceReport;
 use futrace_offline::framed::{self, DEFAULT_CHUNK_BYTES};
@@ -36,7 +46,7 @@ use futrace_offline::{
     SupervisorPlan, TraceFingerprint, WriterStats,
 };
 use futrace_runtime::engine::{run_analysis_recorded, AnalysisOutcome, EngineCounters};
-use futrace_runtime::{run_serial, trace, Event, EventLog, Monitor, SerialCtx};
+use futrace_runtime::{trace, Event, EventLog, Monitor};
 use futrace_util::faultinject::{
     read_to_end_with_retry, Backoff, FaultPlan, FaultyReader, FaultyWriter, IoFaultStats,
 };
@@ -50,7 +60,7 @@ const INJECT_CHECKPOINT_EVERY: u64 = 8;
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!("usage:");
-    eprintln!("  tracetool record --bench <jacobi|smithwaterman|lu|pipeline> --out FILE");
+    eprintln!("  tracetool record --bench NAME --out FILE");
     eprintln!("                   [--tiny|--scaled] [--planted]");
     eprintln!("                   [--stream [--chunk-bytes N] [--inject SEED]]");
     eprintln!("  tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]");
@@ -60,6 +70,10 @@ fn usage(err: &str) -> ! {
     eprintln!("  tracetool compare FILE [--detectors NAME,NAME,...] [--lenient]");
     eprintln!("  tracetool info FILE");
     eprintln!("  tracetool verify FILE");
+    eprintln!("  tracetool fuzz [--programs N] [--seed S]");
+    eprintln!("                   [--gen nontree|future-heavy|default] [--out-dir DIR]");
+    eprintln!("                   [--time-budget-secs T] [--break-detector NAME]");
+    eprintln!("benchmarks: {}", registry::names().join(", "));
     eprintln!("detectors: {}", DETECTOR_NAMES.join(", "));
     std::process::exit(2);
 }
@@ -67,52 +81,9 @@ fn usage(err: &str) -> ! {
 /// Drives the selected benchmark against any monitor — an [`EventLog`]
 /// for buffered v1 recording, a [`StreamWriter`] for direct-to-disk v2.
 fn run_bench<M: Monitor>(mon: &mut M, bench: &str, tiny: bool, planted: bool) {
-    fn go<M: Monitor>(mon: &mut M, f: impl FnOnce(&mut SerialCtx<'_, M>)) {
-        run_serial(mon, f);
-    }
-    match bench {
-        "jacobi" => {
-            let p = if tiny {
-                jacobi::JacobiParams::tiny()
-            } else {
-                jacobi::JacobiParams::scaled()
-            };
-            go(mon, |ctx| {
-                jacobi::jacobi_run(ctx, &p, planted);
-            });
-        }
-        "smithwaterman" => {
-            let p = if tiny {
-                smithwaterman::SwParams::tiny()
-            } else {
-                smithwaterman::SwParams::scaled()
-            };
-            go(mon, |ctx| {
-                smithwaterman::sw_run(ctx, &p, planted);
-            });
-        }
-        "lu" => {
-            let p = if tiny {
-                lu::LuParams::tiny()
-            } else {
-                lu::LuParams::scaled()
-            };
-            go(mon, |ctx| {
-                lu::lu_run(ctx, &p, planted);
-            });
-        }
-        "pipeline" => {
-            let p = if tiny {
-                pipeline::PipelineParams::tiny()
-            } else {
-                pipeline::PipelineParams::scaled()
-            };
-            go(mon, |ctx| {
-                pipeline::pipeline_run(ctx, &p, planted);
-            });
-        }
-        other => unreachable!("parser admits only known benches, got {other}"),
-    }
+    let w = registry::find(bench).expect("parser admits only known benches");
+    let scale = if tiny { Scale::Tiny } else { Scale::Scaled };
+    w.run_into(mon, scale, planted);
 }
 
 fn print_fault_stats(kind: &str, seed: u64, s: &IoFaultStats) {
@@ -751,6 +722,87 @@ fn verify(file: &str) {
     }
 }
 
+/// Differential fuzzing over the detector registry. One batch per base
+/// seed; with `--time-budget-secs`, fresh batches (each with a derived
+/// seed) run until the clock runs out or a counterexample lands.
+fn fuzz(args: FuzzArgs) {
+    let params = match args.gen.as_str() {
+        "nontree" => GenParams::nontree_heavy(),
+        "future-heavy" => GenParams::future_heavy(),
+        _ => GenParams::default(),
+    };
+    let started = std::time::Instant::now();
+    let mut batch_state = args.seed;
+    let mut batch = 0u64;
+    let mut total = fuzzdiff::Tally::default();
+    loop {
+        // Batch 0 fuzzes the seed exactly as given, so
+        // `tracetool fuzz --seed S` reproduces a one-batch run; later
+        // batches derive fresh seeds from the splitmix stream.
+        let seed = if batch == 0 {
+            args.seed
+        } else {
+            futrace_util::rng::splitmix64(&mut batch_state)
+        };
+        let opts = fuzzdiff::FuzzOptions {
+            programs: args.programs,
+            seed,
+            params,
+            broken_detector: args.break_detector.clone(),
+            ..fuzzdiff::FuzzOptions::default()
+        };
+        eprintln!(
+            "fuzz batch {batch}: {} program(s), seed {seed}, gen {}",
+            args.programs, args.gen
+        );
+        let report = fuzzdiff::run(&opts);
+        total.absorb(&report.tally);
+
+        if let Some(cx) = report.counterexample {
+            let path = format!("{}/fuzz_counterexample_{:#018x}.ftrc", args.out_dir, cx.seed);
+            if let Err(e) = std::fs::write(&path, &cx.trace) {
+                eprintln!("cannot write counterexample trace {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("\nUNEXPECTED DISAGREEMENT after {} shrink step(s):", cx.shrink_steps);
+            eprintln!("  {}", cx.detail);
+            eprintln!("  minimized program: {:?}", cx.program);
+            eprintln!("  reproducer trace:  {path}");
+            eprintln!("replay with:");
+            eprintln!(
+                "  FUTRACE_PROPCHECK_SEED={:#x} tracetool fuzz --programs 1 --seed {seed} --gen {}{}",
+                cx.seed,
+                args.gen,
+                match &args.break_detector {
+                    Some(d) => format!(" --break-detector {d}"),
+                    None => String::new(),
+                }
+            );
+            eprintln!("  tracetool compare {path}");
+            println!(
+                "fuzz: {} program(s), {} detector run(s), {} expected disagreement(s), \
+                 1 unexpected disagreement",
+                total.programs, total.detector_runs, total.expected_disagreements
+            );
+            std::process::exit(4);
+        }
+
+        batch += 1;
+        let done = match args.time_budget_secs {
+            Some(t) => started.elapsed().as_secs() >= t,
+            None => true,
+        };
+        if done {
+            break;
+        }
+    }
+    println!(
+        "fuzz: {} program(s), {} detector run(s), {} expected disagreement(s), \
+         0 unexpected disagreements",
+        total.programs, total.detector_runs, total.expected_disagreements
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match tracetool_cli::parse(&args) {
@@ -759,6 +811,7 @@ fn main() {
         Ok(Command::Compare(c)) => compare(c),
         Ok(Command::Info { file }) => info(&file),
         Ok(Command::Verify { file }) => verify(&file),
+        Ok(Command::Fuzz(f)) => fuzz(f),
         Err(e) => usage(&e),
     }
 }

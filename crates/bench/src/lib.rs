@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod detectors;
+pub mod fuzzdiff;
 pub mod runner;
 pub mod tracetool_cli;
 

@@ -3,14 +3,14 @@
 //! benchmark names and only failed after flag processing).
 //!
 //! Conventions: unknown flags and missing values are errors (exit 2 via
-//! the binary); `--bench` is validated against [`BENCHES`] *at parse
-//! time*; when both `--tiny` and `--scaled` appear, the last one wins
-//! (explicitly tested, since scripts commonly append overrides).
+//! the binary); `--bench` is validated against the benchsuite
+//! [`registry`](futrace_benchsuite::registry) *at parse time* — as is
+//! `--planted`, which only plantable workloads accept; when both
+//! `--tiny` and `--scaled` appear, the last one wins (explicitly tested,
+//! since scripts commonly append overrides).
 
 use crate::detectors::{is_detector, is_shardable, DETECTOR_NAMES};
-
-/// Benchmarks `tracetool record` can drive, in usage order.
-pub const BENCHES: &[&str] = &["jacobi", "smithwaterman", "lu", "pipeline"];
+use futrace_benchsuite::registry;
 
 /// A parsed `tracetool` invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,12 +31,14 @@ pub enum Command {
         /// Trace file to fully validate.
         file: String,
     },
+    /// `tracetool fuzz …`
+    Fuzz(FuzzArgs),
 }
 
 /// Options for `tracetool record`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecordArgs {
-    /// Benchmark name (guaranteed to be one of [`BENCHES`]).
+    /// Benchmark name (guaranteed to be a registry key).
     pub bench: String,
     /// Output trace path.
     pub out: String,
@@ -101,6 +103,26 @@ impl AnalyzeArgs {
     }
 }
 
+/// Options for `tracetool fuzz` (the differential fuzzing mode; see
+/// `crate::fuzzdiff`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzArgs {
+    /// Programs per fuzzing batch.
+    pub programs: u32,
+    /// Base seed (batch `k` of a time-budgeted run derives its own seed).
+    pub seed: u64,
+    /// Program-generator preset: `nontree` (default), `future-heavy`, or
+    /// `default`.
+    pub gen: String,
+    /// Directory receiving minimized counterexample traces.
+    pub out_dir: String,
+    /// Keep fuzzing fresh batches until this many seconds have elapsed.
+    pub time_budget_secs: Option<u64>,
+    /// Test-only fault injection: invert the named detector's verdict so
+    /// the disagreement/shrink/repro pipeline can be exercised end to end.
+    pub break_detector: Option<String>,
+}
+
 /// Options for `tracetool compare`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompareArgs {
@@ -153,10 +175,10 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
         match args[i].as_str() {
             "--bench" => {
                 let name = value(args, &mut i, "--bench")?;
-                if !BENCHES.contains(&name) {
+                if registry::find(name).is_none() {
                     return Err(format!(
                         "unknown benchmark `{name}` (expected one of: {})",
-                        BENCHES.join(", ")
+                        registry::names().join(", ")
                     ));
                 }
                 bench = Some(name.to_string());
@@ -185,6 +207,11 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
         return Err("--inject only applies to --stream recording".into());
     }
     let bench = bench.ok_or("record: --bench is required")?;
+    if planted && !registry::find(&bench).expect("validated above").plantable {
+        return Err(format!(
+            "benchmark `{bench}` has no planted-race variant; drop --planted"
+        ));
+    }
     let out = out.ok_or("record: --out is required")?;
     Ok(RecordArgs {
         bench,
@@ -340,6 +367,57 @@ fn parse_compare(args: &[String]) -> Result<CompareArgs, String> {
     })
 }
 
+fn parse_fuzz(args: &[String]) -> Result<FuzzArgs, String> {
+    let mut programs: u32 = 256;
+    let mut seed: u64 = 7;
+    let mut gen = "nontree".to_string();
+    let mut out_dir = ".".to_string();
+    let mut time_budget_secs = None;
+    let mut break_detector = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--programs" => {
+                let n = parse_positive_u64(args, &mut i, "--programs")?;
+                programs = u32::try_from(n)
+                    .map_err(|_| format!("--programs: `{n}` exceeds the u32 range"))?;
+            }
+            "--seed" => {
+                let v = value(args, &mut i, "--seed")?;
+                seed = v.parse::<u64>().map_err(|_| {
+                    format!("--seed: invalid seed `{v}` (expected an unsigned 64-bit integer)")
+                })?;
+            }
+            "--gen" => {
+                let v = value(args, &mut i, "--gen")?;
+                if !matches!(v, "nontree" | "future-heavy" | "default") {
+                    return Err(format!(
+                        "--gen: unknown preset `{v}` (expected nontree, future-heavy, or default)"
+                    ));
+                }
+                gen = v.to_string();
+            }
+            "--out-dir" => out_dir = value(args, &mut i, "--out-dir")?.to_string(),
+            "--time-budget-secs" => {
+                time_budget_secs = Some(parse_positive_u64(args, &mut i, "--time-budget-secs")?)
+            }
+            "--break-detector" => {
+                break_detector = Some(validate_detector(value(args, &mut i, "--break-detector")?)?)
+            }
+            other => return Err(format!("fuzz: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(FuzzArgs {
+        programs,
+        seed,
+        gen,
+        out_dir,
+        time_budget_secs,
+        break_detector,
+    })
+}
+
 fn parse_single_file(sub: &str, args: &[String]) -> Result<String, String> {
     match args {
         [f] if !f.starts_with('-') => Ok(f.clone()),
@@ -357,6 +435,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "compare" => parse_compare(rest).map(Command::Compare),
             "info" => parse_single_file("info", rest).map(|file| Command::Info { file }),
             "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
+            "fuzz" => parse_fuzz(rest).map(Command::Fuzz),
             other => Err(format!("unknown subcommand `{other}`")),
         },
         None => Err("a subcommand is required".into()),
@@ -383,6 +462,64 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown benchmark `jacobii`"), "{err}");
         assert!(err.contains("jacobi, smithwaterman, lu, pipeline"), "{err}");
+        assert!(
+            err.contains("prodcons") && err.contains("actor"),
+            "the error names the future-structured families too: {err}"
+        );
+    }
+
+    #[test]
+    fn planted_requires_a_plantable_workload() {
+        // series_future and crypt have no plant_race switch; requesting
+        // one is a parse error, not a runtime panic.
+        let err =
+            parse(&argv("record --bench series_future --out t --planted")).unwrap_err();
+        assert!(err.contains("no planted-race variant"), "{err}");
+        let Command::Record(r) =
+            parse(&argv("record --bench prodcons --out t --planted")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(r.planted);
+        // Unplanted recording of non-plantable workloads stays fine.
+        assert!(parse(&argv("record --bench crypt --out t")).is_ok());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_flags() {
+        let Command::Fuzz(f) = parse(&argv("fuzz")).unwrap() else {
+            panic!()
+        };
+        assert_eq!((f.programs, f.seed, f.gen.as_str()), (256, 7, "nontree"));
+        assert_eq!(f.out_dir, ".");
+        assert!(f.time_budget_secs.is_none() && f.break_detector.is_none());
+
+        let Command::Fuzz(f) = parse(&argv(
+            "fuzz --programs 64 --seed 9 --gen future-heavy --out-dir /tmp/cx \
+             --time-budget-secs 30 --break-detector vc",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!((f.programs, f.seed), (64, 9));
+        assert_eq!(f.gen, "future-heavy");
+        assert_eq!(f.out_dir, "/tmp/cx");
+        assert_eq!(f.time_budget_secs, Some(30));
+        assert_eq!(f.break_detector.as_deref(), Some("vc"));
+    }
+
+    #[test]
+    fn fuzz_flag_validation() {
+        let err = parse(&argv("fuzz --programs 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("fuzz --gen chaotic")).unwrap_err();
+        assert!(err.contains("unknown preset `chaotic`"), "{err}");
+        let err = parse(&argv("fuzz --break-detector dtrgg")).unwrap_err();
+        assert!(err.contains("unknown detector `dtrgg`"), "{err}");
+        let err = parse(&argv("fuzz --seed nope")).unwrap_err();
+        assert!(err.contains("invalid seed `nope`"), "{err}");
+        let err = parse(&argv("fuzz --bench jacobi")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
     }
 
     #[test]

@@ -26,17 +26,35 @@
 //!
 //! [`randomprog`] generates seeded random async/finish/future programs
 //! with realizable handle flow; the property-test suites use it to compare
-//! the DTRG detector against the transitive-closure oracle, and the
-//! ablation benches use it to sweep non-tree-join density.
+//! the DTRG detector against the transitive-closure oracle, the ablation
+//! benches use it to sweep non-tree-join density, and the differential
+//! fuzzer (`futrace_bench::fuzzdiff`) uses its future-heavy presets.
+//!
+//! Four future-structured families stress join structure that is *not*
+//! series-parallel — the regime the DTRG detector exists for (§4):
+//! [`prodcons`] (bounded-buffer producer–consumer, slot-free edges
+//! pointing downstream), [`futlist`] (future-linked lists, depth-`n`
+//! sibling get chains), [`futtree`] (bottom-up combine trees living
+//! entirely in future edges), [`graphwalk`] (seeded irregular DAGs), and
+//! [`actor`] (per-actor mailbox chains braided with response edges).
+//!
+//! [`registry`] is the workload table driving `tracetool record` and
+//! `dtrgperf`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod actor;
 pub mod crypt;
+pub mod futlist;
+pub mod futtree;
+pub mod graphwalk;
 pub mod jacobi;
 pub mod lu;
 pub mod pipeline;
+pub mod prodcons;
 pub mod randomprog;
+pub mod registry;
 pub mod series;
 pub mod smithwaterman;
 pub mod sor;

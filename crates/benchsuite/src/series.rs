@@ -44,6 +44,20 @@ impl SeriesParams {
         }
     }
 
+    /// Bench-profiling configuration. [`SeriesParams::scaled`] keeps the
+    /// JGF work-per-task ratio (1000 intervals ≈ 6000 `powf` calls per
+    /// event), which is right for the Table-2 slowdown columns but makes
+    /// per-event timing meaningless: the uninstrumented run is ~10⁴×
+    /// slower than the detector per event. This profile inverts the
+    /// ratio — many cheap tasks — so `dtrgperf`'s per-event medians
+    /// measure the detector, not the kernel.
+    pub fn perf() -> Self {
+        SeriesParams {
+            n: 20_000,
+            intervals: 4,
+        }
+    }
+
     /// Minimal configuration for unit tests.
     pub fn tiny() -> Self {
         SeriesParams { n: 8, intervals: 40 }

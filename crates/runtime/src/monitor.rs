@@ -96,6 +96,38 @@ pub trait Monitor {
     }
 }
 
+/// Forwarding impl so a `&mut dyn Monitor` (or `&mut M`) is itself a
+/// monitor. This is what lets the benchsuite registry store non-generic
+/// `fn(&mut dyn Monitor, …)` workload runners while the executor stays
+/// monomorphized: the runner calls `run_serial(&mut mon, …)` with
+/// `M = &mut dyn Monitor`.
+impl<M: Monitor + ?Sized> Monitor for &mut M {
+    fn task_create(&mut self, parent: TaskId, child: TaskId, kind: TaskKind, ief: FinishId) {
+        (**self).task_create(parent, child, kind, ief);
+    }
+    fn task_end(&mut self, task: TaskId) {
+        (**self).task_end(task);
+    }
+    fn finish_start(&mut self, task: TaskId, finish: FinishId) {
+        (**self).finish_start(task, finish);
+    }
+    fn finish_end(&mut self, task: TaskId, finish: FinishId, joined: &[TaskId]) {
+        (**self).finish_end(task, finish, joined);
+    }
+    fn get(&mut self, waiter: TaskId, awaited: TaskId) {
+        (**self).get(waiter, awaited);
+    }
+    fn read(&mut self, task: TaskId, loc: LocId) {
+        (**self).read(task, loc);
+    }
+    fn write(&mut self, task: TaskId, loc: LocId) {
+        (**self).write(task, loc);
+    }
+    fn alloc(&mut self, base: LocId, n: u32, name: &str) {
+        (**self).alloc(base, n, name);
+    }
+}
+
 /// Monitor that ignores everything. Running the DSL under `NullMonitor`
 /// measures pure DSL overhead (used by the bench harness's sanity checks).
 #[derive(Clone, Copy, Debug, Default)]
@@ -307,6 +339,31 @@ mod tests {
         let mut copy = EventLog::new();
         replay(&original.events, &mut copy);
         assert_eq!(copy.events, original.events);
+    }
+
+    #[test]
+    fn mut_ref_monitor_forwards() {
+        // Drive a generic consumer with `M = &mut dyn Monitor` — the
+        // shape the benchsuite registry relies on.
+        fn drive<M: Monitor>(mon: &mut M) {
+            mon.write(TaskId(1), LocId(0));
+            mon.get(TaskId(2), TaskId(1));
+        }
+        let mut log = EventLog::new();
+        {
+            let mut dyn_ref: &mut dyn Monitor = &mut log;
+            drive(&mut dyn_ref);
+        }
+        assert_eq!(
+            log.events,
+            vec![
+                Event::Write(TaskId(1), LocId(0)),
+                Event::Get {
+                    waiter: TaskId(2),
+                    awaited: TaskId(1)
+                }
+            ]
+        );
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct Config {
     pub max_shrink_steps: u32,
     /// Base seed from which all case seeds are derived.
     pub seed: u64,
+    /// Human-readable suite name appended to the replay invocation in the
+    /// failure message (e.g. `cargo test -p futrace equivalence` or
+    /// `tracetool fuzz`), so the panic line is copy-pasteable as-is.
+    pub suite: Option<&'static str>,
 }
 
 impl Default for Config {
@@ -56,6 +60,7 @@ impl Default for Config {
             cases: 256,
             max_shrink_steps: 8192,
             seed: 0xF07_7ACE,
+            suite: None,
         }
     }
 }
@@ -66,6 +71,29 @@ impl Config {
         Config {
             cases,
             ..Config::default()
+        }
+    }
+
+    /// A config naming the suite whose invocation replays a failure
+    /// (other fields default).
+    pub fn named(suite: &'static str) -> Self {
+        Config {
+            suite: Some(suite),
+            ..Config::default()
+        }
+    }
+
+    /// Same config with `cases` cases.
+    pub fn cases(self, cases: u32) -> Self {
+        Config { cases, ..self }
+    }
+
+    /// The exact command line (environment variable plus suite invocation,
+    /// when known) that replays the failing case with this seed.
+    pub fn replay_invocation(&self, seed: u64) -> String {
+        match self.suite {
+            Some(suite) => format!("FUTRACE_PROPCHECK_SEED={seed:#x} {suite}"),
+            None => format!("FUTRACE_PROPCHECK_SEED={seed:#x}"),
         }
     }
 }
@@ -220,13 +248,13 @@ where
             "propcheck: property failed (case {}/{}, {} shrink steps)\n  \
              minimal counterexample: {:?}\n  \
              failure: {}\n  \
-             replay with: FUTRACE_PROPCHECK_SEED={:#x}",
+             replay with: {}",
             f.case + 1,
             config.cases,
             f.shrink_steps,
             f.repr,
             f.message,
-            f.seed,
+            config.replay_invocation(f.seed),
         );
     }
 }
@@ -603,6 +631,69 @@ mod tests {
         let repr = brackets.generate(&mut rng);
         let s = brackets.realize(&repr);
         assert!(max_depth(&s) >= 3, "replayed case must still fail");
+    }
+
+    #[test]
+    fn failure_message_contains_the_replay_invocation() {
+        // The panic message is an operator interface: it must carry the
+        // exact environment-variable invocation (with the suite name when
+        // configured) so a failure can be replayed by copy-paste.
+        let run = |cfg: Config| {
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                check(&cfg, &any_u64(), |v| assert!(v < 1000, "too big: {v}"));
+            }))
+            .expect_err("property must fail");
+            panic_message(payload)
+        };
+
+        let msg = run(Config::named("cargo test -p futrace-util propcheck").cases(64));
+        assert!(msg.starts_with("propcheck: property failed (case "), "{msg}");
+        assert!(msg.contains("/64, "), "case count of the config: {msg}");
+        assert!(msg.contains("minimal counterexample: 1000"), "{msg}");
+        assert!(msg.contains("failure: too big: "), "{msg}");
+        let replay_line = msg
+            .lines()
+            .find(|l| l.trim_start().starts_with("replay with: "))
+            .expect("replay line present");
+        assert!(
+            replay_line
+                .trim_start()
+                .strip_prefix("replay with: FUTRACE_PROPCHECK_SEED=0x")
+                .is_some_and(|rest| {
+                    rest.split_once(' ').is_some_and(|(seed, suite)| {
+                        u64::from_str_radix(seed, 16).is_ok()
+                            && suite == "cargo test -p futrace-util propcheck"
+                    })
+                }),
+            "replay line is `FUTRACE_PROPCHECK_SEED=<hex> <suite>`: {replay_line}"
+        );
+
+        // Without a suite name the invocation is just the env var.
+        let msg = run(Config::with_cases(64));
+        let replay_line = msg
+            .lines()
+            .find(|l| l.trim_start().starts_with("replay with: "))
+            .expect("replay line present");
+        let rest = replay_line
+            .trim_start()
+            .strip_prefix("replay with: FUTRACE_PROPCHECK_SEED=0x")
+            .expect("env var prefix");
+        assert!(
+            u64::from_str_radix(rest.trim(), 16).is_ok(),
+            "bare seed parses as hex: {replay_line}"
+        );
+    }
+
+    #[test]
+    fn replay_invocation_formats() {
+        assert_eq!(
+            Config::default().replay_invocation(0x2a),
+            "FUTRACE_PROPCHECK_SEED=0x2a"
+        );
+        assert_eq!(
+            Config::named("tracetool fuzz --programs 1").replay_invocation(7),
+            "FUTRACE_PROPCHECK_SEED=0x7 tracetool fuzz --programs 1"
+        );
     }
 
     #[test]

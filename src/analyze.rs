@@ -115,6 +115,10 @@ pub enum AnalyzeError {
     Trace(TraceError),
     /// The supervised pipeline could not complete the run.
     Supervise(String),
+    /// The builder options are inconsistent (e.g. zero shards or a zero
+    /// checkpoint interval) — reported before any work runs, never a
+    /// panic deep in a backend.
+    Config(String),
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -123,6 +127,7 @@ impl std::fmt::Display for AnalyzeError {
             AnalyzeError::Io(path, e) => write!(f, "cannot read trace {path}: {e}"),
             AnalyzeError::Trace(e) => write!(f, "invalid trace: {e}"),
             AnalyzeError::Supervise(e) => write!(f, "supervised run failed: {e}"),
+            AnalyzeError::Config(e) => write!(f, "invalid analysis options: {e}"),
         }
     }
 }
@@ -243,6 +248,17 @@ impl<'a> Analyze<'a> {
             fault_seed,
             lenient,
         } = self;
+        if shards == Some(0) {
+            return Err(AnalyzeError::Config(
+                "shards(0): the sharded backend needs at least one detect worker".to_string(),
+            ));
+        }
+        if checkpoint_every == Some(0) {
+            return Err(AnalyzeError::Config(
+                "checkpoint_every(0): the checkpoint interval must be at least one chunk"
+                    .to_string(),
+            ));
+        }
         let supervised = checkpoint_every.is_some() || fault_seed.is_some();
 
         // Resolve the source into a trace blob or an owned event list.
@@ -392,6 +408,17 @@ mod tests {
         let x2 = x.clone();
         let _f = ctx.future(move |ctx| x2.write(ctx, 1));
         let _ = x.read(ctx); // no get(): a race
+    }
+
+    #[test]
+    fn zero_shards_and_zero_checkpoint_are_config_errors() {
+        let err = Analyze::program(racy).shards(0).run().unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+        assert!(err.to_string().contains("shards(0)"));
+
+        let err = Analyze::program(racy).checkpoint_every(0).run().unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+        assert!(err.to_string().contains("checkpoint_every(0)"));
     }
 
     #[test]

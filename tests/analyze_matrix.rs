@@ -1,0 +1,125 @@
+//! Property test over the `Analyze` builder's option matrix: every
+//! combination of source (event slice, flat v1 blob, framed v2 blob),
+//! shard count, leniency, and supervision either reproduces the serial
+//! baseline's verdict exactly or fails up front with a structured
+//! [`AnalyzeError::Config`] — never a panic and never a silently
+//! different backend.
+
+use futrace::benchsuite::randomprog::{execute, generate, GenParams};
+use futrace::detector::DetectorConfig;
+use futrace::offline::StreamWriter;
+use futrace::runtime::{replay, run_serial, trace, Event, EventLog};
+use futrace::util::propcheck::{self, strategies, Config};
+use futrace::{Analyze, AnalyzeError};
+
+fn record(seed: u64) -> EventLog {
+    let prog = generate(seed, &GenParams::nontree_heavy());
+    let mut log = EventLog::new();
+    run_serial(&mut log, |ctx| {
+        execute(ctx, &prog);
+    });
+    log
+}
+
+/// Framed-v2 encoding with a small chunk size, so even short programs
+/// span several chunks and exercise the chunk-boundary paths.
+fn framed(events: &[Event], chunk_bytes: usize) -> Vec<u8> {
+    let mut w = StreamWriter::with_chunk_bytes(Vec::new(), chunk_bytes)
+        .expect("writing to a Vec cannot fail");
+    replay(events, &mut w);
+    w.finish().expect("writing to a Vec cannot fail").0
+}
+
+/// The three source forms, rebuilt per run because `Analyze` is a
+/// by-value builder.
+fn source<'a>(which: usize, events: &'a [Event], v1: &'a [u8], v2: &'a [u8]) -> Analyze<'a> {
+    match which {
+        0 => Analyze::events(events),
+        1 => Analyze::trace_bytes(v1),
+        _ => Analyze::trace_bytes(v2),
+    }
+}
+
+const SOURCES: [&str; 3] = ["events", "v1 blob", "v2 framed"];
+
+#[test]
+fn every_option_combination_matches_the_serial_verdict() {
+    let config = Config::named("cargo test --test analyze_matrix").cases(24);
+    propcheck::check(&config, &strategies::any_u64(), |seed| {
+        let log = record(seed);
+        let v1 = trace::encode(&log.events);
+        let v2 = framed(&log.events, 128);
+        let baseline = Analyze::events(&log.events).run().expect("serial baseline");
+
+        for (which, name) in SOURCES.iter().enumerate() {
+            for shards in [None, Some(1), Some(2), Some(4)] {
+                for lenient in [false, true] {
+                    let mut a = source(which, &log.events, &v1, &v2).lenient(lenient);
+                    if let Some(n) = shards {
+                        a = a.shards(n);
+                    }
+                    let out = a.run().unwrap_or_else(|e| {
+                        panic!("seed {seed} {name} shards {shards:?} lenient {lenient}: {e}")
+                    });
+                    assert_eq!(
+                        out.races.races, baseline.races.races,
+                        "seed {seed} {name} shards {shards:?} lenient {lenient}"
+                    );
+                    assert_eq!(
+                        out.races.total_detected, baseline.races.total_detected,
+                        "seed {seed} {name} shards {shards:?} lenient {lenient}"
+                    );
+                }
+            }
+
+            // Supervised (checkpointing) backend, same verdict.
+            let out = source(which, &log.events, &v1, &v2)
+                .shards(2)
+                .checkpoint_every(2)
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} {name} supervised: {e}"));
+            assert_eq!(out.races.races, baseline.races.races, "seed {seed} {name} supervised");
+
+            // A capped detector config changes how much is reported,
+            // never whether a race exists.
+            let out = source(which, &log.events, &v1, &v2)
+                .detector(DetectorConfig {
+                    first_race_only: true,
+                    ..DetectorConfig::default()
+                })
+                .run()
+                .unwrap_or_else(|e| panic!("seed {seed} {name} first-race: {e}"));
+            assert_eq!(out.has_races(), baseline.has_races(), "seed {seed} {name} first-race");
+        }
+    });
+}
+
+#[test]
+fn invalid_options_are_structured_errors_for_every_source() {
+    let log = record(7);
+    let v1 = trace::encode(&log.events);
+    let v2 = framed(&log.events, 128);
+
+    for (which, name) in SOURCES.iter().enumerate() {
+        let err = source(which, &log.events, &v1, &v2)
+            .shards(0)
+            .run()
+            .expect_err("shards(0) must not run");
+        assert!(matches!(err, AnalyzeError::Config(_)), "{name}: {err}");
+
+        let err = source(which, &log.events, &v1, &v2)
+            .checkpoint_every(0)
+            .run()
+            .expect_err("checkpoint_every(0) must not run");
+        assert!(matches!(err, AnalyzeError::Config(_)), "{name}: {err}");
+
+        // The error wins even when combined with otherwise-valid options.
+        let err = source(which, &log.events, &v1, &v2)
+            .shards(0)
+            .checkpoint_every(4)
+            .lenient(true)
+            .run()
+            .expect_err("shards(0) must not run supervised either");
+        assert!(matches!(err, AnalyzeError::Config(_)), "{name}: {err}");
+    }
+}
