@@ -20,6 +20,13 @@
 //! tracetool info /tmp/jacobi.trace
 //! tracetool verify /tmp/jacobi.trace
 //!
+//! # batch analysis over every .ftrc under a directory: per-trace ×
+//! # per-detector jobs on a DAG-scheduled worker pool, resume manifest,
+//! # aggregated agreement/drift/damage report (JSON + markdown):
+//! tracetool corpus DIR [--out DIR] [--detectors a,b,...] [--max-parallel N]
+//!     [--failure-policy continue|abort] [--shards N] [--supervised]
+//!     [--lenient] [--fresh] [--stop-after-jobs N]
+//!
 //! # differential fuzzing: generate future-heavy random programs, run all
 //! # registered detectors (serial + sharded), classify disagreements
 //! # against the expected-unsoundness notes, shrink anything unexpected:
@@ -31,12 +38,19 @@
 //! detected by `analyze` (`compare` always exits 0 when the trace reads
 //! cleanly — its product is the agreement report, not a verdict), 4
 //! unexpected detector disagreement found by `fuzz` (a minimized `.ftrc`
-//! reproducer is written to `--out-dir`).
+//! reproducer is written to `--out-dir`). `corpus` exits 0 when every
+//! trace is clean (or the run was suspended by `--stop-after-jobs` —
+//! resume to finish), 1 when any job failed / was poisoned / never
+//! completed or the run aborted, 3 when the reference detector found
+//! races in at least one trace. `tracetool help` prints the full table.
 
 use futrace_bench::detectors::{self, AnyReport, DETECTOR_NAMES};
 use futrace_bench::fuzzdiff;
-use futrace_bench::tracetool_cli::{self, AnalyzeArgs, Command, CompareArgs, FuzzArgs, RecordArgs};
+use futrace_bench::tracetool_cli::{
+    self, AnalyzeArgs, Command, CompareArgs, CorpusArgs, FuzzArgs, RecordArgs,
+};
 use futrace_benchsuite::randomprog::GenParams;
+use futrace_corpus::{run_corpus, CorpusError, CorpusOptions, FailurePolicy};
 use futrace_benchsuite::registry::{self, Scale};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
 use futrace_detector::RaceReport;
@@ -57,25 +71,58 @@ use std::time::Duration;
 /// without `--checkpoint-every`.
 const INJECT_CHECKPOINT_EVERY: u64 = 8;
 
+/// One source of truth for the usage text; `usage` sends it to stderr
+/// (exit 2), `help` to stdout (exit 0, with the exit-code table).
+const USAGE: &str = "\
+usage:
+  tracetool record --bench NAME --out FILE
+                   [--tiny|--scaled] [--planted]
+                   [--stream [--chunk-bytes N] [--inject SEED]]
+  tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]
+                   [--graph] [--dot FILE] [--inject SEED]
+                   [--checkpoint-every N] [--stop-after N --checkpoint FILE]
+                   [--resume FILE]
+  tracetool compare FILE [--detectors NAME,NAME,...] [--lenient]
+  tracetool info FILE
+  tracetool verify FILE
+  tracetool corpus DIR [--out DIR] [--detectors NAME,NAME,...]
+                   [--max-parallel N] [--failure-policy continue|abort]
+                   [--shards N] [--supervised] [--lenient] [--fresh]
+                   [--stop-after-jobs N]
+  tracetool fuzz [--programs N] [--seed S]
+                   [--gen nontree|future-heavy|default] [--out-dir DIR]
+                   [--time-budget-secs T] [--break-detector NAME]
+  tracetool help";
+
+const EXIT_CODES: &str = "\
+exit codes:
+  0  clean — no races, no damage; also a corpus run suspended by
+     --stop-after-jobs (rerun the same command to resume)
+  1  invalid or damaged trace; for corpus: any analyze/compare job
+     failed, was poisoned, or never completed, or the run aborted
+  2  usage error
+  3  determinacy races detected by analyze; for corpus: the reference
+     detector found races in at least one trace
+  4  fuzz found an unexpected detector disagreement (a minimized .ftrc
+     reproducer is written to --out-dir)";
+
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage:");
-    eprintln!("  tracetool record --bench NAME --out FILE");
-    eprintln!("                   [--tiny|--scaled] [--planted]");
-    eprintln!("                   [--stream [--chunk-bytes N] [--inject SEED]]");
-    eprintln!("  tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]");
-    eprintln!("                   [--graph] [--dot FILE] [--inject SEED]");
-    eprintln!("                   [--checkpoint-every N] [--stop-after N --checkpoint FILE]");
-    eprintln!("                   [--resume FILE]");
-    eprintln!("  tracetool compare FILE [--detectors NAME,NAME,...] [--lenient]");
-    eprintln!("  tracetool info FILE");
-    eprintln!("  tracetool verify FILE");
-    eprintln!("  tracetool fuzz [--programs N] [--seed S]");
-    eprintln!("                   [--gen nontree|future-heavy|default] [--out-dir DIR]");
-    eprintln!("                   [--time-budget-secs T] [--break-detector NAME]");
+    eprintln!("{USAGE}");
     eprintln!("benchmarks: {}", registry::names().join(", "));
     eprintln!("detectors: {}", DETECTOR_NAMES.join(", "));
     std::process::exit(2);
+}
+
+fn help() {
+    println!("tracetool — record and analyze futrace execution traces");
+    println!();
+    println!("{USAGE}");
+    println!();
+    println!("{EXIT_CODES}");
+    println!();
+    println!("benchmarks: {}", registry::names().join(", "));
+    println!("detectors: {}", DETECTOR_NAMES.join(", "));
 }
 
 /// Drives the selected benchmark against any monitor — an [`EventLog`]
@@ -210,6 +257,17 @@ fn read_trace_injected(file: &str, plan: &FaultPlan) -> Vec<u8> {
             eprintln!("cannot read {file}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// An empty trace (valid header, zero chunks/events) is not damage:
+/// every command states it explicitly and still reports clean. Printed
+/// right after the event count — i.e. before (outside) the verdict
+/// section CI diffs — and byte-identical across the serial, sharded,
+/// and supervised paths.
+fn note_if_empty(events: u64) {
+    if events == 0 {
+        println!("note: trace holds no events; verdict is trivially clean");
     }
 }
 
@@ -406,6 +464,7 @@ fn analyze_supervised(args: &AnalyzeArgs, blob: &[u8], faults: Option<&FaultPlan
         } => {
             let s = &stats;
             println!("{}: {} events", args.file, s.events);
+            note_if_empty(s.events);
             if s.skipped_chunks > 0 {
                 eprintln!("warning: skipped {} damaged chunk(s)", s.skipped_chunks);
             }
@@ -460,6 +519,7 @@ fn analyze(args: AnalyzeArgs) {
         let skipped = events.skipped_chunks();
         let s = &run.stats;
         println!("{}: {} events", args.file, s.events);
+        note_if_empty(s.events);
         if skipped > 0 {
             eprintln!("warning: skipped {skipped} damaged chunk(s)");
         }
@@ -477,6 +537,7 @@ fn analyze(args: AnalyzeArgs) {
     } else {
         let (events, skipped) = decode_all(&args.file, &blob, args.lenient);
         println!("{}: {} events", args.file, events.len());
+        note_if_empty(events.len() as u64);
         if skipped > 0 {
             eprintln!("warning: skipped {skipped} damaged chunk(s)");
         }
@@ -633,6 +694,7 @@ fn info(file: &str) {
         if damaged > 0 {
             std::process::exit(1);
         }
+        note_if_empty(events);
     } else {
         // v1 flat: the only structure is the event stream itself.
         let mut events = 0u64;
@@ -652,6 +714,7 @@ fn info(file: &str) {
             "bytes/event: {:.2}",
             blob.len() as f64 / events.max(1) as f64
         );
+        note_if_empty(events);
     }
 }
 
@@ -707,6 +770,7 @@ fn verify(file: &str) {
             std::process::exit(1);
         }
         println!("{file}: OK (v2, {events} events, {} bytes)", blob.len());
+        note_if_empty(events);
     } else {
         let mut events = 0u64;
         for item in trace_events(&blob, false) {
@@ -719,6 +783,7 @@ fn verify(file: &str) {
             }
         }
         println!("{file}: OK (v1, {events} events, {} bytes)", blob.len());
+        note_if_empty(events);
     }
 }
 
@@ -803,6 +868,75 @@ fn fuzz(args: FuzzArgs) {
     );
 }
 
+/// DAG-scheduled batch analysis over a directory of traces; exits with
+/// the corpus verdict ([`futrace_corpus::ExitVerdict`]).
+fn corpus(args: CorpusArgs) {
+    let out_dir = args.out.clone().unwrap_or_else(|| {
+        std::path::Path::new(&args.dir)
+            .join("corpus-out")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let mut opts = CorpusOptions::new(&out_dir);
+    opts.detectors = args.detectors;
+    opts.max_parallel = args.max_parallel;
+    opts.policy = if args.abort {
+        FailurePolicy::Abort
+    } else {
+        FailurePolicy::Continue
+    };
+    opts.shards = args.shards;
+    opts.supervised = args.supervised;
+    opts.lenient = args.lenient;
+    opts.fresh = args.fresh;
+    opts.stop_after_jobs = args.stop_after_jobs;
+
+    let outcome = match run_corpus(std::path::Path::new(&args.dir), &opts) {
+        Ok(o) => o,
+        Err(e @ CorpusError::Config(_)) => usage(&e.to_string()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "corpus {}: {} trace(s), {} job(s) ran, {} skipped via manifest",
+        args.dir, outcome.traces, outcome.jobs_ran, outcome.jobs_skipped
+    );
+    if outcome.suspended {
+        println!(
+            "suspended by --stop-after-jobs; rerun the same command (without \
+             --fresh) to resume from {out_dir}"
+        );
+        std::process::exit(0);
+    }
+    if outcome.aborted {
+        eprintln!("aborted on first failed job (--failure-policy abort)");
+    }
+    if let Some(rep) = &outcome.report {
+        let s = &rep.summary;
+        println!(
+            "verdicts ({} reference): {} clean ({} empty), {} racy, {} damaged, \
+             {} disagreeing",
+            rep.reference,
+            s.clean_traces,
+            s.empty_traces,
+            s.racy_traces,
+            s.damaged_traces,
+            s.disagreeing_traces
+        );
+        println!(
+            "analyze jobs: {} ok, {} failed, {} missing",
+            s.analyze_ok, s.analyze_failed, s.analyze_missing
+        );
+    }
+    if let (Some(json), Some(md)) = (&outcome.report_json, &outcome.report_md) {
+        println!("report: {} and {}", json.display(), md.display());
+    }
+    std::process::exit(outcome.exit.code());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match tracetool_cli::parse(&args) {
@@ -811,7 +945,9 @@ fn main() {
         Ok(Command::Compare(c)) => compare(c),
         Ok(Command::Info { file }) => info(&file),
         Ok(Command::Verify { file }) => verify(&file),
+        Ok(Command::Corpus(c)) => corpus(c),
         Ok(Command::Fuzz(f)) => fuzz(f),
+        Ok(Command::Help) => help(),
         Err(e) => usage(&e),
     }
 }

@@ -11,7 +11,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod detectors;
+// The named-detector registry moved to `futrace-corpus` (the corpus DAG
+// runs every detector, and `futrace-bench` sits above it); this re-export
+// keeps the long-standing `futrace_bench::detectors` path working.
+pub use futrace_corpus::detectors;
+
 pub mod fuzzdiff;
 pub mod runner;
 pub mod tracetool_cli;

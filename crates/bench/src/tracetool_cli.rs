@@ -33,6 +33,11 @@ pub enum Command {
     },
     /// `tracetool fuzz …`
     Fuzz(FuzzArgs),
+    /// `tracetool corpus DIR …`
+    Corpus(CorpusArgs),
+    /// `tracetool help` / `--help` / `-h`: print usage + exit-code table
+    /// to stdout and exit 0 (unlike a usage *error*, which exits 2).
+    Help,
 }
 
 /// Options for `tracetool record`.
@@ -121,6 +126,37 @@ pub struct FuzzArgs {
     /// Test-only fault injection: invert the named detector's verdict so
     /// the disagreement/shrink/repro pipeline can be exercised end to end.
     pub break_detector: Option<String>,
+}
+
+/// Options for `tracetool corpus` (DAG-scheduled batch analysis over a
+/// directory of traces; see `futrace_corpus`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusArgs {
+    /// Corpus root directory (every `*.ftrc` under it, recursively).
+    pub dir: String,
+    /// Output directory for the manifest and reports. Defaults to
+    /// `<dir>/corpus-out` in the binary when absent.
+    pub out: Option<String>,
+    /// Detectors to run per trace, in order (each valid and unique;
+    /// defaults to all of [`crate::detectors::DETECTOR_NAMES`]).
+    pub detectors: Vec<String>,
+    /// Worker-pool width (≥ 1; default 1).
+    pub max_parallel: usize,
+    /// `--failure-policy abort`: stop the whole run on the first failed
+    /// job instead of poisoning only its dependents.
+    pub abort: bool,
+    /// Shard count for shardable detectors' analyze jobs.
+    pub shards: Option<usize>,
+    /// Run shardable detectors under the fault-tolerant supervisor
+    /// (requires `--shards`).
+    pub supervised: bool,
+    /// Skip damaged framed chunks instead of failing the analyze job.
+    pub lenient: bool,
+    /// Discard any existing resume manifest and start over.
+    pub fresh: bool,
+    /// Suspend dispatch after N completed jobs (kill-midway hook for
+    /// resume testing; the run exits 0 and resumes on the next call).
+    pub stop_after_jobs: Option<u64>,
 }
 
 /// Options for `tracetool compare`.
@@ -418,6 +454,83 @@ fn parse_fuzz(args: &[String]) -> Result<FuzzArgs, String> {
     })
 }
 
+fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
+    let mut dir = None;
+    let mut out = None;
+    let mut detectors: Vec<String> = Vec::new();
+    let mut max_parallel: usize = 1;
+    let mut abort = false;
+    let mut shards = None;
+    let mut supervised = false;
+    let mut lenient = false;
+    let mut fresh = false;
+    let mut stop_after_jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out = Some(value(args, &mut i, "--out")?.to_string()),
+            "--detector" => {
+                detectors.push(validate_detector(value(args, &mut i, "--detector")?)?)
+            }
+            "--detectors" => {
+                for name in value(args, &mut i, "--detectors")?.split(',') {
+                    detectors.push(validate_detector(name.trim())?);
+                }
+            }
+            "--max-parallel" => {
+                let n = parse_positive_u64(args, &mut i, "--max-parallel")?;
+                max_parallel = usize::try_from(n)
+                    .map_err(|_| format!("--max-parallel: `{n}` exceeds the usize range"))?;
+            }
+            "--failure-policy" => match value(args, &mut i, "--failure-policy")? {
+                "continue" => abort = false,
+                "abort" => abort = true,
+                other => {
+                    return Err(format!(
+                        "--failure-policy: unknown policy `{other}` (expected continue or abort)"
+                    ))
+                }
+            },
+            "--shards" => shards = Some(parse_shards(args, &mut i)?),
+            "--supervised" => supervised = true,
+            "--lenient" => lenient = true,
+            "--fresh" => fresh = true,
+            "--stop-after-jobs" => {
+                stop_after_jobs = Some(parse_positive_u64(args, &mut i, "--stop-after-jobs")?)
+            }
+            d if !d.starts_with('-') && dir.is_none() => dir = Some(d.to_string()),
+            other => return Err(format!("corpus: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if supervised && shards.is_none() {
+        return Err("--supervised needs --shards N (it is sharding plus recovery)".into());
+    }
+    if detectors.is_empty() {
+        detectors = DETECTOR_NAMES.iter().map(|s| s.to_string()).collect();
+    } else {
+        let mut seen = Vec::new();
+        for d in &detectors {
+            if seen.contains(d) {
+                return Err(format!("corpus: detector `{d}` listed twice"));
+            }
+            seen.push(d.clone());
+        }
+    }
+    Ok(CorpusArgs {
+        dir: dir.ok_or("corpus: a corpus directory is required")?,
+        out,
+        detectors,
+        max_parallel,
+        abort,
+        shards,
+        supervised,
+        lenient,
+        fresh,
+        stop_after_jobs,
+    })
+}
+
 fn parse_single_file(sub: &str, args: &[String]) -> Result<String, String> {
     match args {
         [f] if !f.starts_with('-') => Ok(f.clone()),
@@ -436,6 +549,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "info" => parse_single_file("info", rest).map(|file| Command::Info { file }),
             "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
             "fuzz" => parse_fuzz(rest).map(Command::Fuzz),
+            "corpus" => parse_corpus(rest).map(Command::Corpus),
+            "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown subcommand `{other}`")),
         },
         None => Err("a subcommand is required".into()),
@@ -727,6 +842,67 @@ mod tests {
         assert!(err.contains("supervised"), "{err}");
         let err = parse(&argv("analyze t --graph --resume c.ckpt")).unwrap_err();
         assert!(err.contains("serial"), "{err}");
+    }
+
+    #[test]
+    fn corpus_defaults() {
+        let Command::Corpus(c) = parse(&argv("corpus traces/")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.dir, "traces/");
+        assert!(c.out.is_none());
+        assert_eq!(c.detectors, DETECTOR_NAMES);
+        assert_eq!(c.max_parallel, 1);
+        assert!(!c.abort && !c.supervised && !c.lenient && !c.fresh);
+        assert!(c.shards.is_none() && c.stop_after_jobs.is_none());
+    }
+
+    #[test]
+    fn corpus_full_flag_set() {
+        let Command::Corpus(c) = parse(&argv(
+            "corpus traces --out run1 --detectors dtrg,vc --max-parallel 4 \
+             --failure-policy abort --shards 2 --supervised --lenient --fresh \
+             --stop-after-jobs 9",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.dir, "traces");
+        assert_eq!(c.out.as_deref(), Some("run1"));
+        assert_eq!(c.detectors, ["dtrg", "vc"]);
+        assert_eq!(c.max_parallel, 4);
+        assert!(c.abort && c.supervised && c.lenient && c.fresh);
+        assert_eq!(c.shards, Some(2));
+        assert_eq!(c.stop_after_jobs, Some(9));
+    }
+
+    #[test]
+    fn corpus_validation_errors() {
+        assert!(parse(&argv("corpus")).unwrap_err().contains("required"));
+        let err = parse(&argv("corpus d --max-parallel 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("corpus d --failure-policy sometimes")).unwrap_err();
+        assert!(err.contains("unknown policy `sometimes`"), "{err}");
+        assert!(err.contains("continue or abort"), "{err}");
+        let err = parse(&argv("corpus d --detectors dtrg,dtrg")).unwrap_err();
+        assert!(err.contains("listed twice"), "{err}");
+        let err = parse(&argv("corpus d --detectors dtrg,bogus")).unwrap_err();
+        assert!(err.contains("unknown detector `bogus`"), "{err}");
+        let err = parse(&argv("corpus d --supervised")).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = parse(&argv("corpus d --shards 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("corpus d --stop-after-jobs 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("corpus d --frobnicate")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn help_is_a_command_not_an_error() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse(&argv(h)).unwrap(), Command::Help, "{h}");
+        }
     }
 
     #[test]

@@ -1,0 +1,593 @@
+//! Generic job DAG and its std-only worker-pool executor.
+//!
+//! The corpus driver models a batch run as a dependency DAG: per-trace
+//! analyze jobs feed a per-trace compare job, and everything feeds one
+//! final aggregate job. This module is the schedule layer underneath —
+//! it knows nothing about traces, only job ids, dependency edges, and a
+//! user-supplied runner closure.
+//!
+//! Scheduling rules (DESIGN §S41):
+//!
+//! * at most `max_parallel` jobs run concurrently; among ready jobs the
+//!   lowest id dispatches first, so a `--max-parallel 1` run executes in
+//!   one canonical order;
+//! * a failed job **poisons** its transitive dependents (they settle
+//!   without running); under [`FailurePolicy::Continue`] nothing else is
+//!   affected, under [`FailurePolicy::Abort`] all not-yet-running jobs
+//!   are cancelled;
+//! * a **barrier** job (the aggregate) waits until every dependency has
+//!   settled — succeeded, failed, poisoned, or cancelled — and then runs
+//!   regardless, so the final report exists even for a damaged corpus;
+//! * `stop_after_jobs: Some(n)` suspends dispatch after `n` runner
+//!   completions (the kill-midway hook for resume tests); jobs never
+//!   dispatched settle as [`JobStatus::NotReached`].
+//!
+//! Acyclicity is by construction: [`Dag::add`] only accepts already-added
+//! jobs as dependencies, so edges always point backwards in id order.
+
+#![warn(missing_docs)]
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Index of a job within its [`Dag`] (dense, in insertion order).
+pub type JobId = usize;
+
+/// What to do with the rest of the corpus when a job fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Poison the failed job's dependents; keep running everything else.
+    Continue,
+    /// Stop dispatching: running jobs drain, every other unsettled
+    /// non-barrier job settles [`JobStatus::Cancelled`]. Barriers still
+    /// run so the report can record the abort.
+    Abort,
+}
+
+/// Terminal state of one job after [`execute`] returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The runner returned `Ok`, or the job was pre-settled as complete
+    /// (resume skip).
+    Ok,
+    /// The runner returned `Err(message)`, or the job was pre-settled as
+    /// failed by a resume manifest.
+    Failed(String),
+    /// Never ran: a (transitive) dependency failed.
+    Poisoned {
+        /// The dependency whose failure propagated here.
+        failed_dep: JobId,
+    },
+    /// Never ran: the run aborted under [`FailurePolicy::Abort`].
+    Cancelled,
+    /// Never ran: dispatch suspended first (`stop_after_jobs`).
+    NotReached,
+}
+
+impl JobStatus {
+    /// True for [`JobStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, JobStatus::Ok)
+    }
+}
+
+struct Node {
+    label: String,
+    deps: Vec<JobId>,
+    dependents: Vec<JobId>,
+    barrier: bool,
+}
+
+/// A dependency DAG of labelled jobs. Build with [`Dag::add`] /
+/// [`Dag::add_barrier`], run with [`execute`].
+#[derive(Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+}
+
+impl Dag {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no jobs have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label given at add time.
+    pub fn label(&self, id: JobId) -> &str {
+        &self.nodes[id].label
+    }
+
+    fn push(&mut self, label: impl Into<String>, deps: &[JobId], barrier: bool) -> JobId {
+        let id = self.nodes.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} of job {id} must be added first");
+            self.nodes[d].dependents.push(id);
+        }
+        self.nodes.push(Node {
+            label: label.into(),
+            deps: deps.to_vec(),
+            dependents: Vec::new(),
+            barrier,
+        });
+        id
+    }
+
+    /// Adds a normal job. All `deps` must already be in the DAG (this is
+    /// what makes cycles unrepresentable).
+    pub fn add(&mut self, label: impl Into<String>, deps: &[JobId]) -> JobId {
+        self.push(label, deps, false)
+    }
+
+    /// Adds a barrier job: it becomes ready only once **all** its deps
+    /// have settled, and then runs whatever their outcomes were.
+    pub fn add_barrier(&mut self, label: impl Into<String>, deps: &[JobId]) -> JobId {
+        self.push(label, deps, true)
+    }
+}
+
+/// Execution parameters for [`execute`].
+#[derive(Clone, Debug)]
+pub struct ExecPlan {
+    /// Worker-pool width (≥ 1).
+    pub max_parallel: usize,
+    /// Failure policy (continue vs abort).
+    pub policy: FailurePolicy,
+    /// Suspend dispatch after this many runner completions (resume-test
+    /// hook). `None` runs to completion.
+    pub stop_after_jobs: Option<u64>,
+}
+
+impl Default for ExecPlan {
+    fn default() -> Self {
+        ExecPlan {
+            max_parallel: 1,
+            policy: FailurePolicy::Continue,
+            stop_after_jobs: None,
+        }
+    }
+}
+
+/// Outcome of one [`execute`] call.
+#[derive(Clone, Debug)]
+pub struct DagRun {
+    /// Terminal status per job, indexed by [`JobId`].
+    pub status: Vec<JobStatus>,
+    /// Jobs whose runner actually ran this call.
+    pub ran: u64,
+    /// Jobs settled from `preset` without running (resume skips).
+    pub skipped: u64,
+    /// True iff a fresh failure triggered [`FailurePolicy::Abort`].
+    pub aborted: bool,
+    /// True iff `stop_after_jobs` suspended dispatch.
+    pub suspended: bool,
+}
+
+impl DagRun {
+    /// True iff any job settled [`JobStatus::Failed`] or
+    /// [`JobStatus::Poisoned`] (preset failures included).
+    pub fn any_failed(&self) -> bool {
+        self.status
+            .iter()
+            .any(|s| matches!(s, JobStatus::Failed(_) | JobStatus::Poisoned { .. }))
+    }
+}
+
+enum Slot {
+    Waiting { deps_left: usize },
+    Ready,
+    Running,
+    Settled(JobStatus),
+}
+
+struct ExecState {
+    slots: Vec<Slot>,
+    ready: BinaryHeap<std::cmp::Reverse<JobId>>,
+    settled: usize,
+    ran: u64,
+    skipped: u64,
+    aborting: bool,
+    suspended: bool,
+    fresh_preset: Vec<Option<JobStatus>>,
+}
+
+/// Runs the DAG on a pool of `plan.max_parallel` scoped threads.
+///
+/// `preset[id] = Some(status)` settles job `id` up front without running
+/// it — the resume path: jobs recorded complete (or failed) by a prior
+/// run's manifest are injected here, and their poison still propagates.
+/// Preset failures do **not** trigger the abort policy (the previous run
+/// already reacted to them); only fresh runner failures do.
+///
+/// `runner` is called concurrently from pool threads and must be `Sync`.
+///
+/// # Panics
+///
+/// Panics if `plan.max_parallel == 0` or `preset.len() != dag.len()`.
+pub fn execute<F>(dag: &Dag, plan: &ExecPlan, preset: Vec<Option<JobStatus>>, runner: F) -> DagRun
+where
+    F: Fn(JobId) -> Result<(), String> + Sync,
+{
+    assert!(plan.max_parallel >= 1, "max_parallel must be >= 1");
+    assert_eq!(preset.len(), dag.len(), "one preset slot per job");
+
+    let shared = Shared {
+        state: Mutex::new(ExecState {
+            slots: dag
+                .nodes
+                .iter()
+                .map(|n| Slot::Waiting {
+                    deps_left: n.deps.len(),
+                })
+                .collect(),
+            ready: BinaryHeap::new(),
+            settled: 0,
+            ran: 0,
+            skipped: 0,
+            aborting: false,
+            suspended: false,
+            fresh_preset: preset,
+        }),
+        cv: Condvar::new(),
+    };
+
+    {
+        let mut st = shared.state.lock().unwrap();
+        // Settle presets first (in id order), then promote remaining
+        // zero-dep jobs to ready.
+        for id in 0..dag.len() {
+            if let Some(status) = st.fresh_preset[id].take() {
+                st.skipped += 1;
+                settle(dag, &mut st, id, status);
+            }
+        }
+        for id in 0..dag.len() {
+            if matches!(st.slots[id], Slot::Waiting { deps_left: 0 }) {
+                st.slots[id] = Slot::Ready;
+                st.ready.push(std::cmp::Reverse(id));
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..plan.max_parallel {
+            scope.spawn(|| worker(dag, plan, &shared, &runner));
+        }
+    });
+
+    let st = shared.state.lock().unwrap();
+    let status = st
+        .slots
+        .iter()
+        .map(|s| match s {
+            Slot::Settled(js) => js.clone(),
+            _ => unreachable!("all jobs settle before the pool drains"),
+        })
+        .collect();
+    DagRun {
+        status,
+        ran: st.ran,
+        skipped: st.skipped,
+        aborted: st.aborting,
+        suspended: st.suspended,
+    }
+}
+
+struct Shared {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+fn worker<F>(dag: &Dag, plan: &ExecPlan, shared: &Shared, runner: &F)
+where
+    F: Fn(JobId) -> Result<(), String> + Sync,
+{
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.settled == dag.len() {
+            shared.cv.notify_all();
+            return;
+        }
+        if let Some(std::cmp::Reverse(id)) = st.ready.pop() {
+            // A heap entry can go stale: a job promoted to Ready by one
+            // dependency cascade may since have been settled by a preset
+            // or a cancellation. Skip it rather than re-running it.
+            if !matches!(st.slots[id], Slot::Ready) {
+                continue;
+            }
+            st.slots[id] = Slot::Running;
+            drop(st);
+            let result = runner(id);
+            st = shared.state.lock().unwrap();
+            st.ran += 1;
+            let status = match result {
+                Ok(()) => JobStatus::Ok,
+                Err(msg) => JobStatus::Failed(msg),
+            };
+            let failed = !status.is_ok();
+            settle(dag, &mut st, id, status);
+            if failed && plan.policy == FailurePolicy::Abort && !st.aborting {
+                st.aborting = true;
+                cancel_unstarted(dag, &mut st);
+            }
+            if let Some(n) = plan.stop_after_jobs {
+                if st.ran >= n && !st.suspended && st.settled < dag.len() {
+                    st.suspended = true;
+                    suspend_unstarted(&mut st);
+                }
+            }
+            shared.cv.notify_all();
+            continue;
+        }
+        // Nothing ready: either every remaining job is running in another
+        // worker, or we're waiting on dependency settlement.
+        st = shared.cv.wait(st).unwrap();
+    }
+}
+
+/// Marks `id` settled and propagates readiness/poison to dependents.
+fn settle(dag: &Dag, st: &mut ExecState, id: JobId, status: JobStatus) {
+    debug_assert!(!matches!(st.slots[id], Slot::Settled(_)));
+    st.slots[id] = Slot::Settled(status);
+    st.settled += 1;
+    // Iterative DFS over dependents: settling one job may cascade
+    // (poison chains through an entire per-trace subtree).
+    let mut stack = vec![id];
+    while let Some(done) = stack.pop() {
+        // Status of the job that just settled (what propagates to its
+        // dependents).
+        let done_status = match &st.slots[done] {
+            Slot::Settled(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        for &dep_id in &dag.nodes[done].dependents {
+            let deps_left = match &mut st.slots[dep_id] {
+                Slot::Waiting { deps_left } => {
+                    *deps_left -= 1;
+                    *deps_left
+                }
+                _ => continue,
+            };
+            if dag.nodes[dep_id].barrier {
+                // Barriers only care that everything settled, not how.
+                if deps_left == 0 {
+                    st.slots[dep_id] = Slot::Ready;
+                    st.ready.push(std::cmp::Reverse(dep_id));
+                }
+                continue;
+            }
+            // A normal job inspects the dep that just settled: failure or
+            // poison propagates immediately; cancellation propagates as
+            // cancellation.
+            match &done_status {
+                JobStatus::Ok => {
+                    if deps_left == 0 {
+                        st.slots[dep_id] = Slot::Ready;
+                        st.ready.push(std::cmp::Reverse(dep_id));
+                    }
+                }
+                JobStatus::Failed(_) => {
+                    st.slots[dep_id] = Slot::Settled(JobStatus::Poisoned { failed_dep: done });
+                    st.settled += 1;
+                    stack.push(dep_id);
+                }
+                JobStatus::Poisoned { failed_dep } => {
+                    let origin = *failed_dep;
+                    st.slots[dep_id] = Slot::Settled(JobStatus::Poisoned { failed_dep: origin });
+                    st.settled += 1;
+                    stack.push(dep_id);
+                }
+                JobStatus::Cancelled | JobStatus::NotReached => {
+                    st.slots[dep_id] = Slot::Settled(done_status.clone());
+                    st.settled += 1;
+                    stack.push(dep_id);
+                }
+            }
+        }
+    }
+}
+
+/// Abort path: every waiting/ready non-barrier job settles `Cancelled`.
+/// Running jobs drain; barriers stay live so the aggregate still fires.
+fn cancel_unstarted(dag: &Dag, st: &mut ExecState) {
+    for id in 0..dag.nodes.len() {
+        if dag.nodes[id].barrier {
+            continue;
+        }
+        if matches!(st.slots[id], Slot::Waiting { .. } | Slot::Ready) {
+            settle(dag, st, id, JobStatus::Cancelled);
+        }
+    }
+    // The cancelled ids may still sit in the ready heap; rebuild it with
+    // only live (still-Ready) entries so workers never pop a settled job.
+    let mut heap = std::mem::take(&mut st.ready);
+    let live: Vec<_> = heap
+        .drain()
+        .filter(|std::cmp::Reverse(id)| matches!(st.slots[*id], Slot::Ready))
+        .collect();
+    st.ready.extend(live);
+}
+
+/// Suspend path: everything not yet running settles `NotReached`,
+/// barriers included — a partial run writes no aggregate report.
+fn suspend_unstarted(st: &mut ExecState) {
+    for slot in &mut st.slots {
+        if matches!(*slot, Slot::Waiting { .. } | Slot::Ready) {
+            *slot = Slot::Settled(JobStatus::NotReached);
+            st.settled += 1;
+        }
+    }
+    st.ready.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    fn diamond() -> (Dag, JobId, JobId, JobId, JobId) {
+        let mut dag = Dag::new();
+        let a = dag.add("a", &[]);
+        let b = dag.add("b", &[a]);
+        let c = dag.add("c", &[a]);
+        let d = dag.add("d", &[b, c]);
+        (dag, a, b, c, d)
+    }
+
+    #[test]
+    fn serial_execution_runs_in_id_order() {
+        let (dag, ..) = diamond();
+        let order = StdMutex::new(Vec::new());
+        let run = execute(&dag, &ExecPlan::default(), vec![None; 4], |id| {
+            order.lock().unwrap().push(id);
+            Ok(())
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(run.ran, 4);
+        assert!(run.status.iter().all(JobStatus::is_ok));
+        assert!(!run.aborted && !run.suspended);
+    }
+
+    #[test]
+    fn parallelism_never_exceeds_cap_and_all_jobs_run() {
+        let mut dag = Dag::new();
+        let roots: Vec<_> = (0..20).map(|i| dag.add(format!("r{i}"), &[])).collect();
+        let ids: Vec<_> = roots.iter().map(|&r| dag.add("child", &[r])).collect();
+        let _tail = dag.add("tail", &ids);
+        let live = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let plan = ExecPlan {
+            max_parallel: 3,
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; dag.len()], |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            live.fetch_sub(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert_eq!(run.ran, 41);
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn failure_poisons_transitive_dependents_only() {
+        let (dag, a, b, c, d) = diamond();
+        let run = execute(&dag, &ExecPlan::default(), vec![None; 4], |id| {
+            if id == b {
+                Err("boom".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(run.status[a], JobStatus::Ok);
+        assert_eq!(run.status[b], JobStatus::Failed("boom".into()));
+        assert_eq!(run.status[c], JobStatus::Ok, "sibling unaffected");
+        assert_eq!(run.status[d], JobStatus::Poisoned { failed_dep: b });
+        assert_eq!(run.ran, 3, "d never ran");
+        assert!(run.any_failed());
+        assert!(!run.aborted);
+    }
+
+    #[test]
+    fn barrier_runs_even_when_deps_fail() {
+        let mut dag = Dag::new();
+        let a = dag.add("a", &[]);
+        let b = dag.add("b", &[]);
+        let bar = dag.add_barrier("bar", &[a, b]);
+        let run = execute(&dag, &ExecPlan::default(), vec![None; 3], |id| {
+            if id == a {
+                Err("x".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(run.status[bar], JobStatus::Ok, "barrier tolerant of failed deps");
+        assert_eq!(run.ran, 3);
+    }
+
+    #[test]
+    fn abort_cancels_unstarted_but_barrier_still_fires() {
+        // Serial + abort: job 0 fails, 1..=3 cancel, barrier still runs.
+        let mut dag = Dag::new();
+        let a = dag.add("a", &[]);
+        let others: Vec<_> = (0..3).map(|i| dag.add(format!("o{i}"), &[])).collect();
+        let mut all = vec![a];
+        all.extend(&others);
+        let bar = dag.add_barrier("bar", &all);
+        let plan = ExecPlan {
+            policy: FailurePolicy::Abort,
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; dag.len()], |id| {
+            if id == a {
+                Err("fatal".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(run.aborted);
+        for &o in &others {
+            assert_eq!(run.status[o], JobStatus::Cancelled);
+        }
+        assert_eq!(run.status[bar], JobStatus::Ok);
+        assert_eq!(run.ran, 2, "failing job + barrier");
+    }
+
+    #[test]
+    fn preset_failures_propagate_poison_without_running_or_aborting() {
+        let (dag, a, b, c, d) = diamond();
+        let mut preset = vec![None; 4];
+        preset[a] = Some(JobStatus::Ok);
+        preset[b] = Some(JobStatus::Failed("from manifest".into()));
+        let plan = ExecPlan {
+            policy: FailurePolicy::Abort,
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, preset, |id| {
+            assert_eq!(id, c, "only c actually runs");
+            Ok(())
+        });
+        assert_eq!(run.ran, 1);
+        assert_eq!(run.skipped, 2);
+        assert_eq!(run.status[d], JobStatus::Poisoned { failed_dep: b });
+        assert!(!run.aborted, "preset failures never trigger abort");
+    }
+
+    #[test]
+    fn stop_after_jobs_suspends_and_marks_not_reached() {
+        let mut dag = Dag::new();
+        let ids: Vec<_> = (0..6).map(|i| dag.add(format!("j{i}"), &[])).collect();
+        let bar = dag.add_barrier("bar", &ids);
+        let plan = ExecPlan {
+            stop_after_jobs: Some(2),
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; dag.len()], |_| Ok(()));
+        assert!(run.suspended);
+        assert_eq!(run.ran, 2);
+        assert_eq!(run.status[ids[0]], JobStatus::Ok);
+        assert_eq!(run.status[ids[1]], JobStatus::Ok);
+        for &id in &ids[2..] {
+            assert_eq!(run.status[id], JobStatus::NotReached);
+        }
+        assert_eq!(run.status[bar], JobStatus::NotReached, "no report on suspend");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added first")]
+    fn forward_dependency_is_rejected() {
+        let mut dag = Dag::new();
+        dag.add("bad", &[5]);
+    }
+}

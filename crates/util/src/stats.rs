@@ -140,6 +140,67 @@ impl Timer {
     }
 }
 
+/// Nearest-rank percentile over an already **sorted ascending** slice.
+///
+/// For `p` in `(0, 100]` the rank is `ceil(p * n / 100)` (1-indexed), so
+/// the result is always an actual sample — never an interpolated value —
+/// which keeps aggregate reports byte-deterministic. `p = 0` is clamped
+/// to the first sample. Returns `None` on an empty slice.
+///
+/// Deterministic on ties by construction: equal samples are
+/// indistinguishable, so any stable or unstable sort yields the same
+/// value at every rank.
+///
+/// # Panics
+///
+/// Panics if `p > 100`.
+pub fn nearest_rank<T: Copy>(sorted: &[T], p: u32) -> Option<T> {
+    assert!(p <= 100, "percentile must be in 0..=100, got {p}");
+    let n = sorted.len();
+    if n == 0 {
+        return None;
+    }
+    // ceil(p * n / 100) without floats: exact for every n, p that fits.
+    let rank = ((p as u128 * n as u128).div_ceil(100)).max(1) as usize;
+    Some(sorted[rank - 1])
+}
+
+/// The p50/p90/p99 summary the corpus aggregate report uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles<T> {
+    /// Median (nearest-rank).
+    pub p50: T,
+    /// 90th percentile (nearest-rank).
+    pub p90: T,
+    /// 99th percentile (nearest-rank).
+    pub p99: T,
+}
+
+/// p50/p90/p99 of integer samples (sorted internally; input order is
+/// irrelevant to the result). Returns `None` on an empty slice.
+pub fn percentiles_u64(samples: &[u64]) -> Option<Percentiles<u64>> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(Percentiles {
+        p50: nearest_rank(&sorted, 50)?,
+        p90: nearest_rank(&sorted, 90)?,
+        p99: nearest_rank(&sorted, 99)?,
+    })
+}
+
+/// p50/p90/p99 of float samples, totally ordered via [`f64::total_cmp`]
+/// (NaNs sort last rather than poisoning the sort). Returns `None` on an
+/// empty slice.
+pub fn percentiles_f64(samples: &[f64]) -> Option<Percentiles<f64>> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    Some(Percentiles {
+        p50: nearest_rank(&sorted, 50)?,
+        p90: nearest_rank(&sorted, 90)?,
+        p99: nearest_rank(&sorted, 99)?,
+    })
+}
+
 /// Runs `f` a total of `reps` times and returns the mean wall-clock
 /// milliseconds, mirroring the paper's "mean execution time of 10 runs
 /// repeated in the same JVM instance".
@@ -220,6 +281,66 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 2);
         assert!((empty.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_rank_matches_hand_computed_ranks() {
+        // n = 5: rank(p) = ceil(5p/100) → p50→3rd, p90→5th, p99→5th.
+        let sorted = [10u64, 20, 30, 40, 50];
+        assert_eq!(nearest_rank(&sorted, 50), Some(30));
+        assert_eq!(nearest_rank(&sorted, 90), Some(50));
+        assert_eq!(nearest_rank(&sorted, 99), Some(50));
+        assert_eq!(nearest_rank(&sorted, 100), Some(50));
+        // p=0 clamps to the first sample instead of rank 0.
+        assert_eq!(nearest_rank(&sorted, 0), Some(10));
+        // Boundary exactness: p20 of 5 samples is exactly the 1st.
+        assert_eq!(nearest_rank(&sorted, 20), Some(10));
+        assert_eq!(nearest_rank(&sorted, 21), Some(20));
+    }
+
+    #[test]
+    fn nearest_rank_single_sample_and_empty() {
+        assert_eq!(nearest_rank(&[7u64], 50), Some(7));
+        assert_eq!(nearest_rank(&[7u64], 99), Some(7));
+        assert_eq!(nearest_rank::<u64>(&[], 50), None);
+        assert!(percentiles_u64(&[]).is_none());
+        assert!(percentiles_f64(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_are_actual_samples_and_order_independent() {
+        let fwd: Vec<u64> = (1..=100).collect();
+        let rev: Vec<u64> = (1..=100).rev().collect();
+        let p = percentiles_u64(&fwd).unwrap();
+        assert_eq!(p, percentiles_u64(&rev).unwrap());
+        assert_eq!((p.p50, p.p90, p.p99), (50, 90, 99));
+        assert!(fwd.contains(&p.p50) && fwd.contains(&p.p90) && fwd.contains(&p.p99));
+    }
+
+    #[test]
+    fn percentiles_deterministic_on_ties() {
+        // All-equal samples: every rank returns the same value no matter
+        // how the sort permutes them.
+        let samples = [4u64; 17];
+        let p = percentiles_u64(&samples).unwrap();
+        assert_eq!((p.p50, p.p90, p.p99), (4, 4, 4));
+        let f = percentiles_f64(&[2.5; 9]).unwrap();
+        assert_eq!((f.p50, f.p90, f.p99), (2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn float_percentiles_use_total_order() {
+        let samples = [3.0, 1.0, f64::NAN, 2.0];
+        let p = percentiles_f64(&samples).unwrap();
+        // NaN sorts last under total_cmp, so the median of 4 is the 2nd.
+        assert_eq!(p.p50, 2.0);
+        assert!(p.p99.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in 0..=100")]
+    fn nearest_rank_rejects_out_of_range_p() {
+        let _ = nearest_rank(&[1u64], 101);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   Smith-Waterman, Strassen) and random-program generators.
 //! * [`offline`] — framed streaming trace format (v2) and the sharded
 //!   offline detection pipeline (serial-identical verdicts on N workers).
+//! * [`corpus`] — fleet-scale batch analysis: DAG-scheduled corpus runs
+//!   over directories of traces, with resume manifests and an aggregated
+//!   agreement report (plus the named-detector registry).
 //! * [`util`] — union-find, interval labels, hashing, stats.
 //!
 //! ```
@@ -50,6 +53,7 @@ pub use analyze::{AnalysisOutcome, Analyze, AnalyzeError};
 pub use futrace_baselines as baselines;
 pub use futrace_benchsuite as benchsuite;
 pub use futrace_compgraph as compgraph;
+pub use futrace_corpus as corpus;
 pub use futrace_detector as detector;
 pub use futrace_offline as offline;
 pub use futrace_runtime as runtime;
