@@ -32,6 +32,15 @@
 //! # against the expected-unsoundness notes, shrink anything unexpected:
 //! tracetool fuzz [--programs N] [--seed S] [--gen nontree|future-heavy|default]
 //!     [--out-dir DIR] [--time-budget-secs T] [--break-detector NAME]
+//!
+//! # analysis daemon: stream traces over TCP in framed chunks, one
+//! # incremental session per connection; graceful drain suspends
+//! # in-flight sessions to FCKP checkpoints and --resume reopens them:
+//! tracetool serve --listen 127.0.0.1:0 [--workers N] [--queue-depth N]
+//!     [--checkpoint-dir DIR] [--resume]
+//! tracetool client HOST:PORT /tmp/jacobi.trace [--shards N]
+//!     [--checkpoint-every N] [--chunk-events N] [--suspend-after N]
+//! tracetool client HOST:PORT --shutdown
 //! ```
 //!
 //! Exit codes: 0 clean, 1 invalid/damaged trace, 2 usage error, 3 races
@@ -47,7 +56,8 @@
 use futrace_bench::detectors::{self, AnyReport, DETECTOR_NAMES};
 use futrace_bench::fuzzdiff;
 use futrace_bench::tracetool_cli::{
-    self, AnalyzeArgs, Command, CompareArgs, CorpusArgs, FuzzArgs, RecordArgs,
+    self, AnalyzeArgs, ClientArgs, Command, CompareArgs, CorpusArgs, FuzzArgs, RecordArgs,
+    ServeArgs,
 };
 use futrace_benchsuite::randomprog::GenParams;
 use futrace_corpus::{run_corpus, CorpusError, CorpusOptions, FailurePolicy};
@@ -61,6 +71,7 @@ use futrace_offline::{
 };
 use futrace_runtime::engine::{run_analysis_recorded, AnalysisOutcome, EngineCounters};
 use futrace_runtime::{trace, Event, EventLog, Monitor};
+use futrace_service::{ClientOptions, ClientOutcome, ServeOptions, Server};
 use futrace_util::faultinject::{
     read_to_end_with_retry, Backoff, FaultPlan, FaultyReader, FaultyWriter, IoFaultStats,
 };
@@ -88,10 +99,16 @@ usage:
   tracetool corpus DIR [--out DIR] [--detectors NAME,NAME,...]
                    [--max-parallel N] [--failure-policy continue|abort]
                    [--shards N] [--supervised] [--lenient] [--fresh]
-                   [--stop-after-jobs N]
+                   [--stop-after-jobs N] [--job-timeout-ms T]
   tracetool fuzz [--programs N] [--seed S]
                    [--gen nontree|future-heavy|default] [--out-dir DIR]
                    [--time-budget-secs T] [--break-detector NAME]
+  tracetool serve --listen HOST:PORT [--workers N] [--queue-depth N]
+                   [--checkpoint-dir DIR] [--resume]
+  tracetool client HOST:PORT FILE [--shards N] [--checkpoint-every N]
+                   [--lenient] [--name NAME] [--chunk-events N]
+                   [--suspend-after N]
+  tracetool client HOST:PORT --shutdown
   tracetool help";
 
 const EXIT_CODES: &str = "\
@@ -99,12 +116,20 @@ exit codes:
   0  clean — no races, no damage; also a corpus run suspended by
      --stop-after-jobs (rerun the same command to resume)
   1  invalid or damaged trace; for corpus: any analyze/compare job
-     failed, was poisoned, or never completed, or the run aborted
+     failed, was poisoned, or never completed, or the run aborted; for
+     serve: the listen socket failed or a drained session errored; for
+     client: connection, trace, or daemon-reported failure
   2  usage error
-  3  determinacy races detected by analyze; for corpus: the reference
-     detector found races in at least one trace
+  3  determinacy races detected by analyze, or reported to client by
+     the daemon's final verdict; for corpus: the reference detector
+     found races in at least one trace
   4  fuzz found an unexpected detector disagreement (a minimized .ftrc
-     reproducer is written to --out-dir)";
+     reproducer is written to --out-dir)
+
+`serve` exits 0 after a clean drain (Shutdown frame or --suspend-after
+clients); suspended sessions are checkpointed, not errors. A `client`
+run that suspends (--suspend-after) exits 0 — resume by re-running the
+same client against a daemon started with --resume.";
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
@@ -890,6 +915,7 @@ fn corpus(args: CorpusArgs) {
     opts.lenient = args.lenient;
     opts.fresh = args.fresh;
     opts.stop_after_jobs = args.stop_after_jobs;
+    opts.job_timeout = args.job_timeout_ms.map(Duration::from_millis);
 
     let outcome = match run_corpus(std::path::Path::new(&args.dir), &opts) {
         Ok(o) => o,
@@ -937,6 +963,120 @@ fn corpus(args: CorpusArgs) {
     std::process::exit(outcome.exit.code());
 }
 
+/// Runs the analysis daemon: a TCP listener multiplexing streamed
+/// sessions over a bounded worker pool. Blocks until a client sends
+/// `Shutdown`, then drains (suspending in-flight sessions to FCKP
+/// checkpoints) and prints a summary.
+fn serve(args: ServeArgs) {
+    let opts = ServeOptions {
+        addr: args.listen.clone(),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        checkpoint_dir: std::path::PathBuf::from(
+            args.checkpoint_dir.as_deref().unwrap_or("."),
+        ),
+        resume: args.resume,
+    };
+    let server = match Server::bind(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot listen on {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        // Printed first thing so scripts binding port 0 can discover
+        // the real port (and know the daemon is accepting).
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            std::process::exit(1);
+        }
+    }
+    match server.run() {
+        Ok(sum) => {
+            println!(
+                "drained: {} session(s) finished, {} suspended, {} error(s)",
+                sum.finished, sum.suspended, sum.errors
+            );
+            if sum.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Streams a trace to a running daemon chunk by chunk and prints the
+/// returned verdict — byte-identical to one-shot `analyze` — or asks
+/// the daemon to drain and exit (`--shutdown`).
+fn client(args: ClientArgs) {
+    if args.shutdown {
+        match futrace_service::shutdown(&args.addr) {
+            Ok(()) => println!("daemon at {} is draining", args.addr),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let file = args.file.as_deref().expect("parser requires a file");
+    let blob = read_trace(file);
+    let name = args.name.clone().unwrap_or_else(|| {
+        std::path::Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "session".to_string())
+    });
+    let opts = ClientOptions {
+        addr: args.addr.clone(),
+        shards: args.shards,
+        checkpoint_every: args.checkpoint_every,
+        lenient: args.lenient,
+        trace_name: name,
+        chunk_events: args.chunk_events,
+        suspend_after: args.suspend_after,
+    };
+
+    match futrace_service::stream_trace(&opts, &blob) {
+        Ok(ClientOutcome::Finished {
+            races,
+            verdict,
+            resumed_chunks,
+            chunks_sent,
+        }) => {
+            println!("{file}: {chunks_sent} chunk(s) streamed to {}", args.addr);
+            if resumed_chunks > 0 {
+                println!("resumed: daemon skipped {resumed_chunks} already-analyzed chunk(s)");
+            }
+            println!("{verdict}");
+            if races > 0 {
+                std::process::exit(3);
+            }
+        }
+        Ok(ClientOutcome::Suspended { chunks }) => {
+            println!(
+                "suspended after {chunks} chunk(s): daemon checkpoint keyed by \
+                 session name {:?}",
+                opts.trace_name
+            );
+            println!(
+                "resume with: tracetool client {} {} --name {} (daemon needs --resume)",
+                args.addr, file, opts.trace_name
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match tracetool_cli::parse(&args) {
@@ -947,6 +1087,8 @@ fn main() {
         Ok(Command::Verify { file }) => verify(&file),
         Ok(Command::Corpus(c)) => corpus(c),
         Ok(Command::Fuzz(f)) => fuzz(f),
+        Ok(Command::Serve(s)) => serve(s),
+        Ok(Command::Client(c)) => client(c),
         Ok(Command::Help) => help(),
         Err(e) => usage(&e),
     }

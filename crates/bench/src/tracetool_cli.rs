@@ -35,6 +35,10 @@ pub enum Command {
     Fuzz(FuzzArgs),
     /// `tracetool corpus DIR …`
     Corpus(CorpusArgs),
+    /// `tracetool serve --listen ADDR …`
+    Serve(ServeArgs),
+    /// `tracetool client ADDR FILE …` / `tracetool client ADDR --shutdown`
+    Client(ClientArgs),
     /// `tracetool help` / `--help` / `-h`: print usage + exit-code table
     /// to stdout and exit 0 (unlike a usage *error*, which exits 2).
     Help,
@@ -157,6 +161,49 @@ pub struct CorpusArgs {
     /// Suspend dispatch after N completed jobs (kill-midway hook for
     /// resume testing; the run exits 0 and resumes on the next call).
     pub stop_after_jobs: Option<u64>,
+    /// Fail any single job that runs longer than this many milliseconds
+    /// (its dependents are poisoned); absent = no deadline.
+    pub job_timeout_ms: Option<u64>,
+}
+
+/// Options for `tracetool serve` (the analysis daemon).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks one and prints it).
+    pub listen: String,
+    /// Worker threads — concurrently analyzed sessions (default 4).
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections queued before `accept` blocks
+    /// (default 16).
+    pub queue_depth: usize,
+    /// Directory for per-session FCKP checkpoint files (default `.`).
+    pub checkpoint_dir: Option<String>,
+    /// Reopen matching checkpoint files when sessions reconnect.
+    pub resume: bool,
+}
+
+/// Options for `tracetool client` (streams a trace to a daemon).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientArgs {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Trace file to stream (absent only with `--shutdown`).
+    pub file: Option<String>,
+    /// Ask the daemon for the sharded backend with this many workers.
+    pub shards: Option<usize>,
+    /// Ask the daemon to checkpoint the session every N chunks.
+    pub checkpoint_every: Option<u64>,
+    /// Ask the daemon to skip damaged chunks instead of failing.
+    pub lenient: bool,
+    /// Session name keying the daemon-side checkpoint file (defaults to
+    /// the trace file's basename).
+    pub name: Option<String>,
+    /// Re-chunk the trace to this many events per chunk before sending.
+    pub chunk_events: Option<usize>,
+    /// Send `Suspend` after this many chunks instead of finishing.
+    pub suspend_after: Option<u64>,
+    /// Ask the daemon to drain and exit instead of streaming a trace.
+    pub shutdown: bool,
 }
 
 /// Options for `tracetool compare`.
@@ -465,6 +512,7 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
     let mut lenient = false;
     let mut fresh = false;
     let mut stop_after_jobs = None;
+    let mut job_timeout_ms = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -498,6 +546,9 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
             "--stop-after-jobs" => {
                 stop_after_jobs = Some(parse_positive_u64(args, &mut i, "--stop-after-jobs")?)
             }
+            "--job-timeout-ms" => {
+                job_timeout_ms = Some(parse_positive_u64(args, &mut i, "--job-timeout-ms")?)
+            }
             d if !d.starts_with('-') && dir.is_none() => dir = Some(d.to_string()),
             other => return Err(format!("corpus: unknown argument `{other}`")),
         }
@@ -528,6 +579,104 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
         lenient,
         fresh,
         stop_after_jobs,
+        job_timeout_ms,
+    })
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut listen = None;
+    let mut workers: usize = 4;
+    let mut queue_depth: usize = 16;
+    let mut checkpoint_dir = None;
+    let mut resume = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = Some(value(args, &mut i, "--listen")?.to_string()),
+            "--workers" => {
+                let n = parse_positive_u64(args, &mut i, "--workers")?;
+                workers = usize::try_from(n)
+                    .map_err(|_| format!("--workers: `{n}` exceeds the usize range"))?;
+            }
+            "--queue-depth" => {
+                let n = parse_positive_u64(args, &mut i, "--queue-depth")?;
+                queue_depth = usize::try_from(n)
+                    .map_err(|_| format!("--queue-depth: `{n}` exceeds the usize range"))?;
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(value(args, &mut i, "--checkpoint-dir")?.to_string())
+            }
+            "--resume" => resume = true,
+            other => return Err(format!("serve: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(ServeArgs {
+        listen: listen.ok_or("serve: --listen ADDR is required")?,
+        workers,
+        queue_depth,
+        checkpoint_dir,
+        resume,
+    })
+}
+
+fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
+    let mut addr = None;
+    let mut file = None;
+    let mut shards = None;
+    let mut checkpoint_every = None;
+    let mut lenient = false;
+    let mut name = None;
+    let mut chunk_events = None;
+    let mut suspend_after = None;
+    let mut shutdown = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => shards = Some(parse_shards(args, &mut i)?),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_positive_u64(args, &mut i, "--checkpoint-every")?)
+            }
+            "--lenient" => lenient = true,
+            "--name" => name = Some(value(args, &mut i, "--name")?.to_string()),
+            "--chunk-events" => {
+                let n = parse_positive_u64(args, &mut i, "--chunk-events")?;
+                chunk_events = Some(
+                    usize::try_from(n)
+                        .map_err(|_| format!("--chunk-events: `{n}` exceeds the usize range"))?,
+                );
+            }
+            "--suspend-after" => {
+                // 0 is meaningful: suspend before sending any chunk.
+                let v = value(args, &mut i, "--suspend-after")?;
+                suspend_after = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--suspend-after: invalid count `{v}` (expected an integer)")
+                })?);
+            }
+            "--shutdown" => shutdown = true,
+            a if !a.starts_with('-') && addr.is_none() => addr = Some(a.to_string()),
+            f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
+            other => return Err(format!("client: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or("client: a daemon address is required")?;
+    if shutdown && file.is_some() {
+        return Err("client: --shutdown takes no trace file".into());
+    }
+    if !shutdown && file.is_none() {
+        return Err("client: a trace file is required (or --shutdown)".into());
+    }
+    Ok(ClientArgs {
+        addr,
+        file,
+        shards,
+        checkpoint_every,
+        lenient,
+        name,
+        chunk_events,
+        suspend_after,
+        shutdown,
     })
 }
 
@@ -550,6 +699,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
             "fuzz" => parse_fuzz(rest).map(Command::Fuzz),
             "corpus" => parse_corpus(rest).map(Command::Corpus),
+            "serve" => parse_serve(rest).map(Command::Serve),
+            "client" => parse_client(rest).map(Command::Client),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(format!("unknown subcommand `{other}`")),
         },
@@ -855,6 +1006,80 @@ mod tests {
         assert_eq!(c.max_parallel, 1);
         assert!(!c.abort && !c.supervised && !c.lenient && !c.fresh);
         assert!(c.shards.is_none() && c.stop_after_jobs.is_none());
+        assert!(c.job_timeout_ms.is_none());
+    }
+
+    #[test]
+    fn corpus_job_timeout_flag() {
+        let Command::Corpus(c) = parse(&argv("corpus d --job-timeout-ms 5000")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.job_timeout_ms, Some(5000));
+        let err = parse(&argv("corpus d --job-timeout-ms 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("corpus d --job-timeout-ms soon")).unwrap_err();
+        assert!(err.contains("invalid count `soon`"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags() {
+        let Command::Serve(s) = parse(&argv("serve --listen 127.0.0.1:0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.listen, "127.0.0.1:0");
+        assert_eq!((s.workers, s.queue_depth), (4, 16));
+        assert!(s.checkpoint_dir.is_none() && !s.resume);
+
+        let Command::Serve(s) = parse(&argv(
+            "serve --listen 0.0.0.0:7333 --workers 8 --queue-depth 32 \
+             --checkpoint-dir /tmp/ckpts --resume",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!((s.workers, s.queue_depth), (8, 32));
+        assert_eq!(s.checkpoint_dir.as_deref(), Some("/tmp/ckpts"));
+        assert!(s.resume);
+
+        assert!(parse(&argv("serve")).unwrap_err().contains("--listen"));
+        let err = parse(&argv("serve --listen a:1 --workers 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn client_flags() {
+        let Command::Client(c) =
+            parse(&argv("client 127.0.0.1:7333 t.ftrc --shards 4 --lenient")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.addr, "127.0.0.1:7333");
+        assert_eq!(c.file.as_deref(), Some("t.ftrc"));
+        assert_eq!(c.shards, Some(4));
+        assert!(c.lenient && !c.shutdown);
+
+        let Command::Client(c) = parse(&argv(
+            "client h:1 t --name fixture --chunk-events 64 --checkpoint-every 2 \
+             --suspend-after 3",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.name.as_deref(), Some("fixture"));
+        assert_eq!(c.chunk_events, Some(64));
+        assert_eq!(c.checkpoint_every, Some(2));
+        assert_eq!(c.suspend_after, Some(3));
+
+        let Command::Client(c) = parse(&argv("client h:1 --shutdown")).unwrap() else {
+            panic!()
+        };
+        assert!(c.shutdown && c.file.is_none());
+
+        assert!(parse(&argv("client")).unwrap_err().contains("address"));
+        let err = parse(&argv("client h:1")).unwrap_err();
+        assert!(err.contains("trace file"), "{err}");
+        let err = parse(&argv("client h:1 t --shutdown")).unwrap_err();
+        assert!(err.contains("--shutdown"), "{err}");
     }
 
     #[test]

@@ -155,6 +155,12 @@ impl RaceDetector {
         self.total_detected > 0
     }
 
+    /// Races detected so far, uncapped (the live counter incremental
+    /// sessions surface in verdict deltas between chunks).
+    pub fn total_detected(&self) -> u64 {
+        self.total_detected
+    }
+
     /// Consumes the detector and produces the final report.
     pub fn into_report(self) -> RaceReport {
         RaceReport {

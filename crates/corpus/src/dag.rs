@@ -20,7 +20,11 @@
 //!   regardless, so the final report exists even for a damaged corpus;
 //! * `stop_after_jobs: Some(n)` suspends dispatch after `n` runner
 //!   completions (the kill-midway hook for resume tests); jobs never
-//!   dispatched settle as [`JobStatus::NotReached`].
+//!   dispatched settle as [`JobStatus::NotReached`];
+//! * `job_timeout: Some(t)` arms a watchdog: a job running past its
+//!   deadline settles [`JobStatus::Failed`] and poisons its dependents
+//!   immediately, while the wedged runner drains in the background (its
+//!   late result is discarded).
 //!
 //! Acyclicity is by construction: [`Dag::add`] only accepts already-added
 //! jobs as dependencies, so edges always point backwards in id order.
@@ -29,6 +33,7 @@
 
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Index of a job within its [`Dag`] (dense, in insertion order).
 pub type JobId = usize;
@@ -144,6 +149,13 @@ pub struct ExecPlan {
     /// Suspend dispatch after this many runner completions (resume-test
     /// hook). `None` runs to completion.
     pub stop_after_jobs: Option<u64>,
+    /// Per-job wall-clock deadline. A job still running past it settles
+    /// [`JobStatus::Failed`] (poisoning its dependents) so one wedged
+    /// trace cannot stall the whole corpus; the overdue runner's result
+    /// is discarded when (if) it eventually returns. The runner itself
+    /// is not killed — a never-returning job keeps occupying its pool
+    /// slot. `None` disables the watchdog.
+    pub job_timeout: Option<Duration>,
 }
 
 impl Default for ExecPlan {
@@ -152,6 +164,7 @@ impl Default for ExecPlan {
             max_parallel: 1,
             policy: FailurePolicy::Continue,
             stop_after_jobs: None,
+            job_timeout: None,
         }
     }
 }
@@ -184,7 +197,7 @@ impl DagRun {
 enum Slot {
     Waiting { deps_left: usize },
     Ready,
-    Running,
+    Running { deadline: Option<Instant> },
     Settled(JobStatus),
 }
 
@@ -261,6 +274,10 @@ where
         for _ in 0..plan.max_parallel {
             scope.spawn(|| worker(dag, plan, &shared, &runner));
         }
+        if let Some(timeout) = plan.job_timeout {
+            let shared = &shared;
+            scope.spawn(move || timekeeper(dag, plan, shared, timeout));
+        }
     });
 
     let st = shared.state.lock().unwrap();
@@ -303,10 +320,18 @@ where
             if !matches!(st.slots[id], Slot::Ready) {
                 continue;
             }
-            st.slots[id] = Slot::Running;
+            st.slots[id] = Slot::Running {
+                deadline: plan.job_timeout.map(|t| Instant::now() + t),
+            };
             drop(st);
             let result = runner(id);
             st = shared.state.lock().unwrap();
+            // The timekeeper may have settled this job as timed-out while
+            // the runner was still going; its late result is discarded
+            // (the failure verdict and its poison already propagated).
+            if matches!(st.slots[id], Slot::Settled(_)) {
+                continue;
+            }
             st.ran += 1;
             let status = match result {
                 Ok(()) => JobStatus::Ok,
@@ -314,22 +339,76 @@ where
             };
             let failed = !status.is_ok();
             settle(dag, &mut st, id, status);
-            if failed && plan.policy == FailurePolicy::Abort && !st.aborting {
-                st.aborting = true;
-                cancel_unstarted(dag, &mut st);
-            }
-            if let Some(n) = plan.stop_after_jobs {
-                if st.ran >= n && !st.suspended && st.settled < dag.len() {
-                    st.suspended = true;
-                    suspend_unstarted(&mut st);
-                }
-            }
+            after_fresh_settle(dag, plan, &mut st, failed);
             shared.cv.notify_all();
             continue;
         }
         // Nothing ready: either every remaining job is running in another
         // worker, or we're waiting on dependency settlement.
         st = shared.cv.wait(st).unwrap();
+    }
+}
+
+/// Policy reactions shared by the worker and timekeeper settle paths:
+/// a fresh failure may trigger the abort policy, and any fresh
+/// completion counts toward the `stop_after_jobs` suspension threshold.
+fn after_fresh_settle(dag: &Dag, plan: &ExecPlan, st: &mut ExecState, failed: bool) {
+    if failed && plan.policy == FailurePolicy::Abort && !st.aborting {
+        st.aborting = true;
+        cancel_unstarted(dag, st);
+    }
+    if let Some(n) = plan.stop_after_jobs {
+        if st.ran >= n && !st.suspended && st.settled < dag.len() {
+            st.suspended = true;
+            suspend_unstarted(st);
+        }
+    }
+}
+
+/// Watchdog loop (one thread, spawned only when `job_timeout` is set):
+/// settles any job running past its deadline as failed, so the rest of
+/// the DAG keeps moving while the wedged runner drains in its worker.
+fn timekeeper(dag: &Dag, plan: &ExecPlan, shared: &Shared, timeout: Duration) {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.settled == dag.len() {
+            return;
+        }
+        let now = Instant::now();
+        let mut next_deadline: Option<Instant> = None;
+        let mut expired = Vec::new();
+        for (id, slot) in st.slots.iter().enumerate() {
+            if let Slot::Running { deadline: Some(dl) } = slot {
+                if *dl <= now {
+                    expired.push(id);
+                } else {
+                    next_deadline = Some(next_deadline.map_or(*dl, |n| n.min(*dl)));
+                }
+            }
+        }
+        let fired = !expired.is_empty();
+        for id in expired {
+            st.ran += 1;
+            settle(
+                dag,
+                &mut st,
+                id,
+                JobStatus::Failed(format!("timed out after {}ms", timeout.as_millis())),
+            );
+            after_fresh_settle(dag, plan, &mut st, true);
+        }
+        if fired {
+            shared.cv.notify_all();
+        }
+        if st.settled == dag.len() {
+            return;
+        }
+        // Sleep until the earliest live deadline (or one timeout period
+        // when nothing is running); settles wake us early via the condvar.
+        let wait = next_deadline
+            .map_or(timeout, |n| n.saturating_duration_since(Instant::now()))
+            .max(Duration::from_millis(1));
+        st = shared.cv.wait_timeout(st, wait).unwrap().0;
     }
 }
 
@@ -589,5 +668,48 @@ mod tests {
     fn forward_dependency_is_rejected() {
         let mut dag = Dag::new();
         dag.add("bad", &[5]);
+    }
+
+    #[test]
+    fn wedged_job_times_out_and_poisons_dependents() {
+        let mut dag = Dag::new();
+        let slow = dag.add("slow", &[]);
+        let child = dag.add("child", &[slow]);
+        let other = dag.add("other", &[]);
+        let bar = dag.add_barrier("bar", &[slow, child, other]);
+        let plan = ExecPlan {
+            max_parallel: 2,
+            job_timeout: Some(Duration::from_millis(30)),
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; dag.len()], |id| {
+            if id == slow {
+                // Finite wedge: long past the deadline, short enough
+                // that the pool still drains once the DAG has settled.
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Ok(())
+        });
+        assert_eq!(
+            run.status[slow],
+            JobStatus::Failed("timed out after 30ms".into())
+        );
+        assert_eq!(run.status[child], JobStatus::Poisoned { failed_dep: slow });
+        assert_eq!(run.status[other], JobStatus::Ok, "sibling unaffected");
+        assert_eq!(run.status[bar], JobStatus::Ok, "barrier still fires");
+        assert!(run.any_failed());
+        assert!(!run.aborted && !run.suspended);
+    }
+
+    #[test]
+    fn fast_jobs_never_trip_the_watchdog() {
+        let (dag, ..) = diamond();
+        let plan = ExecPlan {
+            job_timeout: Some(Duration::from_secs(30)),
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; 4], |_| Ok(()));
+        assert!(run.status.iter().all(JobStatus::is_ok));
+        assert_eq!(run.ran, 4);
     }
 }

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+use futrace_util::crc32::crc32;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -20,6 +21,9 @@ pub struct TraceEntry {
     pub path: PathBuf,
     /// File size in bytes (manifest invalidation guard).
     pub len: u64,
+    /// CRC-32 of the file contents (manifest invalidation guard: a
+    /// same-length in-place edit still invalidates stale records).
+    pub crc: u32,
 }
 
 /// Recursively collects every `*.ftrc` file under `root`, sorted by
@@ -47,8 +51,19 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<TraceEntry>) -> io::Result<()> {
                 .map(|c| c.as_os_str().to_string_lossy())
                 .collect::<Vec<_>>()
                 .join("/");
-            let len = entry.metadata()?.len();
-            out.push(TraceEntry { rel, path, len });
+            // Hash the contents, not just the length: resume records are
+            // keyed on what was actually analyzed, so a same-size rewrite
+            // must invalidate them. len comes from the same read so the
+            // two guards can never disagree about which bytes they saw.
+            let data = std::fs::read(&path)?;
+            let crc = crc32(&data);
+            let len = data.len() as u64;
+            out.push(TraceEntry {
+                rel,
+                path,
+                len,
+                crc,
+            });
         }
     }
     Ok(())
@@ -87,6 +102,10 @@ mod tests {
         );
         assert_eq!(found[0].len, 2);
         assert_eq!(found[3].len, 0);
+        // Same length, different bytes → different content hash.
+        assert_ne!(found[0].crc, crc32(b"zz"));
+        assert_eq!(found[0].crc, crc32(b"xy"));
+        assert_eq!(found[3].crc, crc32(b""));
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -76,6 +76,10 @@ pub struct CorpusOptions {
     /// Suspend dispatch after this many job completions — the
     /// deterministic kill-midway hook for resume tests.
     pub stop_after_jobs: Option<u64>,
+    /// Per-job wall-clock deadline: a job still running past it is
+    /// marked failed (its compare job poisoned) so one wedged trace
+    /// cannot stall the corpus. `None` = no deadline.
+    pub job_timeout: Option<std::time::Duration>,
     /// Output directory for manifest + reports (created if missing).
     pub out_dir: PathBuf,
 }
@@ -93,6 +97,7 @@ impl CorpusOptions {
             lenient: false,
             fresh: false,
             stop_after_jobs: None,
+            job_timeout: None,
             out_dir: out_dir.into(),
         }
     }
@@ -323,10 +328,11 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
     let mut specs = Vec::new();
     let mut preset = Vec::new();
     let mut all_ids = Vec::new();
-    // A record resumes a job only if the trace file is unchanged.
+    // A record resumes a job only if the trace file is unchanged —
+    // length AND content hash, so a same-size rewrite re-runs too.
     let preset_for = |kind: JobKind, trace: &TraceEntry, det: &str| -> Option<JobStatus> {
         let rec = store.get(&(kind, trace.rel.clone(), det.to_string()))?;
-        if rec.trace_len != trace.len {
+        if rec.trace_len != trace.len || rec.trace_crc != trace.crc {
             return None;
         }
         Some(match &rec.status {
@@ -355,13 +361,13 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
     specs.push(JobSpec::Aggregate);
     preset.push(None);
 
-    // Drop stale records (changed trace_len) so the report never mixes
-    // results from a replaced trace file.
+    // Drop stale records (changed length or content) so the report
+    // never mixes results from a replaced trace file.
     store.retain(|(_, rel, _), rec| {
         traces
             .iter()
             .find(|t| &t.rel == rel)
-            .is_some_and(|t| t.len == rec.trace_len)
+            .is_some_and(|t| t.len == rec.trace_len && t.crc == rec.trace_crc)
     });
 
     let store = Mutex::new(store);
@@ -403,6 +409,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
                     trace: t.rel.clone(),
                     detector: det.clone(),
                     trace_len: t.len,
+                    trace_crc: t.crc,
                     status: RecStatus::Ok,
                     racy: false,
                     races: 0,
@@ -462,6 +469,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
                     trace: t.rel.clone(),
                     detector: String::new(),
                     trace_len: t.len,
+                    trace_crc: t.crc,
                     status: RecStatus::Ok,
                     racy: ref_rec.racy,
                     races: ref_rec.races,
@@ -495,6 +503,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
         max_parallel: opts.max_parallel,
         policy: opts.policy,
         stop_after_jobs: opts.stop_after_jobs,
+        job_timeout: opts.job_timeout,
     };
     let run = dag::execute(&dag, &plan, preset, runner);
 

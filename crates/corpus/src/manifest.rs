@@ -32,7 +32,11 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"FMAN";
-const VERSION: u64 = 1;
+// v2 added `trace_crc` to every record (content-hash invalidation).
+// Old manifests fail with `ManifestError::Version` — their records
+// carry no hash to validate against, so resuming them would trust
+// possibly-stale results; `--fresh` is the upgrade path.
+const VERSION: u64 = 2;
 
 /// Name of the manifest file inside the corpus output directory.
 pub const MANIFEST_FILE: &str = "corpus.fman";
@@ -83,6 +87,10 @@ pub struct JobRecord {
     /// Byte length of the trace file when the job ran. A changed length
     /// invalidates the record (the trace was replaced or repaired).
     pub trace_len: u64,
+    /// CRC-32 of the trace file contents when the job ran. Invalidates
+    /// the record on any content change, including same-length edits
+    /// that the `trace_len` guard alone would miss.
+    pub trace_crc: u32,
     /// Ok or the failure message.
     pub status: RecStatus,
     /// Verdict: did this job report races? For compare records, the
@@ -137,7 +145,10 @@ impl fmt::Display for ManifestError {
         match self {
             ManifestError::Io(e) => write!(f, "manifest io error: {e}"),
             ManifestError::NotManifest => write!(f, "not a corpus manifest (bad magic)"),
-            ManifestError::Version(v) => write!(f, "unsupported manifest version {v}"),
+            ManifestError::Version(v) => write!(
+                f,
+                "unsupported manifest version {v}; rerun with --fresh to discard it"
+            ),
             ManifestError::ConfigMismatch { found } => write!(
                 f,
                 "manifest was written with different options \
@@ -229,6 +240,7 @@ fn encode_record(rec: &JobRecord) -> Vec<u8> {
     wire::put_str(&mut buf, &rec.trace);
     wire::put_str(&mut buf, &rec.detector);
     wire::put_varint(&mut buf, rec.trace_len);
+    wire::put_u32_le(&mut buf, rec.trace_crc);
     match &rec.status {
         RecStatus::Ok => {
             buf.push(0);
@@ -263,6 +275,7 @@ fn decode_record(payload: &[u8]) -> Result<JobRecord, WireError> {
     let trace = c.str("trace")?.to_string();
     let detector = c.str("detector")?.to_string();
     let trace_len = c.varint("trace_len")?;
+    let trace_crc = c.u32_le("trace_crc")?;
     let status = match c.varint("status")? {
         0 => {
             let _ = c.str("error")?;
@@ -288,6 +301,7 @@ fn decode_record(payload: &[u8]) -> Result<JobRecord, WireError> {
         trace,
         detector,
         trace_len,
+        trace_crc,
         status,
         racy,
         races,
@@ -414,6 +428,7 @@ mod tests {
             trace: trace.into(),
             detector: detector.into(),
             trace_len: 1234,
+            trace_crc: 0xDEAD_BEEF,
             status: RecStatus::Ok,
             racy: true,
             races: 3,

@@ -509,6 +509,7 @@ mod tests {
                 trace: trace.into(),
                 detector: det.into(),
                 trace_len: 10,
+                trace_crc: 0,
                 status: RecStatus::Ok,
                 racy,
                 races: racy as u64,

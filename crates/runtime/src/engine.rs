@@ -313,6 +313,19 @@ impl<A: Analysis> Engine<A> {
         }
     }
 
+    /// A peek at the running analysis, for incremental drivers (the
+    /// session layer reads races-so-far between chunks without tearing
+    /// the engine down).
+    pub fn analysis(&self) -> &A {
+        &self.analysis
+    }
+
+    /// A peek at the counters accumulated so far (the finished totals
+    /// come from [`Engine::into_parts`]).
+    pub fn counters(&self) -> &EngineCounters {
+        &self.counters
+    }
+
     /// Feeds a slice of events, batching each run of consecutive
     /// `Read`/`Write` events into one [`Analysis::check_batch`] call.
     /// Equivalent to calling [`Engine::consume`] per event (same splits,

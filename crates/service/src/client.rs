@@ -1,0 +1,252 @@
+//! `tracetool client`: streams a trace to a `tracetool serve` daemon.
+//!
+//! The client is deliberately dumb: it slices the trace into chunk
+//! payloads (reusing the `.ftrc` chunking when the file is framed),
+//! then speaks the lock-step protocol — `Open`/`Hello`, one
+//! `Chunk`/`VerdictDelta` pair per chunk, `Finish`/`Final` — and hands
+//! back the daemon's verdict text verbatim. On resume it re-streams the
+//! full trace; the daemon's session skips the chunks its checkpoint
+//! already completed.
+
+use futrace_offline::{framed, trace_events};
+use futrace_runtime::trace;
+use futrace_util::wire::proto::{read_frame, write_frame, ErrorCode, Message, ProtoError};
+use std::fmt;
+use std::io::Write as _;
+use std::net::TcpStream;
+
+/// Configuration for one streamed analysis.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Ask the daemon for the sharded backend with this many workers.
+    pub shards: Option<usize>,
+    /// Ask the daemon to checkpoint every N chunks.
+    pub checkpoint_every: Option<u64>,
+    /// Ask the daemon to skip damaged chunks instead of failing.
+    pub lenient: bool,
+    /// Session name — keys the daemon's checkpoint file, so resuming a
+    /// suspended session means reconnecting with the same name.
+    pub trace_name: String,
+    /// Re-chunk the trace to this many events per chunk before sending
+    /// (default: ship the file's own chunking, or one chunk if flat).
+    pub chunk_events: Option<usize>,
+    /// Send `Suspend` after this many chunks instead of finishing
+    /// (exercises suspend/resume; used by tests and `--suspend-after`).
+    pub suspend_after: Option<u64>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            addr: String::new(),
+            shards: None,
+            checkpoint_every: None,
+            lenient: false,
+            trace_name: "session".to_string(),
+            chunk_events: None,
+            suspend_after: None,
+        }
+    }
+}
+
+/// How a streamed session ended.
+#[derive(Clone, Debug)]
+pub enum ClientOutcome {
+    /// The daemon analyzed everything and produced a verdict.
+    Finished {
+        /// Total races detected.
+        races: u64,
+        /// The verdict text, byte-identical to one-shot `analyze`.
+        verdict: String,
+        /// Chunks the daemon's checkpoint had already completed when the
+        /// session opened (0 for a fresh session).
+        resumed_chunks: u64,
+        /// Chunks this client sent.
+        chunks_sent: u64,
+    },
+    /// The session was suspended to a daemon-side checkpoint.
+    Suspended {
+        /// Chunks fed before suspension.
+        chunks: u64,
+    },
+}
+
+/// Client-side failure: local I/O, wire damage, a structured error from
+/// the daemon, or a protocol-shape violation.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Local socket or file I/O failed.
+    Io(std::io::Error),
+    /// The reply stream was damaged.
+    Proto(ProtoError),
+    /// The daemon reported a structured error.
+    Remote {
+        /// Error category from the daemon.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The daemon replied with an unexpected message kind.
+    Protocol(&'static str),
+    /// The local trace could not be decoded for re-chunking.
+    Trace(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Proto(e) => write!(f, "damaged reply stream: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "daemon error ({code}): {message}")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Trace(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// Slices a trace blob into wire chunk payloads (v1-encoded event runs).
+fn chunk_payloads(opts: &ClientOptions, blob: &[u8]) -> Result<Vec<Vec<u8>>, ClientError> {
+    if let Some(per_chunk) = opts.chunk_events {
+        let per_chunk = per_chunk.max(1);
+        let mut events = Vec::new();
+        for item in trace_events(blob, opts.lenient) {
+            match item {
+                Ok(e) => events.push(e),
+                Err(e) => return Err(ClientError::Trace(e.to_string())),
+            }
+        }
+        if events.is_empty() {
+            return Ok(vec![Vec::new()]);
+        }
+        return Ok(events.chunks(per_chunk).map(trace::encode).collect());
+    }
+    if framed::is_framed(blob) {
+        let mut payloads = Vec::new();
+        for chunk in framed::chunks(blob) {
+            match chunk {
+                Ok(c) => payloads.push(c.payload.to_vec()),
+                // Framing damage cannot be resynced locally; report it
+                // rather than shipping a torn stream.
+                Err(e) => return Err(ClientError::Trace(e.to_string())),
+            }
+        }
+        if payloads.is_empty() {
+            payloads.push(Vec::new());
+        }
+        return Ok(payloads);
+    }
+    // Flat v1: the whole body is one chunk payload.
+    Ok(vec![blob.to_vec()])
+}
+
+fn expect_reply(stream: &mut TcpStream) -> Result<Message, ClientError> {
+    match read_frame(stream)? {
+        Some(Message::Error { code, message }) => Err(ClientError::Remote { code, message }),
+        Some(msg) => Ok(msg),
+        None => Err(ClientError::Protocol("daemon closed the connection")),
+    }
+}
+
+/// Streams `blob` to the daemon at `opts.addr` and returns its verdict
+/// (or the suspension acknowledgement).
+pub fn stream_trace(opts: &ClientOptions, blob: &[u8]) -> Result<ClientOutcome, ClientError> {
+    let payloads = chunk_payloads(opts, blob)?;
+    let mut stream = TcpStream::connect(&opts.addr)?;
+    let _ = stream.set_nodelay(true);
+
+    write_frame(
+        &mut stream,
+        &Message::Open {
+            shards: opts.shards.unwrap_or(0) as u64,
+            checkpoint_every: opts.checkpoint_every.unwrap_or(0),
+            lenient: opts.lenient,
+            trace_name: opts.trace_name.clone(),
+        },
+    )?;
+    let resumed_chunks = match expect_reply(&mut stream)? {
+        Message::Hello { resumed_chunks, .. } => resumed_chunks,
+        _ => return Err(ClientError::Protocol("expected Hello")),
+    };
+
+    let mut sent = 0u64;
+    for payload in &payloads {
+        if opts.suspend_after == Some(sent) {
+            return suspend(&mut stream, sent);
+        }
+        write_frame(
+            &mut stream,
+            &Message::Chunk {
+                seq: sent,
+                payload: payload.clone(),
+            },
+        )?;
+        match expect_reply(&mut stream)? {
+            Message::VerdictDelta { chunks, .. } => {
+                if chunks != sent + 1 {
+                    return Err(ClientError::Protocol("delta out of step"));
+                }
+            }
+            _ => return Err(ClientError::Protocol("expected VerdictDelta")),
+        }
+        sent += 1;
+    }
+    if opts.suspend_after == Some(sent) {
+        return suspend(&mut stream, sent);
+    }
+
+    write_frame(&mut stream, &Message::Finish)?;
+    match expect_reply(&mut stream)? {
+        Message::Final { races, verdict } => Ok(ClientOutcome::Finished {
+            races,
+            verdict,
+            resumed_chunks,
+            chunks_sent: sent,
+        }),
+        _ => Err(ClientError::Protocol("expected Final")),
+    }
+}
+
+fn suspend(stream: &mut TcpStream, sent: u64) -> Result<ClientOutcome, ClientError> {
+    write_frame(stream, &Message::Suspend)?;
+    match expect_reply(stream)? {
+        Message::Suspended { chunks } => {
+            let _ = sent;
+            Ok(ClientOutcome::Suspended { chunks })
+        }
+        _ => Err(ClientError::Protocol("expected Suspended")),
+    }
+}
+
+/// Asks the daemon at `addr` to drain and exit. The daemon sends no
+/// reply; clean EOF is success.
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &Message::Shutdown)?;
+    let _ = stream.flush();
+    match read_frame(&mut stream) {
+        Ok(None) => Ok(()),
+        Ok(Some(Message::Error { code, message })) => Err(ClientError::Remote { code, message }),
+        Ok(Some(_)) => Err(ClientError::Protocol("unexpected reply to Shutdown")),
+        // The daemon may tear the socket down instead of a clean FIN.
+        Err(ProtoError::Io(_)) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}

@@ -1,0 +1,486 @@
+//! `tracetool serve`: a std-only TCP daemon multiplexing analysis
+//! sessions over a fixed worker pool.
+//!
+//! One accepted connection carries one session, spoken in the framed
+//! wire protocol of `futrace_util::wire::proto`, strictly lock-step:
+//! the client sends one request frame and waits for its reply before
+//! sending the next, so a slow analysis naturally backpressures the
+//! sender without any windowing. Connections queue into a bounded
+//! channel between the accept loop and the workers; when all workers
+//! are busy and the queue is full, `accept` itself stops — backpressure
+//! reaches all the way to the kernel listen queue.
+//!
+//! Failure is never silent: damaged frames and protocol violations are
+//! answered with structured `Error` frames, a client that vanishes
+//! mid-session has its partial work suspended to an FCKP checkpoint
+//! file, and a `Shutdown` frame drains the daemon — every in-flight
+//! session is suspended the same way, so `serve --resume` can pick all
+//! of them back up.
+
+use crate::render_verdict;
+use crate::session::{Session, SessionConfig, SessionError};
+use futrace_offline::{channel, Checkpoint};
+use futrace_util::wire::proto::{
+    decode_frame, encode_frame, ErrorCode, Message, ProtoError,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often an idle connection read wakes up to check the drain flag.
+const DRAIN_POLL: Duration = Duration::from_millis(200);
+
+/// Configuration for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to listen on (e.g. `127.0.0.1:7333`; port 0 picks one).
+    pub addr: String,
+    /// Worker threads — the number of sessions analyzed concurrently.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections held between the accept loop
+    /// and the workers; beyond this, accepting stops (backpressure).
+    pub queue_depth: usize,
+    /// Directory for per-session FCKP checkpoint files.
+    pub checkpoint_dir: PathBuf,
+    /// Reopen matching FCKP files when sessions reconnect.
+    pub resume: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 16,
+            checkpoint_dir: PathBuf::from("."),
+            resume: false,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, reported after drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Sessions that reached `Finish` and got a `Final` verdict.
+    pub finished: u64,
+    /// Sessions suspended to a checkpoint (explicitly, by client
+    /// disappearance, or by drain).
+    pub suspended: u64,
+    /// Structured error frames sent.
+    pub errors: u64,
+}
+
+struct ServeState {
+    drain: AtomicBool,
+    finished: AtomicU64,
+    suspended: AtomicU64,
+    errors: AtomicU64,
+    next_session: AtomicU64,
+    opts: ServeOptions,
+}
+
+/// A bound daemon, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+}
+
+impl Server {
+    /// Binds the listen socket (so callers can learn the picked port
+    /// before the daemon starts serving).
+    pub fn bind(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        std::fs::create_dir_all(&opts.checkpoint_dir)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                drain: AtomicBool::new(false),
+                finished: AtomicU64::new(0),
+                suspended: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                next_session: AtomicU64::new(1),
+                opts,
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends `Shutdown`, then drains: the accept
+    /// loop stops, queued and in-flight sessions are suspended to their
+    /// checkpoint files, workers exit, and the lifetime summary is
+    /// returned.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let local = self.local_addr()?;
+        let workers = self.state.opts.workers.max(1);
+        let (tx, rx) = channel::bounded::<TcpStream>(self.state.opts.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            pool.push(std::thread::spawn(move || loop {
+                // Hold the lock only for the dequeue: the receiver is
+                // single-consumer, the pool shares it via the mutex.
+                let conn = { rx.lock().unwrap().recv() };
+                match conn {
+                    Some(stream) => handle_connection(stream, &state, local),
+                    None => break,
+                }
+            }));
+        }
+
+        for stream in self.listener.incoming() {
+            if self.state.drain.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if self.state.drain.load(Ordering::SeqCst) {
+                // The wake-up connection itself lands here; drop it.
+                break;
+            }
+            // A full queue blocks right here — backpressure.
+            if tx.send(stream).is_err() {
+                break;
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+
+        Ok(ServeSummary {
+            finished: self.state.finished.load(Ordering::SeqCst),
+            suspended: self.state.suspended.load(Ordering::SeqCst),
+            errors: self.state.errors.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Maps a client-supplied trace name to its checkpoint file, defanging
+/// path separators and dotfiles so a hostile name cannot escape the
+/// checkpoint directory.
+pub fn checkpoint_path(dir: &Path, trace_name: &str) -> PathBuf {
+    let mut safe: String = trace_name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    while safe.starts_with('.') {
+        safe.remove(0);
+    }
+    if safe.is_empty() {
+        safe.push_str("session");
+    }
+    dir.join(format!("{safe}.fckp"))
+}
+
+/// Per-connection protocol driver state.
+struct Conn {
+    session: Option<Session>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<u64>,
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServeState, local: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut conn = Conn {
+        session: None,
+        checkpoint: None,
+        checkpoint_every: None,
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut scratch = [0u8; 64 * 1024];
+
+    loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match decode_frame(&buf) {
+                Ok((msg, consumed)) => {
+                    buf.drain(..consumed);
+                    match dispatch(msg, &mut conn, &mut stream, state, local) {
+                        Flow::Continue => {}
+                        Flow::Close => return,
+                    }
+                }
+                Err(ProtoError::Truncated(_)) => break, // need more bytes
+                Err(e) => {
+                    // Structural damage (bad CRC, oversized, malformed):
+                    // the stream cannot be resynced. Report, preserve the
+                    // session, close.
+                    send_error(&mut stream, state, ErrorCode::Protocol, &e.to_string());
+                    suspend_to_disk(&mut conn, state);
+                    return;
+                }
+            }
+        }
+
+        match stream.read(&mut scratch) {
+            Ok(0) => {
+                // Client went away mid-session: preserve its work.
+                suspend_to_disk(&mut conn, state);
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if state.drain.load(Ordering::SeqCst) {
+                    // Drain: suspend in-flight work, tell the client.
+                    let chunks = conn.session.as_ref().map_or(0, |s| s.chunks());
+                    if suspend_to_disk(&mut conn, state) {
+                        let _ = write_reply(&mut stream, &Message::Suspended { chunks });
+                    }
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                suspend_to_disk(&mut conn, state);
+                return;
+            }
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn dispatch(
+    msg: Message,
+    conn: &mut Conn,
+    stream: &mut TcpStream,
+    state: &ServeState,
+    local: SocketAddr,
+) -> Flow {
+    match msg {
+        Message::Open {
+            shards,
+            checkpoint_every,
+            lenient,
+            trace_name,
+        } => {
+            if conn.session.is_some() {
+                send_error(stream, state, ErrorCode::Protocol, "session already open");
+                return Flow::Close;
+            }
+            if state.drain.load(Ordering::SeqCst) {
+                send_error(stream, state, ErrorCode::Draining, "daemon is draining");
+                return Flow::Close;
+            }
+            let cfg = SessionConfig {
+                shards: (shards > 0).then_some(shards as usize),
+                checkpoint_every: (checkpoint_every > 0).then_some(checkpoint_every),
+                lenient,
+                ..SessionConfig::default()
+            };
+            conn.checkpoint_every = (checkpoint_every > 0).then_some(checkpoint_every);
+            let path = checkpoint_path(&state.opts.checkpoint_dir, &trace_name);
+            let session = if state.opts.resume && path.exists() {
+                match std::fs::read(&path).map_err(|e| e.to_string()).and_then(|d| {
+                    Checkpoint::decode(&d).map_err(|e| e.to_string())
+                }) {
+                    Ok(cp) => Session::open_resumed(cfg, cp),
+                    Err(e) => {
+                        send_error(
+                            stream,
+                            state,
+                            ErrorCode::Internal,
+                            &format!("cannot reopen checkpoint: {e}"),
+                        );
+                        return Flow::Close;
+                    }
+                }
+            } else {
+                Session::open(cfg)
+            };
+            match session {
+                Ok(session) => {
+                    let id = state.next_session.fetch_add(1, Ordering::SeqCst);
+                    let resumed = session.resumed_chunks();
+                    conn.session = Some(session);
+                    conn.checkpoint = Some(path);
+                    write_reply(
+                        stream,
+                        &Message::Hello {
+                            session: id,
+                            resumed_chunks: resumed,
+                        },
+                    )
+                }
+                Err(e) => {
+                    send_error(stream, state, ErrorCode::Analysis, &e.to_string());
+                    Flow::Close
+                }
+            }
+        }
+        Message::Chunk { seq, payload } => {
+            let Some(session) = conn.session.as_mut() else {
+                send_error(stream, state, ErrorCode::Protocol, "chunk before open");
+                return Flow::Close;
+            };
+            if seq != session.chunks() {
+                let msg = format!(
+                    "out-of-order chunk: got seq {seq}, expected {}",
+                    session.chunks()
+                );
+                send_error(stream, state, ErrorCode::Protocol, &msg);
+                suspend_to_disk(conn, state);
+                return Flow::Close;
+            }
+            match session.feed_chunk(&payload) {
+                Ok(delta) => {
+                    // Periodic durability: cut a checkpoint at the
+                    // configured interval so a daemon kill loses at most
+                    // one interval of chunks.
+                    if let Some(every) = conn.checkpoint_every {
+                        if delta.chunks % every == 0 {
+                            write_checkpoint_file(conn, state);
+                        }
+                    }
+                    write_reply(
+                        stream,
+                        &Message::VerdictDelta {
+                            chunks: delta.chunks,
+                            events: delta.events,
+                            races: delta.races,
+                        },
+                    )
+                }
+                Err(e @ SessionError::Trace(_)) => {
+                    send_error(stream, state, ErrorCode::Trace, &e.to_string());
+                    Flow::Close
+                }
+                Err(e) => {
+                    send_error(stream, state, ErrorCode::Analysis, &e.to_string());
+                    Flow::Close
+                }
+            }
+        }
+        Message::Finish => {
+            let Some(session) = conn.session.take() else {
+                send_error(stream, state, ErrorCode::Protocol, "finish before open");
+                return Flow::Close;
+            };
+            match session.finish() {
+                Ok(outcome) => {
+                    state.finished.fetch_add(1, Ordering::SeqCst);
+                    if let Some(path) = conn.checkpoint.take() {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    let _ = write_reply(
+                        stream,
+                        &Message::Final {
+                            races: outcome.races.total_detected,
+                            verdict: render_verdict(&outcome.races),
+                        },
+                    );
+                    Flow::Close
+                }
+                Err(e) => {
+                    send_error(stream, state, ErrorCode::Analysis, &e.to_string());
+                    Flow::Close
+                }
+            }
+        }
+        Message::Suspend => {
+            if conn.session.is_none() {
+                send_error(stream, state, ErrorCode::Protocol, "suspend before open");
+                return Flow::Close;
+            }
+            let chunks = conn.session.as_ref().map_or(0, |s| s.chunks());
+            if suspend_to_disk(conn, state) {
+                let _ = write_reply(stream, &Message::Suspended { chunks });
+            } else {
+                // Nothing checkpointable yet; the client starts over.
+                let _ = write_reply(stream, &Message::Suspended { chunks: 0 });
+            }
+            Flow::Close
+        }
+        Message::Shutdown => {
+            // No reply: the client treats EOF after Shutdown as success.
+            state.drain.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(local);
+            suspend_to_disk(conn, state);
+            Flow::Close
+        }
+        // Server-to-client kinds arriving here are protocol violations.
+        Message::Hello { .. }
+        | Message::VerdictDelta { .. }
+        | Message::Final { .. }
+        | Message::Suspended { .. }
+        | Message::Error { .. } => {
+            send_error(stream, state, ErrorCode::Protocol, "unexpected reply kind");
+            Flow::Close
+        }
+    }
+}
+
+/// Suspends the connection's session (if any) to its checkpoint file.
+/// Returns true when a checkpoint file was written.
+fn suspend_to_disk(conn: &mut Conn, state: &ServeState) -> bool {
+    let Some(session) = conn.session.take() else {
+        return false;
+    };
+    let Some(path) = conn.checkpoint.take() else {
+        return false;
+    };
+    match session.suspend() {
+        Ok(Some(cp)) => {
+            if std::fs::write(&path, cp.encode()).is_ok() {
+                state.suspended.fetch_add(1, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Cuts and persists a periodic checkpoint without consuming the session.
+fn write_checkpoint_file(conn: &mut Conn, state: &ServeState) {
+    let (Some(session), Some(path)) = (conn.session.as_ref(), conn.checkpoint.as_ref()) else {
+        return;
+    };
+    if let Ok(Some(cp)) = session.checkpoint() {
+        let _ = std::fs::write(path, cp.encode());
+        let _ = state; // counted only for terminal suspensions
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, msg: &Message) -> Flow {
+    let frame = encode_frame(msg);
+    match stream.write_all(&frame).and_then(|_| stream.flush()) {
+        Ok(()) => Flow::Continue,
+        Err(_) => Flow::Close,
+    }
+}
+
+fn send_error(stream: &mut TcpStream, state: &ServeState, code: ErrorCode, message: &str) {
+    state.errors.fetch_add(1, Ordering::SeqCst);
+    let _ = write_reply(
+        stream,
+        &Message::Error {
+            code,
+            message: message.to_string(),
+        },
+    );
+}

@@ -30,11 +30,16 @@
 //!   hard errors, and truncation, plus worker panic/stall trigger points and
 //!   the bounded [`faultinject::Backoff`] retry helper (DESIGN S38).
 //! * [`wire`] — the length-delimited varint codec used by checkpoint state
-//!   blobs (bounds-checked cursor, bit-exact floats).
+//!   blobs (bounds-checked cursor, bit-exact floats), plus the framed
+//!   session wire protocol ([`wire::proto`]) spoken by `tracetool serve`.
+//! * [`crc32`] — table-driven CRC-32 (IEEE), one-shot and incremental,
+//!   shared by the framed trace format, the corpus manifest, and the wire
+//!   protocol.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod faultinject;
 pub mod fxhash;
 pub mod ids;

@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+pub mod proto;
+
 /// Decoding error: the blob ended early or a field was malformed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {

@@ -3,11 +3,9 @@
 //! Before this module, running the detector meant picking from a zoo of
 //! entry points: `detect_races` / `detect_races_with_stats` /
 //! `detect_races_in_trace` for serial runs, a hand-assembled
-//! [`run_sharded_events`] call for sharded replay, and a hand-built
-//! [`SupervisorPlan`] for fault-tolerant runs — each returning a
-//! differently-shaped result (`RaceReport`, `(RaceReport, DetectorStats)`,
-//! `DtrgReport`, `ShardedRun`, `SupervisedOutcome`). The builder collapses
-//! all of it:
+//! `run_sharded_events` call for sharded replay, and a hand-built
+//! `SupervisorPlan` for fault-tolerant runs — each returning a
+//! differently-shaped result. The builder collapses all of it:
 //!
 //! ```
 //! use futrace::Analyze;
@@ -34,6 +32,14 @@
 //! `Analyze::trace(path).shards(4).checkpoint_every(8).run()` replays a
 //! recorded trace through the supervised sharded pipeline.
 //!
+//! Since the session layer landed, the builder is a thin shell: it
+//! resolves the source (running and recording a program, reading a trace
+//! file) and then opens a [`crate::service::Session`], feeds it
+//! everything, and finishes it — the exact machinery `tracetool serve`
+//! drives chunk by chunk over the wire. One-shot and streamed analysis
+//! therefore share every backend decision and produce identical
+//! verdicts.
+//!
 //! A program source is recorded to an [`EventLog`] and replayed through
 //! the engine's batched dispatch path. The serial executor is
 //! deterministic, so the replayed verdict is identical to a live run's
@@ -41,67 +47,12 @@
 //! same program feed the serial, sharded, and supervised backends
 //! unchanged.
 
-use crate::detector::{DetectorConfig, DetectorStats, MemoryFootprint, RaceDetector, RaceReport};
-use crate::offline::{
-    run_sharded_events, run_supervised, trace_chunks, trace_events, ShardPlan, ShardStats,
-    SupervisedOutcome, SuperviseError, SupervisionReport, SupervisorPlan, SyntheticChunks,
-    TraceError,
-};
-use crate::runtime::engine::{run_analysis, source, EngineCounters};
+use crate::detector::DetectorConfig;
+use crate::offline::TraceError;
 use crate::runtime::{run_serial, Event, EventLog, SerialCtx};
-use crate::util::faultinject::FaultPlan;
-use crate::util::stats::Timer;
-use std::convert::Infallible;
+use crate::service::{Session, SessionConfig, SessionError};
 
-/// Everything one analysis run produces, whatever the source and backend.
-///
-/// This is the merge of the old `DtrgReport` vs `RaceReport` +
-/// `DetectorStats` duality: one type carrying the verdict, the run's
-/// structural statistics, the measured space bound, the engine's
-/// bookkeeping, and — when the sharded or supervised backend ran — its
-/// pipeline accounting.
-#[derive(Clone, Debug)]
-pub struct AnalysisOutcome {
-    /// Deduplicated, capped race report (the verdict).
-    pub races: RaceReport,
-    /// Structural statistics and DTRG cost counters (Table 2's columns,
-    /// plus the memo and fast-path cache counters).
-    pub stats: DetectorStats,
-    /// Theorem 1's space bound, measured at the end of the run.
-    pub footprint: MemoryFootprint,
-    /// Engine counters: events consumed, checks performed, wall time,
-    /// cache hit/miss totals, and any supervision suffix.
-    pub engine: EngineCounters,
-    /// Sharded-pipeline accounting, when `.shards(n)` ran the sharded or
-    /// supervised backend.
-    pub sharding: Option<ShardStats>,
-    /// What the supervisor did, when the supervised backend ran.
-    pub supervision: Option<SupervisionReport>,
-}
-
-impl AnalysisOutcome {
-    /// True iff any race was detected.
-    pub fn has_races(&self) -> bool {
-        self.races.has_races()
-    }
-
-    fn from_dtrg(report: crate::detector::DtrgReport, mut engine: EngineCounters) -> Self {
-        // Surface the analysis's hot-path cache counters next to the
-        // driver's own counts: hits from both cache layers, misses from
-        // the memo (the shadow fast path has no distinct miss event —
-        // every slow-path check is one).
-        engine.cache_hits = report.stats.dtrg.memo_hits + report.stats.dtrg.shadow_hits;
-        engine.cache_misses = report.stats.dtrg.memo_misses;
-        AnalysisOutcome {
-            races: report.report,
-            stats: report.stats,
-            footprint: report.footprint,
-            engine,
-            sharding: None,
-            supervision: None,
-        }
-    }
-}
+pub use crate::service::AnalysisOutcome;
 
 /// Why an [`Analyze::run`] failed. Program and event-slice sources are
 /// infallible; the variants cover trace I/O, trace decoding, and
@@ -137,6 +88,19 @@ impl std::error::Error for AnalyzeError {}
 impl From<TraceError> for AnalyzeError {
     fn from(e: TraceError) -> Self {
         AnalyzeError::Trace(e)
+    }
+}
+
+impl From<SessionError> for AnalyzeError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::Trace(e) => AnalyzeError::Trace(e),
+            SessionError::Supervise(e) => AnalyzeError::Supervise(e),
+            SessionError::Config(e) => AnalyzeError::Config(e),
+            // One-shot runs never resume, so checkpoint failures here are
+            // supervised-pipeline failures.
+            SessionError::Checkpoint(e) => AnalyzeError::Supervise(e),
+        }
     }
 }
 
@@ -224,7 +188,7 @@ impl<'a> Analyze<'a> {
     }
 
     /// Injects the deterministic fault plan expanded from `seed` (worker
-    /// panics/stalls; see [`FaultPlan::from_seed`]) and runs under the
+    /// panics/stalls; see `FaultPlan::from_seed`) and runs under the
     /// supervisor, which must recover without changing the verdict.
     pub fn fault_plan(mut self, seed: u64) -> Self {
         self.fault_seed = Some(seed);
@@ -238,7 +202,9 @@ impl<'a> Analyze<'a> {
         self
     }
 
-    /// Runs the configured analysis.
+    /// Runs the configured analysis: open a session, feed it the whole
+    /// source, finish it. (`tracetool serve` drives the same session
+    /// chunk by chunk; the backend logic lives in one place.)
     pub fn run(self) -> Result<AnalysisOutcome, AnalyzeError> {
         let Analyze {
             source,
@@ -248,154 +214,28 @@ impl<'a> Analyze<'a> {
             fault_seed,
             lenient,
         } = self;
-        if shards == Some(0) {
-            return Err(AnalyzeError::Config(
-                "shards(0): the sharded backend needs at least one detect worker".to_string(),
-            ));
-        }
-        if checkpoint_every == Some(0) {
-            return Err(AnalyzeError::Config(
-                "checkpoint_every(0): the checkpoint interval must be at least one chunk"
-                    .to_string(),
-            ));
-        }
-        let supervised = checkpoint_every.is_some() || fault_seed.is_some();
-
-        // Resolve the source into a trace blob or an owned event list.
-        let (blob, events): (Option<Vec<u8>>, Option<Vec<Event>>) = match source {
+        let mut session = Session::open(SessionConfig {
+            detector: config,
+            shards,
+            checkpoint_every,
+            fault_seed,
+            lenient,
+        })?;
+        match source {
             Source::Program(f) => {
                 let mut log = EventLog::new();
                 run_serial(&mut log, f);
-                (None, Some(log.events))
+                session.feed_events(log.events)?;
             }
             Source::TracePath(path) => {
                 let data = std::fs::read(&path).map_err(|e| AnalyzeError::Io(path.clone(), e))?;
-                (Some(data), None)
+                session.feed_trace(data)?;
             }
-            Source::TraceBytes(b) => (Some(b.to_vec()), None),
-            Source::Events(e) => (None, Some(e.to_vec())),
-        };
-
-        let timer = Timer::start();
-        if supervised {
-            let plan = {
-                let mut plan = SupervisorPlan {
-                    shard: ShardPlan::with_shards(shards.unwrap_or(ShardPlan::default().shards)),
-                    ..SupervisorPlan::default()
-                };
-                plan.checkpoint_every_chunks = checkpoint_every;
-                if let Some(seed) = fault_seed {
-                    plan = plan.with_faults(&FaultPlan::from_seed(seed));
-                }
-                plan
-            };
-            let factory = || RaceDetector::with_config(config.clone());
-            let out = match (&blob, &events) {
-                (Some(data), _) => {
-                    run_supervised(|| trace_events(data, lenient), factory, &plan, None)
-                        .map_err(erase_supervise_error)?
-                }
-                (None, Some(events)) => run_supervised(
-                    || {
-                        SyntheticChunks::new(
-                            events.iter().cloned().map(Ok as fn(_) -> Result<_, TraceError>),
-                            SYNTHETIC_CHUNK_EVENTS,
-                        )
-                    },
-                    factory,
-                    &plan,
-                    None,
-                )
-                .map_err(erase_supervise_error)?,
-                (None, None) => unreachable!("source resolution always yields one"),
-            };
-            let SupervisedOutcome::Completed {
-                report,
-                stats,
-                supervision,
-            } = out
-            else {
-                unreachable!("no stop_after requested, the run must complete");
-            };
-            let engine = engine_from_shards(&stats, timer.elapsed_ms(), Some(&supervision));
-            let mut outcome = AnalysisOutcome::from_dtrg(report, engine);
-            outcome.sharding = Some(stats);
-            outcome.supervision = Some(supervision);
-            return Ok(outcome);
+            Source::TraceBytes(b) => session.feed_trace(b.to_vec())?,
+            Source::Events(e) => session.feed_events(e.to_vec())?,
         }
-
-        if let Some(n) = shards {
-            let factory = || RaceDetector::with_config(config.clone());
-            let plan = ShardPlan::with_shards(n);
-            let run = match (&blob, &events) {
-                (Some(data), _) => {
-                    let mut it = trace_events(data, lenient);
-                    let mut run = run_sharded_events(&mut it, &plan, factory)?;
-                    run.stats.skipped_chunks = it.skipped_chunks();
-                    run
-                }
-                (None, Some(events)) => {
-                    let it = events.iter().cloned().map(Ok as fn(_) -> Result<_, Infallible>);
-                    match run_sharded_events(it, &plan, factory) {
-                        Ok(run) => run,
-                        Err(never) => match never {},
-                    }
-                }
-                (None, None) => unreachable!("source resolution always yields one"),
-            };
-            let engine = engine_from_shards(&run.stats, timer.elapsed_ms(), None);
-            let mut outcome = AnalysisOutcome::from_dtrg(run.report, engine);
-            outcome.sharding = Some(run.stats);
-            return Ok(outcome);
-        }
-
-        // Plain serial replay: chunk-batched decode for trace blobs, the
-        // batched in-memory path for event slices.
-        let detector = RaceDetector::with_config(config);
-        let out = match (&blob, &events) {
-            (Some(data), _) => run_analysis(source::chunks(trace_chunks(data, lenient)), detector)?,
-            (None, Some(events)) => match run_analysis(source::recorded(events), detector) {
-                Ok(out) => out,
-                Err(never) => match never {},
-            },
-            (None, None) => unreachable!("source resolution always yields one"),
-        };
-        Ok(AnalysisOutcome::from_dtrg(out.report, out.counters))
+        Ok(session.finish()?)
     }
-}
-
-/// Synthetic chunk granularity used when supervising an in-memory event
-/// list (which has no framed boundaries of its own).
-const SYNTHETIC_CHUNK_EVENTS: u64 = 4096;
-
-fn erase_supervise_error(e: SuperviseError<TraceError>) -> AnalyzeError {
-    match e {
-        SuperviseError::Stream(e) => AnalyzeError::Trace(e),
-        other => AnalyzeError::Supervise(other.to_string()),
-    }
-}
-
-/// Builds engine counters from sharded-pipeline accounting, the exact
-/// assembly `tracetool` used to do by hand.
-fn engine_from_shards(
-    stats: &ShardStats,
-    wall_ms: f64,
-    supervision: Option<&SupervisionReport>,
-) -> EngineCounters {
-    let mut c = EngineCounters {
-        events: stats.events,
-        control_events: stats.control_events,
-        reads: stats.reads,
-        writes: stats.writes,
-        wall_ms,
-        ..EngineCounters::default()
-    };
-    if let Some(s) = supervision {
-        c.shard_restarts = s.shard_restarts;
-        c.degradations = s.degradations;
-        c.resumed_from_checkpoint = s.resumed_from_checkpoint;
-    }
-    c
 }
 
 #[cfg(test)]

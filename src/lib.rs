@@ -25,6 +25,9 @@
 //! * [`corpus`] — fleet-scale batch analysis: DAG-scheduled corpus runs
 //!   over directories of traces, with resume manifests and an aggregated
 //!   agreement report (plus the named-detector registry).
+//! * [`service`] — the session layer: incremental chunk-fed analyses
+//!   with suspend/resume, the `tracetool serve` TCP daemon, and its
+//!   streaming client. One-shot `Analyze` runs ride the same sessions.
 //! * [`util`] — union-find, interval labels, hashing, stats.
 //!
 //! ```
@@ -57,6 +60,7 @@ pub use futrace_corpus as corpus;
 pub use futrace_detector as detector;
 pub use futrace_offline as offline;
 pub use futrace_runtime as runtime;
+pub use futrace_service as service;
 pub use futrace_util as util;
 
 /// Convenience prelude for examples and downstream users.
