@@ -100,14 +100,18 @@ usage:
                    [--max-parallel N] [--failure-policy continue|abort]
                    [--shards N] [--supervised] [--lenient] [--fresh]
                    [--stop-after-jobs N] [--job-timeout-ms T]
+                   [--job-retries N]
   tracetool fuzz [--programs N] [--seed S]
                    [--gen nontree|future-heavy|default] [--out-dir DIR]
                    [--time-budget-secs T] [--break-detector NAME]
   tracetool serve --listen HOST:PORT [--workers N] [--queue-depth N]
                    [--checkpoint-dir DIR] [--resume]
+                   [--idle-timeout-ms T] [--io-deadline-ms T]
+                   [--max-sessions N] [--inject-net SEED]
   tracetool client HOST:PORT FILE [--shards N] [--checkpoint-every N]
                    [--lenient] [--name NAME] [--chunk-events N]
-                   [--suspend-after N]
+                   [--suspend-after N] [--retries N]
+                   [--retry-budget-ms T] [--inject-net SEED]
   tracetool client HOST:PORT --shutdown
   tracetool help";
 
@@ -125,6 +129,8 @@ exit codes:
      found races in at least one trace
   4  fuzz found an unexpected detector disagreement (a minimized .ftrc
      reproducer is written to --out-dir)
+  5  client gave up: the daemon shed the session with Busy, or the
+     --retries/--retry-budget-ms reconnect budget ran out
 
 `serve` exits 0 after a clean drain (Shutdown frame or --suspend-after
 clients); suspended sessions are checkpointed, not errors. A `client`
@@ -916,6 +922,7 @@ fn corpus(args: CorpusArgs) {
     opts.fresh = args.fresh;
     opts.stop_after_jobs = args.stop_after_jobs;
     opts.job_timeout = args.job_timeout_ms.map(Duration::from_millis);
+    opts.job_retries = args.job_retries;
 
     let outcome = match run_corpus(std::path::Path::new(&args.dir), &opts) {
         Ok(o) => o,
@@ -930,6 +937,12 @@ fn corpus(args: CorpusArgs) {
         "corpus {}: {} trace(s), {} job(s) ran, {} skipped via manifest",
         args.dir, outcome.traces, outcome.jobs_ran, outcome.jobs_skipped
     );
+    if outcome.jobs_retried > 0 {
+        println!(
+            "retries: {} attempt(s) absorbed by --job-retries",
+            outcome.jobs_retried
+        );
+    }
     if outcome.suspended {
         println!(
             "suspended by --stop-after-jobs; rerun the same command (without \
@@ -976,6 +989,13 @@ fn serve(args: ServeArgs) {
             args.checkpoint_dir.as_deref().unwrap_or("."),
         ),
         resume: args.resume,
+        idle_timeout: args.idle_timeout_ms.map(std::time::Duration::from_millis),
+        io_deadline: match args.io_deadline_ms {
+            Some(ms) => Some(std::time::Duration::from_millis(ms)),
+            None => ServeOptions::default().io_deadline,
+        },
+        max_sessions: args.max_sessions.unwrap_or(0),
+        inject_net: args.inject_net,
     };
     let server = match Server::bind(opts) {
         Ok(s) => s,
@@ -995,9 +1015,15 @@ fn serve(args: ServeArgs) {
     }
     match server.run() {
         Ok(sum) => {
-            println!(
-                "drained: {} session(s) finished, {} suspended, {} error(s)",
-                sum.finished, sum.suspended, sum.errors
+            // Ignore a vanished stdout consumer (EPIPE): whoever spawned
+            // the daemon may be long gone by drain time, and the summary
+            // is telemetry, not a reason to die with a panic.
+            use std::io::Write as _;
+            let _ = writeln!(
+                std::io::stdout(),
+                "drained: {} session(s) finished, {} suspended ({} idle-evicted), \
+                 {} error(s), {} shed busy",
+                sum.finished, sum.suspended, sum.idle_suspended, sum.errors, sum.busy_rejected
             );
             if sum.errors > 0 {
                 std::process::exit(1);
@@ -1041,6 +1067,9 @@ fn client(args: ClientArgs) {
         trace_name: name,
         chunk_events: args.chunk_events,
         suspend_after: args.suspend_after,
+        retries: args.retries,
+        retry_budget_ms: args.retry_budget_ms,
+        inject_net: args.inject_net,
     };
 
     match futrace_service::stream_trace(&opts, &blob) {
@@ -1049,10 +1078,14 @@ fn client(args: ClientArgs) {
             verdict,
             resumed_chunks,
             chunks_sent,
+            attempts,
         }) => {
             println!("{file}: {chunks_sent} chunk(s) streamed to {}", args.addr);
             if resumed_chunks > 0 {
                 println!("resumed: daemon skipped {resumed_chunks} already-analyzed chunk(s)");
+            }
+            if attempts > 1 {
+                println!("reconnected: verdict reached on attempt {attempts}");
             }
             println!("{verdict}");
             if races > 0 {
@@ -1069,6 +1102,13 @@ fn client(args: ClientArgs) {
                 "resume with: tracetool client {} {} --name {} (daemon needs --resume)",
                 args.addr, file, opts.trace_name
             );
+        }
+        Err(
+            e @ (futrace_service::ClientError::Busy { .. }
+            | futrace_service::ClientError::RetriesExhausted { .. }),
+        ) => {
+            eprintln!("error: {e}");
+            std::process::exit(5);
         }
         Err(e) => {
             eprintln!("error: {e}");

@@ -164,6 +164,9 @@ pub struct CorpusArgs {
     /// Fail any single job that runs longer than this many milliseconds
     /// (its dependents are poisoned); absent = no deadline.
     pub job_timeout_ms: Option<u64>,
+    /// Re-queue a failed or timed-out job up to this many times before it
+    /// settles `Failed` and poisons its dependents (default 0).
+    pub job_retries: u64,
 }
 
 /// Options for `tracetool serve` (the analysis daemon).
@@ -180,6 +183,17 @@ pub struct ServeArgs {
     pub checkpoint_dir: Option<String>,
     /// Reopen matching checkpoint files when sessions reconnect.
     pub resume: bool,
+    /// Suspend a session to its checkpoint after this much client
+    /// silence instead of letting it pin a worker forever.
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-frame socket write deadline (default 30 000; a stalled reader
+    /// cannot wedge a worker past it).
+    pub io_deadline_ms: Option<u64>,
+    /// Live-session quota: an `Open` past it is shed with `Busy`
+    /// (absent = unlimited).
+    pub max_sessions: Option<usize>,
+    /// Seed for per-connection network fault injection (chaos testing).
+    pub inject_net: Option<u64>,
 }
 
 /// Options for `tracetool client` (streams a trace to a daemon).
@@ -204,6 +218,13 @@ pub struct ClientArgs {
     pub suspend_after: Option<u64>,
     /// Ask the daemon to drain and exit instead of streaming a trace.
     pub shutdown: bool,
+    /// Reconnect attempts after a torn connection or `Busy` shed
+    /// (default 0: fail on the first fault).
+    pub retries: u32,
+    /// Wall-clock cap in milliseconds across all reconnect attempts.
+    pub retry_budget_ms: Option<u64>,
+    /// Seed for per-attempt network fault injection (chaos testing).
+    pub inject_net: Option<u64>,
 }
 
 /// Options for `tracetool compare`.
@@ -228,10 +249,13 @@ fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, S
 /// Parses `--inject`'s seed: any u64, but nothing else (a mistyped seed
 /// must not silently become a different fault plan).
 fn parse_seed(args: &[String], i: &mut usize) -> Result<u64, String> {
-    let v = value(args, i, "--inject")?;
-    v.parse::<u64>().map_err(|_| {
-        format!("--inject: invalid seed `{v}` (expected an unsigned 64-bit integer)")
-    })
+    parse_seed_flag(args, i, "--inject")
+}
+
+fn parse_seed_flag(args: &[String], i: &mut usize, flag: &'static str) -> Result<u64, String> {
+    let v = value(args, i, flag)?;
+    v.parse::<u64>()
+        .map_err(|_| format!("{flag}: invalid seed `{v}` (expected an unsigned 64-bit integer)"))
 }
 
 fn parse_positive_u64(args: &[String], i: &mut usize, flag: &'static str) -> Result<u64, String> {
@@ -513,6 +537,7 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
     let mut fresh = false;
     let mut stop_after_jobs = None;
     let mut job_timeout_ms = None;
+    let mut job_retries = 0u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -549,6 +574,9 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
             "--job-timeout-ms" => {
                 job_timeout_ms = Some(parse_positive_u64(args, &mut i, "--job-timeout-ms")?)
             }
+            "--job-retries" => {
+                job_retries = parse_positive_u64(args, &mut i, "--job-retries")?
+            }
             d if !d.starts_with('-') && dir.is_none() => dir = Some(d.to_string()),
             other => return Err(format!("corpus: unknown argument `{other}`")),
         }
@@ -580,6 +608,7 @@ fn parse_corpus(args: &[String]) -> Result<CorpusArgs, String> {
         fresh,
         stop_after_jobs,
         job_timeout_ms,
+        job_retries,
     })
 }
 
@@ -589,6 +618,10 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
     let mut queue_depth: usize = 16;
     let mut checkpoint_dir = None;
     let mut resume = false;
+    let mut idle_timeout_ms = None;
+    let mut io_deadline_ms = None;
+    let mut max_sessions = None;
+    let mut inject_net = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -607,6 +640,22 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
                 checkpoint_dir = Some(value(args, &mut i, "--checkpoint-dir")?.to_string())
             }
             "--resume" => resume = true,
+            "--idle-timeout-ms" => {
+                idle_timeout_ms = Some(parse_positive_u64(args, &mut i, "--idle-timeout-ms")?)
+            }
+            "--io-deadline-ms" => {
+                io_deadline_ms = Some(parse_positive_u64(args, &mut i, "--io-deadline-ms")?)
+            }
+            "--max-sessions" => {
+                let n = parse_positive_u64(args, &mut i, "--max-sessions")?;
+                max_sessions = Some(
+                    usize::try_from(n)
+                        .map_err(|_| format!("--max-sessions: `{n}` exceeds the usize range"))?,
+                );
+            }
+            "--inject-net" => {
+                inject_net = Some(parse_seed_flag(args, &mut i, "--inject-net")?)
+            }
             other => return Err(format!("serve: unknown argument `{other}`")),
         }
         i += 1;
@@ -617,6 +666,10 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         queue_depth,
         checkpoint_dir,
         resume,
+        idle_timeout_ms,
+        io_deadline_ms,
+        max_sessions,
+        inject_net,
     })
 }
 
@@ -630,6 +683,9 @@ fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
     let mut chunk_events = None;
     let mut suspend_after = None;
     let mut shutdown = false;
+    let mut retries = 0u32;
+    let mut retry_budget_ms = None;
+    let mut inject_net = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -654,6 +710,19 @@ fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
                 })?);
             }
             "--shutdown" => shutdown = true,
+            "--retries" => {
+                // 0 is meaningful: explicitly keep single-shot behavior.
+                let v = value(args, &mut i, "--retries")?;
+                retries = v.parse::<u32>().map_err(|_| {
+                    format!("--retries: invalid count `{v}` (expected an integer)")
+                })?;
+            }
+            "--retry-budget-ms" => {
+                retry_budget_ms = Some(parse_positive_u64(args, &mut i, "--retry-budget-ms")?)
+            }
+            "--inject-net" => {
+                inject_net = Some(parse_seed_flag(args, &mut i, "--inject-net")?)
+            }
             a if !a.starts_with('-') && addr.is_none() => addr = Some(a.to_string()),
             f if !f.starts_with('-') && file.is_none() => file = Some(f.to_string()),
             other => return Err(format!("client: unknown argument `{other}`")),
@@ -677,6 +746,9 @@ fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
         chunk_events,
         suspend_after,
         shutdown,
+        retries,
+        retry_budget_ms,
+        inject_net,
     })
 }
 
@@ -1047,6 +1119,32 @@ mod tests {
     }
 
     #[test]
+    fn serve_self_protection_flags() {
+        let Command::Serve(s) = parse(&argv("serve --listen a:1")).unwrap() else {
+            panic!()
+        };
+        assert!(s.idle_timeout_ms.is_none() && s.io_deadline_ms.is_none());
+        assert!(s.max_sessions.is_none() && s.inject_net.is_none());
+
+        let Command::Serve(s) = parse(&argv(
+            "serve --listen a:1 --idle-timeout-ms 2000 --io-deadline-ms 500 \
+             --max-sessions 8 --inject-net 42",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.idle_timeout_ms, Some(2000));
+        assert_eq!(s.io_deadline_ms, Some(500));
+        assert_eq!(s.max_sessions, Some(8));
+        assert_eq!(s.inject_net, Some(42));
+
+        let err = parse(&argv("serve --listen a:1 --max-sessions 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("serve --listen a:1 --inject-net banana")).unwrap_err();
+        assert!(err.contains("invalid seed `banana`"), "{err}");
+    }
+
+    #[test]
     fn client_flags() {
         let Command::Client(c) =
             parse(&argv("client 127.0.0.1:7333 t.ftrc --shards 4 --lenient")).unwrap()
@@ -1083,6 +1181,36 @@ mod tests {
     }
 
     #[test]
+    fn client_reconnect_flags() {
+        let Command::Client(c) = parse(&argv("client h:1 t")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.retries, 0);
+        assert!(c.retry_budget_ms.is_none() && c.inject_net.is_none());
+
+        let Command::Client(c) = parse(&argv(
+            "client h:1 t --retries 5 --retry-budget-ms 30000 --inject-net 7",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.retries, 5);
+        assert_eq!(c.retry_budget_ms, Some(30000));
+        assert_eq!(c.inject_net, Some(7));
+
+        // --retries 0 is explicit single-shot, not an error.
+        let Command::Client(c) = parse(&argv("client h:1 t --retries 0")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.retries, 0);
+
+        let err = parse(&argv("client h:1 t --retries many")).unwrap_err();
+        assert!(err.contains("invalid count `many`"), "{err}");
+        let err = parse(&argv("client h:1 t --retry-budget-ms 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
     fn corpus_full_flag_set() {
         let Command::Corpus(c) = parse(&argv(
             "corpus traces --out run1 --detectors dtrg,vc --max-parallel 4 \
@@ -1099,6 +1227,20 @@ mod tests {
         assert!(c.abort && c.supervised && c.lenient && c.fresh);
         assert_eq!(c.shards, Some(2));
         assert_eq!(c.stop_after_jobs, Some(9));
+    }
+
+    #[test]
+    fn corpus_job_retries_flag() {
+        let Command::Corpus(c) = parse(&argv("corpus d")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.job_retries, 0);
+        let Command::Corpus(c) = parse(&argv("corpus d --job-retries 3")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(c.job_retries, 3);
+        let err = parse(&argv("corpus d --job-retries 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

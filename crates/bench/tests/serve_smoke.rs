@@ -285,7 +285,7 @@ fn killed_client_leaves_a_resumable_checkpoint() {
     }
 
     // The daemon suspends on EOF asynchronously; wait for the file.
-    let checkpoint = dir.join("prodcons_racy.fckp");
+    let checkpoint = futrace_service::checkpoint_path(&dir, "prodcons_racy");
     for _ in 0..100 {
         if checkpoint.exists() {
             break;
@@ -346,7 +346,10 @@ fn killed_daemon_resumes_with_byte_identical_report() {
         stdout.contains("suspended after 3 chunk(s)"),
         "suspension notice:\n{stdout}"
     );
-    assert!(dir.join("futtree.fckp").exists(), "checkpoint on disk");
+    assert!(
+        futrace_service::checkpoint_path(&dir, "futtree").exists(),
+        "checkpoint on disk"
+    );
     drop(daemon_a); // SIGKILL, no drain
 
     // Second daemon, same checkpoint dir, --resume: the re-streamed
@@ -410,7 +413,10 @@ fn draining_daemon_suspends_inflight_sessions() {
     // The parked session was suspended, not dropped: the drain summary
     // counts it and its checkpoint file exists for `serve --resume`.
     assert!(summary.contains("1 suspended"), "summary: {summary}");
-    assert!(dir.join("parked.fckp").exists(), "parked checkpoint");
+    assert!(
+        futrace_service::checkpoint_path(&dir, "parked").exists(),
+        "parked checkpoint"
+    );
     // The parked client sees the Suspended notice.
     match read_frame(&mut stream) {
         Ok(Some(Message::Suspended { chunks })) => assert_eq!(chunks, 3),

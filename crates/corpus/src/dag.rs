@@ -24,7 +24,13 @@
 //! * `job_timeout: Some(t)` arms a watchdog: a job running past its
 //!   deadline settles [`JobStatus::Failed`] and poisons its dependents
 //!   immediately, while the wedged runner drains in the background (its
-//!   late result is discarded).
+//!   late result is discarded);
+//! * `job_retries: n` re-queues a failed or timed-out job up to `n`
+//!   times before it settles [`JobStatus::Failed`] — transient failures
+//!   (a flaky filesystem, a timeout on a loaded machine) no longer
+//!   poison a whole subtree on the first strike. Each dispatch carries a
+//!   generation number so a timed-out runner's late result can never be
+//!   confused with its replacement's.
 //!
 //! Acyclicity is by construction: [`Dag::add`] only accepts already-added
 //! jobs as dependencies, so edges always point backwards in id order.
@@ -156,6 +162,12 @@ pub struct ExecPlan {
     /// is not killed — a never-returning job keeps occupying its pool
     /// slot. `None` disables the watchdog.
     pub job_timeout: Option<Duration>,
+    /// Re-queue a failed or timed-out job up to this many times before
+    /// it settles [`JobStatus::Failed`]. A timed-out job's replacement
+    /// may run concurrently with the wedged original (whose late result
+    /// is discarded), so runners must tolerate re-execution. 0 = settle
+    /// on the first failure (the historical behavior).
+    pub job_retries: u64,
 }
 
 impl Default for ExecPlan {
@@ -165,6 +177,7 @@ impl Default for ExecPlan {
             policy: FailurePolicy::Continue,
             stop_after_jobs: None,
             job_timeout: None,
+            job_retries: 0,
         }
     }
 }
@@ -182,6 +195,9 @@ pub struct DagRun {
     pub aborted: bool,
     /// True iff `stop_after_jobs` suspended dispatch.
     pub suspended: bool,
+    /// Retry dispatches: runner attempts beyond each job's first
+    /// (bounded by `job_retries` per job).
+    pub retried: u64,
 }
 
 impl DagRun {
@@ -195,9 +211,18 @@ impl DagRun {
 }
 
 enum Slot {
-    Waiting { deps_left: usize },
+    Waiting {
+        deps_left: usize,
+    },
     Ready,
-    Running { deadline: Option<Instant> },
+    Running {
+        deadline: Option<Instant>,
+        /// Dispatch generation (= the job's attempt count at dispatch).
+        /// A worker's result only settles the job if the slot still
+        /// holds the generation it dispatched under; a timed-out-and-
+        /// requeued job's stale runner fails this check.
+        gen: u64,
+    },
     Settled(JobStatus),
 }
 
@@ -210,6 +235,9 @@ struct ExecState {
     aborting: bool,
     suspended: bool,
     fresh_preset: Vec<Option<JobStatus>>,
+    /// Failures absorbed so far, per job (caps at `plan.job_retries`).
+    attempts: Vec<u64>,
+    retried: u64,
 }
 
 /// Runs the DAG on a pool of `plan.max_parallel` scoped threads.
@@ -248,6 +276,8 @@ where
             aborting: false,
             suspended: false,
             fresh_preset: preset,
+            attempts: vec![0; dag.len()],
+            retried: 0,
         }),
         cv: Condvar::new(),
     };
@@ -295,6 +325,7 @@ where
         skipped: st.skipped,
         aborted: st.aborting,
         suspended: st.suspended,
+        retried: st.retried,
     }
 }
 
@@ -320,26 +351,38 @@ where
             if !matches!(st.slots[id], Slot::Ready) {
                 continue;
             }
+            let my_gen = st.attempts[id];
             st.slots[id] = Slot::Running {
                 deadline: plan.job_timeout.map(|t| Instant::now() + t),
+                gen: my_gen,
             };
             drop(st);
             let result = runner(id);
             st = shared.state.lock().unwrap();
-            // The timekeeper may have settled this job as timed-out while
-            // the runner was still going; its late result is discarded
-            // (the failure verdict and its poison already propagated).
-            if matches!(st.slots[id], Slot::Settled(_)) {
-                continue;
+            // The timekeeper may have settled this job as timed-out (or
+            // timed it out and re-queued it) while the runner was still
+            // going; a stale result is discarded — the live generation's
+            // verdict is the one that counts.
+            match st.slots[id] {
+                Slot::Running { gen, .. } if gen == my_gen => {}
+                _ => continue,
             }
             st.ran += 1;
-            let status = match result {
-                Ok(()) => JobStatus::Ok,
-                Err(msg) => JobStatus::Failed(msg),
-            };
-            let failed = !status.is_ok();
-            settle(dag, &mut st, id, status);
-            after_fresh_settle(dag, plan, &mut st, failed);
+            match result {
+                Ok(()) => {
+                    settle(dag, &mut st, id, JobStatus::Ok);
+                    after_fresh_settle(dag, plan, &mut st, false);
+                }
+                Err(msg) => {
+                    if retryable(plan, &st, id) {
+                        requeue(&mut st, id);
+                        maybe_suspend(dag, plan, &mut st);
+                    } else {
+                        settle(dag, &mut st, id, JobStatus::Failed(msg));
+                        after_fresh_settle(dag, plan, &mut st, true);
+                    }
+                }
+            }
             shared.cv.notify_all();
             continue;
         }
@@ -347,6 +390,23 @@ where
         // worker, or we're waiting on dependency settlement.
         st = shared.cv.wait(st).unwrap();
     }
+}
+
+/// True when a fresh failure of `id` should be re-queued instead of
+/// settled: budget left, and the run is not already winding down (an
+/// aborting or suspended run must not keep dispatching).
+fn retryable(plan: &ExecPlan, st: &ExecState, id: JobId) -> bool {
+    st.attempts[id] < plan.job_retries && !st.aborting && !st.suspended
+}
+
+/// Puts a failed/timed-out job back on the ready heap for another
+/// attempt, bumping its generation so any still-draining runner from
+/// the previous attempt is recognizably stale.
+fn requeue(st: &mut ExecState, id: JobId) {
+    st.attempts[id] += 1;
+    st.retried += 1;
+    st.slots[id] = Slot::Ready;
+    st.ready.push(std::cmp::Reverse(id));
 }
 
 /// Policy reactions shared by the worker and timekeeper settle paths:
@@ -357,6 +417,12 @@ fn after_fresh_settle(dag: &Dag, plan: &ExecPlan, st: &mut ExecState, failed: bo
         st.aborting = true;
         cancel_unstarted(dag, st);
     }
+    maybe_suspend(dag, plan, st);
+}
+
+/// `stop_after_jobs` check alone — also applies to re-queued attempts,
+/// which count as runner completions without settling anything.
+fn maybe_suspend(dag: &Dag, plan: &ExecPlan, st: &mut ExecState) {
     if let Some(n) = plan.stop_after_jobs {
         if st.ran >= n && !st.suspended && st.settled < dag.len() {
             st.suspended = true;
@@ -378,7 +444,10 @@ fn timekeeper(dag: &Dag, plan: &ExecPlan, shared: &Shared, timeout: Duration) {
         let mut next_deadline: Option<Instant> = None;
         let mut expired = Vec::new();
         for (id, slot) in st.slots.iter().enumerate() {
-            if let Slot::Running { deadline: Some(dl) } = slot {
+            if let Slot::Running {
+                deadline: Some(dl), ..
+            } = slot
+            {
                 if *dl <= now {
                     expired.push(id);
                 } else {
@@ -389,13 +458,21 @@ fn timekeeper(dag: &Dag, plan: &ExecPlan, shared: &Shared, timeout: Duration) {
         let fired = !expired.is_empty();
         for id in expired {
             st.ran += 1;
-            settle(
-                dag,
-                &mut st,
-                id,
-                JobStatus::Failed(format!("timed out after {}ms", timeout.as_millis())),
-            );
-            after_fresh_settle(dag, plan, &mut st, true);
+            if retryable(plan, &st, id) {
+                // Re-queue the timed-out job; the wedged original keeps
+                // draining in its worker and its late result is stale by
+                // generation.
+                requeue(&mut st, id);
+                maybe_suspend(dag, plan, &mut st);
+            } else {
+                settle(
+                    dag,
+                    &mut st,
+                    id,
+                    JobStatus::Failed(format!("timed out after {}ms", timeout.as_millis())),
+                );
+                after_fresh_settle(dag, plan, &mut st, true);
+            }
         }
         if fired {
             shared.cv.notify_all();
@@ -699,6 +776,74 @@ mod tests {
         assert_eq!(run.status[bar], JobStatus::Ok, "barrier still fires");
         assert!(run.any_failed());
         assert!(!run.aborted && !run.suspended);
+    }
+
+    #[test]
+    fn flaky_job_retries_within_budget_and_succeeds() {
+        let (dag, a, b, _c, d) = diamond();
+        let b_failures = AtomicU64::new(0);
+        let plan = ExecPlan {
+            job_retries: 2,
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; 4], |id| {
+            if id == b && b_failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err("flaky".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(run.status.iter().all(JobStatus::is_ok), "{:?}", run.status);
+        assert_eq!(run.retried, 2);
+        assert_eq!(run.ran, 6, "4 jobs + 2 extra attempts of b");
+        assert_eq!(run.status[a], JobStatus::Ok);
+        assert_eq!(run.status[d], JobStatus::Ok, "dependents unharmed");
+    }
+
+    #[test]
+    fn exhausted_retry_budget_settles_failed_and_poisons() {
+        let (dag, _a, b, _c, d) = diamond();
+        let plan = ExecPlan {
+            job_retries: 2,
+            ..ExecPlan::default()
+        };
+        let run = execute(&dag, &plan, vec![None; 4], |id| {
+            if id == b {
+                Err("hard".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(run.status[b], JobStatus::Failed("hard".into()));
+        assert_eq!(run.status[d], JobStatus::Poisoned { failed_dep: b });
+        assert_eq!(run.retried, 2, "budget fully spent before settling");
+        assert!(run.any_failed());
+    }
+
+    #[test]
+    fn timed_out_job_retries_and_the_stale_result_is_discarded() {
+        let mut dag = Dag::new();
+        let slow = dag.add("slow", &[]);
+        let child = dag.add("child", &[slow]);
+        let plan = ExecPlan {
+            max_parallel: 2,
+            job_timeout: Some(Duration::from_millis(40)),
+            job_retries: 1,
+            ..ExecPlan::default()
+        };
+        let tries = AtomicU64::new(0);
+        let run = execute(&dag, &plan, vec![None; dag.len()], |id| {
+            if id == slow && tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                // First attempt wedges long past the deadline; its late
+                // Ok must not settle the job (the retry's verdict wins).
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Ok(())
+        });
+        assert_eq!(run.status[slow], JobStatus::Ok, "retry succeeded");
+        assert_eq!(run.status[child], JobStatus::Ok, "no poison leaked");
+        assert_eq!(run.retried, 1);
+        assert!(tries.load(Ordering::SeqCst) >= 2, "job actually re-ran");
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct CorpusOptions {
     /// marked failed (its compare job poisoned) so one wedged trace
     /// cannot stall the corpus. `None` = no deadline.
     pub job_timeout: Option<std::time::Duration>,
+    /// Re-queue a failed or timed-out job up to this many times before
+    /// it settles failed and poisons its dependents (0 = first strike
+    /// settles, the historical behavior).
+    pub job_retries: u64,
     /// Output directory for manifest + reports (created if missing).
     pub out_dir: PathBuf,
 }
@@ -98,6 +102,7 @@ impl CorpusOptions {
             fresh: false,
             stop_after_jobs: None,
             job_timeout: None,
+            job_retries: 0,
             out_dir: out_dir.into(),
         }
     }
@@ -171,6 +176,8 @@ pub struct CorpusOutcome {
     pub jobs_ran: u64,
     /// Jobs skipped because the resume manifest already recorded them.
     pub jobs_skipped: u64,
+    /// Retry dispatches absorbed by `--job-retries` this run.
+    pub jobs_retried: u64,
     /// True iff `stop_after_jobs` suspended dispatch (no report then).
     pub suspended: bool,
     /// True iff the run aborted under [`FailurePolicy::Abort`].
@@ -373,6 +380,10 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
     let store = Mutex::new(store);
     let writer = Mutex::new(writer);
     let fresh_failure = AtomicBool::new(false);
+    // Per-job runner invocations, so a retried job's manifest record
+    // carries how many attempts its verdict absorbed.
+    let invocations: Vec<std::sync::atomic::AtomicU64> =
+        (0..dag.len()).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
     let report_slot: Mutex<Option<CorpusReport>> = Mutex::new(None);
     let rel_names: Vec<String> = traces.iter().map(|t| t.rel.clone()).collect();
 
@@ -399,6 +410,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
     };
 
     let runner = |id: JobId| -> Result<(), String> {
+        let prior_attempts = invocations[id].fetch_add(1, Ordering::SeqCst);
         match &specs[id] {
             JobSpec::Analyze { trace, detector } => {
                 let t = &traces[*trace];
@@ -419,6 +431,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
                     cache_misses: 0,
                     wall_ms: 0.0,
                     disagreeing: vec![],
+                    retries: prior_attempts,
                 };
                 let result = std::fs::read(&t.path)
                     .map_err(|e| format!("cannot read trace: {e}"))
@@ -479,6 +492,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
                     cache_misses: 0,
                     wall_ms: timer.elapsed_ms(),
                     disagreeing,
+                    retries: prior_attempts,
                 })
             }
             JobSpec::Aggregate => {
@@ -504,6 +518,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
         policy: opts.policy,
         stop_after_jobs: opts.stop_after_jobs,
         job_timeout: opts.job_timeout,
+        job_retries: opts.job_retries,
     };
     let run = dag::execute(&dag, &plan, preset, runner);
 
@@ -523,6 +538,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
             let telemetry = RunTelemetry {
                 jobs_ran: run.ran,
                 jobs_skipped: run.skipped,
+                jobs_retried: run.retried,
                 wall_ms_pct: report::wall_ms_percentiles(&store.lock().unwrap()),
             };
             std::fs::write(&md_path, rep.to_markdown(&telemetry))?;
@@ -550,6 +566,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusOutcome, Co
         traces: traces.len(),
         jobs_ran: run.ran,
         jobs_skipped: run.skipped,
+        jobs_retried: run.retried,
         suspended,
         aborted: run.aborted,
         report,

@@ -33,10 +33,12 @@ use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"FMAN";
 // v2 added `trace_crc` to every record (content-hash invalidation).
-// Old manifests fail with `ManifestError::Version` — their records
-// carry no hash to validate against, so resuming them would trust
-// possibly-stale results; `--fresh` is the upgrade path.
-const VERSION: u64 = 2;
+// v3 added `retries` (attempts the job's verdict absorbed beyond its
+// first) so retry telemetry survives resume. Old manifests fail with
+// `ManifestError::Version` — v1 records carry no hash to validate
+// against, and a v2 record decoded as v3 would misread its tail;
+// `--fresh` is the upgrade path.
+const VERSION: u64 = 3;
 
 /// Name of the manifest file inside the corpus output directory.
 pub const MANIFEST_FILE: &str = "corpus.fman";
@@ -112,6 +114,10 @@ pub struct JobRecord {
     /// Compare records: detectors whose verdict differs from the
     /// reference (in run order). Empty for analyze records.
     pub disagreeing: Vec<String>,
+    /// Runner attempts this job's recorded verdict absorbed beyond the
+    /// first (`--job-retries`). Telemetry only — a resumed record's
+    /// retries still count in the report, but never re-run anything.
+    pub retries: u64,
 }
 
 impl JobRecord {
@@ -262,6 +268,7 @@ fn encode_record(rec: &JobRecord) -> Vec<u8> {
     for d in &rec.disagreeing {
         wire::put_str(&mut buf, d);
     }
+    wire::put_varint(&mut buf, rec.retries);
     buf
 }
 
@@ -296,6 +303,7 @@ fn decode_record(payload: &[u8]) -> Result<JobRecord, WireError> {
     for _ in 0..n {
         disagreeing.push(c.str("disagreeing")?.to_string());
     }
+    let retries = c.varint("retries")?;
     Ok(JobRecord {
         kind,
         trace,
@@ -311,6 +319,7 @@ fn decode_record(payload: &[u8]) -> Result<JobRecord, WireError> {
         cache_misses,
         wall_ms,
         disagreeing,
+        retries,
     })
 }
 
@@ -442,6 +451,7 @@ mod tests {
             } else {
                 vec![]
             },
+            retries: 2,
         }
     }
 

@@ -119,6 +119,8 @@ pub struct RunTelemetry {
     pub jobs_ran: u64,
     /// Jobs skipped because a resume manifest already recorded them.
     pub jobs_skipped: u64,
+    /// Retry dispatches absorbed by `--job-retries` this run.
+    pub jobs_retried: u64,
     /// Wall-ms percentiles over this run's analyze jobs.
     pub wall_ms_pct: Option<Percentiles<f64>>,
 }
@@ -480,8 +482,9 @@ impl CorpusReport {
         o.push_str("\n## Run telemetry (not in JSON)\n\n");
         let _ = writeln!(
             o,
-            "jobs run: {}; resumed (skipped via manifest): {}\n",
-            telemetry.jobs_ran, telemetry.jobs_skipped
+            "jobs run: {}; resumed (skipped via manifest): {}; \
+             retries absorbed: {}\n",
+            telemetry.jobs_ran, telemetry.jobs_skipped, telemetry.jobs_retried
         );
         o
     }
@@ -519,6 +522,7 @@ mod tests {
                 cache_misses: 1,
                 wall_ms: 0.5,
                 disagreeing: vec![],
+                retries: 0,
             },
         )
     }
@@ -597,6 +601,7 @@ mod tests {
         let md = rep.to_markdown(&RunTelemetry {
             jobs_ran: 3,
             jobs_skipped: 1,
+            jobs_retried: 2,
             wall_ms_pct: None,
         });
         for section in [

@@ -7,13 +7,31 @@
 //! back the daemon's verdict text verbatim. On resume it re-streams the
 //! full trace; the daemon's session skips the chunks its checkpoint
 //! already completed.
+//!
+//! That no-local-state resume design is what makes reconnection simple:
+//! when a connection tears mid-stream (or the daemon sheds the session
+//! with `Busy`), the client re-dials under [`Backoff`], re-`Open`s the
+//! same session name, and re-streams from chunk 0 — a `--resume` daemon
+//! answers `Hello { resumed_chunks > 0 }` and skips the prefix its
+//! checkpoint already covers. [`ClientOptions::retries`] bounds the
+//! reconnects and [`ClientOptions::retry_budget_ms`] the total elapsed
+//! time; exhausting either yields the structured
+//! [`ClientError::RetriesExhausted`].
 
 use futrace_offline::{framed, trace_events};
 use futrace_runtime::trace;
-use futrace_util::wire::proto::{read_frame, write_frame, ErrorCode, Message, ProtoError};
+use futrace_util::faultinject::{
+    is_transient, write_all_with_retry, Backoff, FaultyReader, FaultyWriter, NetFaults,
+};
+use futrace_util::wire::proto::{encode_frame, read_frame, write_frame, ErrorCode, Message, ProtoError};
 use std::fmt;
-use std::io::Write as _;
+use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Retry budget for absorbing transient faults *within* one connection
+/// (injected `WouldBlock` bursts); reconnection has its own budget.
+const IN_CONN_RETRIES: u32 = 8;
 
 /// Configuration for one streamed analysis.
 #[derive(Clone, Debug)]
@@ -35,6 +53,16 @@ pub struct ClientOptions {
     /// Send `Suspend` after this many chunks instead of finishing
     /// (exercises suspend/resume; used by tests and `--suspend-after`).
     pub suspend_after: Option<u64>,
+    /// Reconnect attempts after a torn connection or `Busy` shed
+    /// (0 = fail on the first fault, the historical behavior).
+    pub retries: u32,
+    /// Wall-clock cap across all attempts; once it would be exceeded the
+    /// client gives up even with retries left.
+    pub retry_budget_ms: Option<u64>,
+    /// Seed for per-attempt network fault injection (chaos testing). The
+    /// final allowed attempt always runs fault-free, so a bounded retry
+    /// budget terminates deterministically under injection.
+    pub inject_net: Option<u64>,
 }
 
 impl Default for ClientOptions {
@@ -47,6 +75,9 @@ impl Default for ClientOptions {
             trace_name: "session".to_string(),
             chunk_events: None,
             suspend_after: None,
+            retries: 0,
+            retry_budget_ms: None,
+            inject_net: None,
         }
     }
 }
@@ -65,6 +96,8 @@ pub enum ClientOutcome {
         resumed_chunks: u64,
         /// Chunks this client sent.
         chunks_sent: u64,
+        /// Connection attempts consumed (1 = no reconnects).
+        attempts: u32,
     },
     /// The session was suspended to a daemon-side checkpoint.
     Suspended {
@@ -92,6 +125,19 @@ pub enum ClientError {
     Protocol(&'static str),
     /// The local trace could not be decoded for re-chunking.
     Trace(String),
+    /// The daemon shed this session for load and the retry budget could
+    /// not absorb it.
+    Busy {
+        /// The daemon's advisory back-off hint.
+        retry_after_ms: u64,
+    },
+    /// The reconnect budget ran out; `last` describes the final failure.
+    RetriesExhausted {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// Rendered form of the last attempt's error.
+        last: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -104,6 +150,12 @@ impl fmt::Display for ClientError {
             }
             ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
             ClientError::Trace(e) => write!(f, "invalid trace: {e}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "daemon busy: retry after {retry_after_ms}ms")
+            }
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -157,76 +209,214 @@ fn chunk_payloads(opts: &ClientOptions, blob: &[u8]) -> Result<Vec<Vec<u8>>, Cli
     Ok(vec![blob.to_vec()])
 }
 
-fn expect_reply(stream: &mut TcpStream) -> Result<Message, ClientError> {
-    match read_frame(stream)? {
-        Some(Message::Error { code, message }) => Err(ClientError::Remote { code, message }),
-        Some(msg) => Ok(msg),
-        None => Err(ClientError::Protocol("daemon closed the connection")),
+/// Absorbs transient read errors (`WouldBlock`/`TimedOut` bursts from
+/// fault injection) with a bounded backoff so a flaky read becomes a
+/// short stall instead of a torn connection. `Interrupted` is already
+/// retried for free by `read_frame`'s header loop.
+struct PatientReader<R> {
+    inner: R,
+}
+
+impl<R: Read> Read for PatientReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let mut backoff = Backoff::new(0xC11E_47, IN_CONN_RETRIES, Duration::from_millis(1));
+        loop {
+            match self.inner.read(buf) {
+                Err(e)
+                    if is_transient(e.kind())
+                        && e.kind() != std::io::ErrorKind::Interrupted =>
+                {
+                    match backoff.next_delay() {
+                        Some(d) => std::thread::sleep(d),
+                        None => return Err(e),
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// One dialed connection: a fault-wrapped read half and write half of
+/// the same socket. With no injection the wrappers pass straight through.
+struct Wire {
+    reader: PatientReader<FaultyReader<TcpStream>>,
+    writer: FaultyWriter<TcpStream>,
+}
+
+impl Wire {
+    fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
+        let frame = encode_frame(msg);
+        let mut backoff = Backoff::new(0x5E_D1A1, IN_CONN_RETRIES, Duration::from_millis(1));
+        write_all_with_retry(&mut self.writer, &frame, &mut backoff)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn expect_reply(&mut self) -> Result<Message, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Some(Message::Error { code, message }) => Err(ClientError::Remote { code, message }),
+            Some(Message::Busy { retry_after_ms }) => Err(ClientError::Busy { retry_after_ms }),
+            Some(msg) => Ok(msg),
+            // Mid-session EOF is a torn connection (daemon killed or
+            // connection dropped), not a protocol-shape violation: surface
+            // it as I/O so the reconnect loop treats it as retryable.
+            None => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ))),
+        }
+    }
+}
+
+fn connect(opts: &ClientOptions, attempt: u32) -> Result<Wire, ClientError> {
+    let stream = TcpStream::connect(&opts.addr)?;
+    let _ = stream.set_nodelay(true);
+    let faults = match opts.inject_net {
+        // The final allowed attempt runs fault-free so a bounded retry
+        // budget terminates deterministically under injection.
+        Some(seed) if opts.retries == 0 || attempt < opts.retries => {
+            NetFaults::from_seed(seed, attempt as u64)
+        }
+        _ => NetFaults::default(),
+    };
+    let read_half = stream.try_clone()?;
+    Ok(Wire {
+        reader: PatientReader {
+            inner: FaultyReader::new(read_half, faults.read),
+        },
+        writer: FaultyWriter::new(stream, faults.write),
+    })
+}
+
+/// Is this failure worth re-dialing for? Torn connections and damaged
+/// reply streams are; structured daemon errors and local trace problems
+/// are permanent. `Busy` is retryable but carries its own delay floor.
+fn retry_floor(err: &ClientError) -> Option<Duration> {
+    match err {
+        ClientError::Io(_) | ClientError::Proto(_) => Some(Duration::ZERO),
+        ClientError::Busy { retry_after_ms } => Some(Duration::from_millis(*retry_after_ms)),
+        _ => None,
     }
 }
 
 /// Streams `blob` to the daemon at `opts.addr` and returns its verdict
-/// (or the suspension acknowledgement).
+/// (or the suspension acknowledgement). A torn connection or `Busy` shed
+/// is retried up to `opts.retries` times under bounded backoff; each
+/// retry re-dials, re-`Open`s the same session name, and re-streams from
+/// chunk 0, relying on the daemon's checkpoint to skip the completed
+/// prefix (or recompute it — the verdict is identical either way).
 pub fn stream_trace(opts: &ClientOptions, blob: &[u8]) -> Result<ClientOutcome, ClientError> {
     let payloads = chunk_payloads(opts, blob)?;
-    let mut stream = TcpStream::connect(&opts.addr)?;
-    let _ = stream.set_nodelay(true);
+    let deadline = opts
+        .retry_budget_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut backoff = Backoff::new(
+        opts.inject_net.unwrap_or(0x7E7).wrapping_add(1),
+        opts.retries,
+        Duration::from_millis(5),
+    );
+    let mut attempt: u32 = 0;
+    loop {
+        match stream_once(opts, &payloads, attempt) {
+            Ok(outcome) => return Ok(outcome),
+            Err(e) => {
+                let floor = match retry_floor(&e) {
+                    Some(floor) if opts.retries > 0 => floor,
+                    // Permanent failure, or retries disabled: report the
+                    // raw error (the historical single-shot behavior).
+                    _ => return Err(e),
+                };
+                let give_up = |attempt: u32, e: ClientError| {
+                    if let ClientError::Busy { .. } = e {
+                        // Keep the structured Busy so callers can map it
+                        // to its own exit code.
+                        e
+                    } else {
+                        ClientError::RetriesExhausted {
+                            attempts: attempt + 1,
+                            last: e.to_string(),
+                        }
+                    }
+                };
+                let delay = match backoff.next_delay() {
+                    Some(d) => d.max(floor),
+                    None => return Err(give_up(attempt, e)),
+                };
+                if let Some(deadline) = deadline {
+                    if Instant::now() + delay > deadline {
+                        return Err(give_up(attempt, e));
+                    }
+                }
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+        }
+    }
+}
 
-    write_frame(
-        &mut stream,
-        &Message::Open {
-            shards: opts.shards.unwrap_or(0) as u64,
-            checkpoint_every: opts.checkpoint_every.unwrap_or(0),
-            lenient: opts.lenient,
-            trace_name: opts.trace_name.clone(),
-        },
-    )?;
-    let resumed_chunks = match expect_reply(&mut stream)? {
+/// One full connect → Open → stream → Finish pass.
+fn stream_once(
+    opts: &ClientOptions,
+    payloads: &[Vec<u8>],
+    attempt: u32,
+) -> Result<ClientOutcome, ClientError> {
+    let mut wire = connect(opts, attempt)?;
+
+    wire.send(&Message::Open {
+        shards: opts.shards.unwrap_or(0) as u64,
+        checkpoint_every: opts.checkpoint_every.unwrap_or(0),
+        lenient: opts.lenient,
+        trace_name: opts.trace_name.clone(),
+    })?;
+    let resumed_chunks = match wire.expect_reply()? {
         Message::Hello { resumed_chunks, .. } => resumed_chunks,
         _ => return Err(ClientError::Protocol("expected Hello")),
     };
 
     let mut sent = 0u64;
-    for payload in &payloads {
+    for payload in payloads {
         if opts.suspend_after == Some(sent) {
-            return suspend(&mut stream, sent);
+            return suspend(&mut wire, sent);
         }
-        write_frame(
-            &mut stream,
-            &Message::Chunk {
-                seq: sent,
-                payload: payload.clone(),
-            },
-        )?;
-        match expect_reply(&mut stream)? {
+        wire.send(&Message::Chunk {
+            seq: sent,
+            payload: payload.clone(),
+        })?;
+        match wire.expect_reply()? {
             Message::VerdictDelta { chunks, .. } => {
                 if chunks != sent + 1 {
                     return Err(ClientError::Protocol("delta out of step"));
                 }
             }
+            // The daemon drained or idle-evicted us mid-stream: the
+            // session is parked in a checkpoint, not lost.
+            Message::Suspended { chunks } => return Ok(ClientOutcome::Suspended { chunks }),
             _ => return Err(ClientError::Protocol("expected VerdictDelta")),
         }
         sent += 1;
     }
     if opts.suspend_after == Some(sent) {
-        return suspend(&mut stream, sent);
+        return suspend(&mut wire, sent);
     }
 
-    write_frame(&mut stream, &Message::Finish)?;
-    match expect_reply(&mut stream)? {
+    wire.send(&Message::Finish)?;
+    match wire.expect_reply()? {
         Message::Final { races, verdict } => Ok(ClientOutcome::Finished {
             races,
             verdict,
             resumed_chunks,
             chunks_sent: sent,
+            attempts: attempt + 1,
         }),
+        Message::Suspended { chunks } => Ok(ClientOutcome::Suspended { chunks }),
         _ => Err(ClientError::Protocol("expected Final")),
     }
 }
 
-fn suspend(stream: &mut TcpStream, sent: u64) -> Result<ClientOutcome, ClientError> {
-    write_frame(stream, &Message::Suspend)?;
-    match expect_reply(stream)? {
+fn suspend(wire: &mut Wire, sent: u64) -> Result<ClientOutcome, ClientError> {
+    wire.send(&Message::Suspend)?;
+    match wire.expect_reply()? {
         Message::Suspended { chunks } => {
             let _ = sent;
             Ok(ClientOutcome::Suspended { chunks })

@@ -27,7 +27,7 @@ pub mod server;
 pub mod session;
 
 pub use client::{shutdown, stream_trace, ClientError, ClientOptions, ClientOutcome};
-pub use server::{Server, ServeOptions, ServeSummary};
+pub use server::{checkpoint_path, Server, ServeOptions, ServeStats, ServeSummary};
 pub use session::{AnalysisOutcome, Session, SessionConfig, SessionError, VerdictDelta};
 
 use futrace_detector::RaceReport;

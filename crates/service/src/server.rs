@@ -16,10 +16,30 @@
 //! file, and a `Shutdown` frame drains the daemon — every in-flight
 //! session is suspended the same way, so `serve --resume` can pick all
 //! of them back up.
+//!
+//! Self-protection (chaos hardening):
+//!
+//! * **Idle eviction** — a session that stops sending for longer than
+//!   [`ServeOptions::idle_timeout`] is *suspended to its checkpoint*,
+//!   not dropped, so a wedged client costs a worker nothing and loses no
+//!   work (the client reconnects and resumes).
+//! * **Per-frame write deadline** — [`ServeOptions::io_deadline`] caps
+//!   how long a reply write may stall, so a client that stops draining
+//!   its socket cannot pin a worker; the session is suspended.
+//! * **Load shedding** — past [`ServeOptions::max_sessions`] open
+//!   sessions (or a full accept queue) an `Open` is answered with a
+//!   structured [`Message::Busy`] frame instead of queueing silently;
+//!   the client backs off and retries.
+//! * **Fault injection** — [`ServeOptions::inject_net`] wraps every
+//!   accepted connection's read/write halves in seeded
+//!   `FaultyReader`/`FaultyWriter` schedules for chaos testing.
 
 use crate::render_verdict;
 use crate::session::{Session, SessionConfig, SessionError};
 use futrace_offline::{channel, Checkpoint};
+use futrace_util::faultinject::{
+    write_all_with_retry, Backoff, FaultyReader, FaultyWriter, NetFaults,
+};
 use futrace_util::wire::proto::{
     decode_frame, encode_frame, ErrorCode, Message, ProtoError,
 };
@@ -28,10 +48,19 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often an idle connection read wakes up to check the drain flag.
+/// How often an idle connection read wakes up to check the drain flag
+/// (and the idle deadline).
 const DRAIN_POLL: Duration = Duration::from_millis(200);
+
+/// Retry hint carried by load-shedding [`Message::Busy`] replies.
+const BUSY_RETRY_AFTER_MS: u64 = 200;
+
+/// Retry budget for reply writes: absorbs injected/transient
+/// `WouldBlock` bursts without masking a genuinely stalled client (a
+/// real write-deadline expiry persists through every retry).
+const WRITE_RETRIES: u32 = 6;
 
 /// Configuration for one daemon instance.
 #[derive(Clone, Debug)]
@@ -47,6 +76,17 @@ pub struct ServeOptions {
     pub checkpoint_dir: PathBuf,
     /// Reopen matching FCKP files when sessions reconnect.
     pub resume: bool,
+    /// Suspend a session to its checkpoint when the client sends nothing
+    /// for this long (`None` = never evict).
+    pub idle_timeout: Option<Duration>,
+    /// Per-frame socket write deadline: a reply write stalled past this
+    /// fails and the session is suspended (`None` = block forever).
+    pub io_deadline: Option<Duration>,
+    /// Open-session quota; an `Open` past it is answered with
+    /// [`Message::Busy`] (0 = unlimited).
+    pub max_sessions: usize,
+    /// Seed for per-connection network fault injection (chaos testing).
+    pub inject_net: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -57,6 +97,10 @@ impl Default for ServeOptions {
             queue_depth: 16,
             checkpoint_dir: PathBuf::from("."),
             resume: false,
+            idle_timeout: None,
+            io_deadline: Some(Duration::from_secs(30)),
+            max_sessions: 0,
+            inject_net: None,
         }
     }
 }
@@ -67,18 +111,30 @@ pub struct ServeSummary {
     /// Sessions that reached `Finish` and got a `Final` verdict.
     pub finished: u64,
     /// Sessions suspended to a checkpoint (explicitly, by client
-    /// disappearance, or by drain).
+    /// disappearance, by idle eviction, or by drain).
     pub suspended: u64,
     /// Structured error frames sent.
     pub errors: u64,
+    /// `Open`s (or whole connections) shed with a `Busy` reply because a
+    /// quota was reached.
+    pub busy_rejected: u64,
+    /// Of `suspended`, the sessions evicted by the idle timeout.
+    pub idle_suspended: u64,
 }
+
+/// Drain and quota accounting, surfaced after [`Server::run`].
+pub type ServeStats = ServeSummary;
 
 struct ServeState {
     drain: AtomicBool,
     finished: AtomicU64,
     suspended: AtomicU64,
     errors: AtomicU64,
+    busy_rejected: AtomicU64,
+    idle_suspended: AtomicU64,
+    active_sessions: AtomicU64,
     next_session: AtomicU64,
+    next_conn: AtomicU64,
     opts: ServeOptions,
 }
 
@@ -101,7 +157,11 @@ impl Server {
                 finished: AtomicU64::new(0),
                 suspended: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
+                busy_rejected: AtomicU64::new(0),
+                idle_suspended: AtomicU64::new(0),
+                active_sessions: AtomicU64::new(0),
                 next_session: AtomicU64::new(1),
+                next_conn: AtomicU64::new(0),
                 opts,
             }),
         })
@@ -146,9 +206,18 @@ impl Server {
                 // The wake-up connection itself lands here; drop it.
                 break;
             }
-            // A full queue blocks right here — backpressure.
-            if tx.send(stream).is_err() {
-                break;
+            // A full queue sheds the connection with a structured Busy
+            // instead of parking it (and its client) invisibly.
+            match tx.send_timeout(stream, Duration::ZERO) {
+                channel::SendTimeout::Sent => {}
+                channel::SendTimeout::Full(mut stream) => {
+                    self.state.busy_rejected.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.set_write_timeout(Some(DRAIN_POLL));
+                    let _ = stream.write_all(&encode_frame(&Message::Busy {
+                        retry_after_ms: BUSY_RETRY_AFTER_MS,
+                    }));
+                }
+                channel::SendTimeout::Disconnected(_) => break,
             }
         }
         drop(tx);
@@ -160,6 +229,8 @@ impl Server {
             finished: self.state.finished.load(Ordering::SeqCst),
             suspended: self.state.suspended.load(Ordering::SeqCst),
             errors: self.state.errors.load(Ordering::SeqCst),
+            busy_rejected: self.state.busy_rejected.load(Ordering::SeqCst),
+            idle_suspended: self.state.idle_suspended.load(Ordering::SeqCst),
         })
     }
 }
@@ -167,6 +238,11 @@ impl Server {
 /// Maps a client-supplied trace name to its checkpoint file, defanging
 /// path separators and dotfiles so a hostile name cannot escape the
 /// checkpoint directory.
+///
+/// The sanitized stem carries a CRC-32 of the *raw* name: sanitization
+/// is lossy (`a/b` and `a_b` both sanitize to `a_b`), and without the
+/// disambiguator two concurrently open sessions with distinct names
+/// would silently clobber each other's checkpoints.
 pub fn checkpoint_path(dir: &Path, trace_name: &str) -> PathBuf {
     let mut safe: String = trace_name
         .chars()
@@ -184,7 +260,8 @@ pub fn checkpoint_path(dir: &Path, trace_name: &str) -> PathBuf {
     if safe.is_empty() {
         safe.push_str("session");
     }
-    dir.join(format!("{safe}.fckp"))
+    let disambiguator = futrace_util::crc32::crc32(trace_name.as_bytes());
+    dir.join(format!("{safe}-{disambiguator:08x}.fckp"))
 }
 
 /// Per-connection protocol driver state.
@@ -192,18 +269,45 @@ struct Conn {
     session: Option<Session>,
     checkpoint: Option<PathBuf>,
     checkpoint_every: Option<u64>,
+    /// True while this connection holds a slot against the
+    /// `max_sessions` quota.
+    counted: bool,
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServeState, local: SocketAddr) {
-    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
-    let _ = stream.set_nodelay(true);
+fn handle_connection(stream: TcpStream, state: &ServeState, local: SocketAddr) {
     let mut conn = Conn {
         session: None,
         checkpoint: None,
         checkpoint_every: None,
+        counted: false,
     };
+    drive_connection(stream, &mut conn, state, local);
+    if conn.counted {
+        state.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn drive_connection(stream: TcpStream, conn: &mut Conn, state: &ServeState, local: SocketAddr) {
+    let _ = stream.set_read_timeout(Some(DRAIN_POLL));
+    let _ = stream.set_write_timeout(state.opts.io_deadline);
+    let _ = stream.set_nodelay(true);
+    // Both halves always go through the fault wrappers; without
+    // --inject-net the schedules are empty and the wrappers are
+    // pass-through. Socket timeouts live on the fd, shared by the clone.
+    let lane = state.next_conn.fetch_add(1, Ordering::SeqCst);
+    let faults = state
+        .opts
+        .inject_net
+        .map(|seed| NetFaults::from_seed(seed, lane))
+        .unwrap_or_default();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FaultyReader::new(read_half, faults.read);
+    let mut writer = FaultyWriter::new(stream, faults.write);
     let mut buf: Vec<u8> = Vec::new();
     let mut scratch = [0u8; 64 * 1024];
+    let mut last_activity = Instant::now();
 
     loop {
         // Drain every complete frame already buffered.
@@ -211,9 +315,16 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState, local: SocketAdd
             match decode_frame(&buf) {
                 Ok((msg, consumed)) => {
                     buf.drain(..consumed);
-                    match dispatch(msg, &mut conn, &mut stream, state, local) {
+                    match dispatch(msg, conn, &mut writer, state, local) {
                         Flow::Continue => {}
-                        Flow::Close => return,
+                        Flow::Close => {
+                            // Whatever closed the conversation (normal
+                            // completion leaves no session; a torn or
+                            // deadline-expired reply write does), any
+                            // still-open session's work is preserved.
+                            suspend_to_disk(conn, state);
+                            return;
+                        }
                     }
                 }
                 Err(ProtoError::Truncated(_)) => break, // need more bytes
@@ -221,20 +332,23 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState, local: SocketAdd
                     // Structural damage (bad CRC, oversized, malformed):
                     // the stream cannot be resynced. Report, preserve the
                     // session, close.
-                    send_error(&mut stream, state, ErrorCode::Protocol, &e.to_string());
-                    suspend_to_disk(&mut conn, state);
+                    send_error(&mut writer, state, ErrorCode::Protocol, &e.to_string());
+                    suspend_to_disk(conn, state);
                     return;
                 }
             }
         }
 
-        match stream.read(&mut scratch) {
+        match reader.read(&mut scratch) {
             Ok(0) => {
                 // Client went away mid-session: preserve its work.
-                suspend_to_disk(&mut conn, state);
+                suspend_to_disk(conn, state);
                 return;
             }
-            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                last_activity = Instant::now();
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -242,15 +356,29 @@ fn handle_connection(mut stream: TcpStream, state: &ServeState, local: SocketAdd
                 if state.drain.load(Ordering::SeqCst) {
                     // Drain: suspend in-flight work, tell the client.
                     let chunks = conn.session.as_ref().map_or(0, |s| s.chunks());
-                    if suspend_to_disk(&mut conn, state) {
-                        let _ = write_reply(&mut stream, &Message::Suspended { chunks });
+                    if suspend_to_disk(conn, state) {
+                        let _ = write_reply(&mut writer, &Message::Suspended { chunks });
                     }
                     return;
+                }
+                if let Some(limit) = state.opts.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        // Idle eviction: suspend, don't drop — the wedged
+                        // client's work survives in the checkpoint and a
+                        // reconnect resumes it.
+                        let chunks = conn.session.as_ref().map_or(0, |s| s.chunks());
+                        if suspend_to_disk(conn, state) {
+                            state.idle_suspended.fetch_add(1, Ordering::SeqCst);
+                            let _ =
+                                write_reply(&mut writer, &Message::Suspended { chunks });
+                        }
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => {
-                suspend_to_disk(&mut conn, state);
+                suspend_to_disk(conn, state);
                 return;
             }
         }
@@ -262,10 +390,10 @@ enum Flow {
     Close,
 }
 
-fn dispatch(
+fn dispatch<W: Write>(
     msg: Message,
     conn: &mut Conn,
-    stream: &mut TcpStream,
+    stream: &mut W,
     state: &ServeState,
     local: SocketAddr,
 ) -> Flow {
@@ -283,6 +411,29 @@ fn dispatch(
             if state.drain.load(Ordering::SeqCst) {
                 send_error(stream, state, ErrorCode::Draining, "daemon is draining");
                 return Flow::Close;
+            }
+            // Session quota: shed with a structured Busy instead of
+            // queueing. The slot is claimed atomically so concurrent
+            // Opens cannot oversubscribe, and released when the
+            // connection ends.
+            if state.opts.max_sessions > 0 {
+                let quota = state.opts.max_sessions as u64;
+                let claimed = state.active_sessions.fetch_update(
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                    |n| (n < quota).then_some(n + 1),
+                );
+                if claimed.is_err() {
+                    state.busy_rejected.fetch_add(1, Ordering::SeqCst);
+                    let _ = write_reply(
+                        stream,
+                        &Message::Busy {
+                            retry_after_ms: BUSY_RETRY_AFTER_MS,
+                        },
+                    );
+                    return Flow::Close;
+                }
+                conn.counted = true;
             }
             let cfg = SessionConfig {
                 shards: (shards > 0).then_some(shards as usize),
@@ -426,7 +577,8 @@ fn dispatch(
         | Message::VerdictDelta { .. }
         | Message::Final { .. }
         | Message::Suspended { .. }
-        | Message::Error { .. } => {
+        | Message::Error { .. }
+        | Message::Busy { .. } => {
             send_error(stream, state, ErrorCode::Protocol, "unexpected reply kind");
             Flow::Close
         }
@@ -444,7 +596,7 @@ fn suspend_to_disk(conn: &mut Conn, state: &ServeState) -> bool {
     };
     match session.suspend() {
         Ok(Some(cp)) => {
-            if std::fs::write(&path, cp.encode()).is_ok() {
+            if persist_checkpoint(&path, &cp.encode()).is_ok() {
                 state.suspended.fetch_add(1, Ordering::SeqCst);
                 true
             } else {
@@ -455,26 +607,47 @@ fn suspend_to_disk(conn: &mut Conn, state: &ServeState) -> bool {
     }
 }
 
+/// Persists checkpoint bytes atomically: a write-then-rename through a
+/// per-thread temp file, so a daemon killed mid-write (or a resume read
+/// racing a concurrent suspend of the same session name) can only ever
+/// observe a complete old or complete new checkpoint — never a torn one
+/// that would poison `--resume`.
+fn persist_checkpoint(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp{:?}", std::thread::current().id()));
+    let tmp = PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
 /// Cuts and persists a periodic checkpoint without consuming the session.
 fn write_checkpoint_file(conn: &mut Conn, state: &ServeState) {
     let (Some(session), Some(path)) = (conn.session.as_ref(), conn.checkpoint.as_ref()) else {
         return;
     };
     if let Ok(Some(cp)) = session.checkpoint() {
-        let _ = std::fs::write(path, cp.encode());
+        let _ = persist_checkpoint(path, &cp.encode());
         let _ = state; // counted only for terminal suspensions
     }
 }
 
-fn write_reply(stream: &mut TcpStream, msg: &Message) -> Flow {
+fn write_reply<W: Write>(stream: &mut W, msg: &Message) -> Flow {
     let frame = encode_frame(msg);
-    match stream.write_all(&frame).and_then(|_| stream.flush()) {
+    // A bounded retry absorbs transient WouldBlock bursts (injected or
+    // genuine); a stalled client exhausts the budget because the write
+    // deadline keeps expiring, and the session is suspended by the
+    // caller's Close path.
+    let mut backoff = Backoff::new(0x5E12_17, WRITE_RETRIES, Duration::from_millis(1));
+    match write_all_with_retry(stream, &frame, &mut backoff).and_then(|_| stream.flush()) {
         Ok(()) => Flow::Continue,
         Err(_) => Flow::Close,
     }
 }
 
-fn send_error(stream: &mut TcpStream, state: &ServeState, code: ErrorCode, message: &str) {
+fn send_error<W: Write>(stream: &mut W, state: &ServeState, code: ErrorCode, message: &str) {
     state.errors.fetch_add(1, Ordering::SeqCst);
     let _ = write_reply(
         stream,
@@ -483,4 +656,55 @@ fn send_error(stream: &mut TcpStream, state: &ServeState, code: ErrorCode, messa
             message: message.to_string(),
         },
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_paths_stay_inside_the_directory() {
+        let dir = Path::new("/ckpt");
+        for name in ["../../etc/passwd", ".hidden", "a/b/c", "", "名前"] {
+            let p = checkpoint_path(dir, name);
+            assert_eq!(p.parent(), Some(dir), "{name:?} escaped: {p:?}");
+            let file = p.file_name().unwrap().to_str().unwrap();
+            assert!(file.ends_with(".fckp"), "{file}");
+            assert!(!file.starts_with('.'), "{file}");
+        }
+    }
+
+    /// Regression: distinct names whose sanitized stems coincide must
+    /// map to distinct checkpoint files, or concurrent sessions clobber
+    /// each other's checkpoints.
+    #[test]
+    fn distinct_names_never_share_a_checkpoint_file() {
+        let dir = Path::new("/ckpt");
+        let colliding = [
+            ("a/b", "a_b"),
+            ("a b", "a_b"),
+            ("x:y", "x_y"),
+            ("..weird", "__weird"),
+            ("", "session"),
+        ];
+        for (left, right) in colliding {
+            assert_ne!(
+                checkpoint_path(dir, left),
+                checkpoint_path(dir, right),
+                "{left:?} vs {right:?}"
+            );
+        }
+        // Same name still maps to the same file (resume depends on it).
+        assert_eq!(checkpoint_path(dir, "a/b"), checkpoint_path(dir, "a/b"));
+    }
+
+    #[test]
+    fn checkpoint_path_carries_the_raw_name_crc() {
+        let p = checkpoint_path(Path::new("."), "trace");
+        let crc = futrace_util::crc32::crc32(b"trace");
+        assert_eq!(
+            p.file_name().unwrap().to_str().unwrap(),
+            format!("trace-{crc:08x}.fckp")
+        );
+    }
 }

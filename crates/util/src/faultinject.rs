@@ -180,6 +180,78 @@ impl FaultPlan {
     }
 }
 
+/// Per-connection network fault schedules expanded from a
+/// `--inject-net` seed.
+///
+/// Deliberately separate from [`FaultPlan::from_seed`], whose seed → plan
+/// mapping is a frozen contract pinned by CI smoke seeds; the network
+/// expansion is keyed by `(seed, lane)` where `lane` is the connection
+/// ordinal (server side) or the dial-attempt ordinal (client side), so
+/// every connection of a chaos run draws its own reproducible schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetFaults {
+    /// Faults applied to the connection's read half.
+    pub read: IoFaults,
+    /// Faults applied to the connection's write half.
+    pub write: IoFaults,
+}
+
+impl NetFaults {
+    /// Expands `(seed, lane)` into one connection's fault schedules.
+    /// Deterministic on any platform.
+    ///
+    /// Each direction independently draws one of {clean, short ops +
+    /// `Interrupted` bursts, short ops + occasional `WouldBlock`,
+    /// mid-frame cut}. A cut surfaces as early EOF on the read half and a
+    /// hard error on the write half — the two ways a torn TCP connection
+    /// actually presents. `Interrupted` is absorbed by std's own retry
+    /// loops; `WouldBlock` exercises the [`Backoff`]-driven wire retries.
+    pub fn from_seed(seed: u64, lane: u64) -> NetFaults {
+        let mut r = Rng::seeded(seed ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        NetFaults {
+            read: Self::draw(&mut r, true),
+            write: Self::draw(&mut r, false),
+        }
+    }
+
+    fn draw(r: &mut Rng, reading: bool) -> IoFaults {
+        match r.gen_range(0..4u64) {
+            0 => IoFaults::default(),
+            1 => IoFaults {
+                short_op_every: Some(r.gen_range(2..6u64)),
+                transient_every: Some(r.gen_range(3..9u64)),
+                transient_kind: Some(TransientKind::Interrupted),
+                ..IoFaults::default()
+            },
+            2 => IoFaults {
+                short_op_every: Some(r.gen_range(2..6u64)),
+                transient_every: Some(r.gen_range(8..17u64)),
+                transient_kind: Some(TransientKind::WouldBlock),
+                ..IoFaults::default()
+            },
+            _ => {
+                let cut = r.gen_range(200..20_000u64);
+                if reading {
+                    IoFaults {
+                        truncate_at: Some(cut),
+                        ..IoFaults::default()
+                    }
+                } else {
+                    IoFaults {
+                        hard_error_at: Some(cut),
+                        ..IoFaults::default()
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when neither direction schedules a fault.
+    pub fn is_none(&self) -> bool {
+        self.read.is_none() && self.write.is_none()
+    }
+}
+
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fn io_desc(io: &IoFaults) -> String {
@@ -587,6 +659,39 @@ mod tests {
             }
         }
         assert!(saw_trunc && saw_transient && saw_hard && saw_clean);
+    }
+
+    #[test]
+    fn net_fault_expansion_is_deterministic_and_covers_every_scenario() {
+        let mut saw_clean = false;
+        let mut saw_interrupted = false;
+        let mut saw_wouldblock = false;
+        let mut saw_read_cut = false;
+        let mut saw_write_cut = false;
+        for seed in 0..16u64 {
+            for lane in 0..8u64 {
+                let n = NetFaults::from_seed(seed, lane);
+                assert_eq!(n, NetFaults::from_seed(seed, lane));
+                for io in [&n.read, &n.write] {
+                    saw_clean |= io.is_none();
+                    saw_interrupted |=
+                        io.transient_kind == Some(TransientKind::Interrupted);
+                    saw_wouldblock |= io.transient_kind == Some(TransientKind::WouldBlock);
+                }
+                // Cuts present as the direction-appropriate fault only.
+                assert!(n.read.hard_error_at.is_none());
+                assert!(n.write.truncate_at.is_none());
+                saw_read_cut |= n.read.truncate_at.is_some();
+                saw_write_cut |= n.write.hard_error_at.is_some();
+            }
+        }
+        assert!(saw_clean && saw_interrupted && saw_wouldblock);
+        assert!(saw_read_cut && saw_write_cut);
+        // Different lanes of the same seed draw different schedules.
+        assert_ne!(
+            (0..32).map(|l| NetFaults::from_seed(3, l)).collect::<Vec<_>>(),
+            vec![NetFaults::from_seed(3, 0); 32]
+        );
     }
 
     #[test]

@@ -173,6 +173,13 @@ pub enum Message {
         /// Human-readable detail.
         message: String,
     },
+    /// Server → client: the daemon is at its session or connection quota
+    /// and sheds this `Open` instead of queueing it. The client should
+    /// back off and retry; the hint is advisory, not a promise of a slot.
+    Busy {
+        /// Suggested minimum wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 const KIND_OPEN: u8 = 1;
@@ -185,6 +192,7 @@ const KIND_VERDICT_DELTA: u8 = 17;
 const KIND_FINAL: u8 = 18;
 const KIND_SUSPENDED: u8 = 19;
 const KIND_ERROR: u8 = 20;
+const KIND_BUSY: u8 = 21;
 
 impl Message {
     /// Encodes the message payload (kind byte + body, no frame header).
@@ -243,6 +251,10 @@ impl Message {
                 buf.push(KIND_ERROR);
                 buf.push(code.to_u8());
                 put_str(&mut buf, message);
+            }
+            Message::Busy { retry_after_ms } => {
+                buf.push(KIND_BUSY);
+                put_varint(&mut buf, *retry_after_ms);
             }
         }
         buf
@@ -306,6 +318,9 @@ impl Message {
                     message: c.str("error message")?.to_string(),
                 }
             }
+            KIND_BUSY => Message::Busy {
+                retry_after_ms: c.varint("retry_after_ms")?,
+            },
             _ => return Err(WireError::Malformed("unknown message kind")),
         };
         if !c.is_empty() {
@@ -499,6 +514,10 @@ mod tests {
                 code: ErrorCode::Trace,
                 message: "invalid trace: unknown tag".into(),
             },
+            Message::Busy { retry_after_ms: 0 },
+            Message::Busy {
+                retry_after_ms: 250,
+            },
         ]
     }
 
@@ -626,7 +645,7 @@ mod tests {
     #[test]
     fn prop_mutated_frames_never_panic() {
         let strat = strategies::tuple4(
-            strategies::u8_range(0..12),     // which specimen
+            strategies::u8_range(0..14),     // which specimen
             strategies::u32_range(0..4096),  // mutation offset seed
             strategies::u8_range(0..255),    // xor mask (0 ⇒ truncate instead)
             strategies::u32_range(0..4096),  // truncation point seed
