@@ -17,15 +17,30 @@
 //! Sampling reuses the in-tree runner's protocol
 //! ([`futrace_bench::runner`]): `FUTRACE_BENCH_WARMUP` untimed then
 //! `FUTRACE_BENCH_SAMPLES` timed iterations, median-of-samples (robust
-//! to scheduling noise in CI).
+//! to scheduling noise in CI). The comparison pairs — cached vs
+//! uncached, serial-live vs online — are sampled *interleaved*
+//! (`Group::bench_pair`) so a noise burst on a shared machine hits both
+//! sides of the reported ratio instead of skewing one.
 //!
 //! Usage: `dtrgperf [--out PATH] [--programs a,b,...] [--list]`
 
 use futrace_bench::runner::Runner;
 use futrace_benchsuite::registry::{self, Scale, Workload};
-use futrace_detector::{DetectorConfig, RaceDetector};
-use futrace_runtime::engine::{run_analysis, source};
+use futrace_detector::{DetectorConfig, OnlineDtrg, RaceDetector};
+use futrace_runtime::engine::{run_analysis, source, Analysis, Engine};
+use futrace_runtime::online::{run_online, OnlineOptions};
 use futrace_runtime::{Event, EventLog, NullMonitor};
+
+/// Worker-thread count for the online rows (the acceptance bar:
+/// overlapped detection at this width must beat the serial instrumented
+/// run on the wavefront/stencil programs).
+const ONLINE_THREADS: usize = 4;
+
+/// Programs that also get online rows: live serial-instrumented wall
+/// time vs `run_online` at [`ONLINE_THREADS`] threads. The stencil /
+/// wavefront / block workloads, where per-task kernels are heavy enough
+/// for execution to overlap detection.
+const ONLINE_PROGRAMS: &[&str] = &["jacobi", "sor", "smithwaterman", "crypt"];
 
 /// The profiled subset of the benchsuite registry: every workload with
 /// `perf: true`, at [`Scale::Perf`] sizes (scaled sizes except where the
@@ -48,6 +63,23 @@ struct ProgramResult {
     memo_hits: u64,
     memo_misses: u64,
     shadow_hits: u64,
+    online: Option<OnlineResult>,
+}
+
+/// Online rows for the [`ONLINE_PROGRAMS`] subset: serial instrumented
+/// execution (run + detect on one thread) vs the overlapped pipeline.
+struct OnlineResult {
+    threads: usize,
+    serial_live_median_ns: u64,
+    online_median_ns: u64,
+}
+
+impl OnlineResult {
+    /// Serial-instrumented vs online wall-time speedup (>1 means the
+    /// overlapped pipeline wins).
+    fn speedup(&self) -> f64 {
+        self.serial_live_median_ns as f64 / self.online_median_ns.max(1) as f64
+    }
 }
 
 impl ProgramResult {
@@ -73,6 +105,18 @@ impl ProgramResult {
     }
 
     fn to_json(&self) -> String {
+        let online = self.online.as_ref().map_or(String::new(), |o| {
+            format!(
+                concat!(
+                    ",\"online_threads\":{},\"serial_live_median_ns\":{},",
+                    "\"online_median_ns\":{},\"online_speedup\":{:.3}"
+                ),
+                o.threads,
+                o.serial_live_median_ns,
+                o.online_median_ns,
+                o.speedup()
+            )
+        });
         format!(
             concat!(
                 "    {{\"name\":\"{}\",\"events\":{},\"accesses\":{},\"races\":{},",
@@ -81,7 +125,7 @@ impl ProgramResult {
                 "\"uncached_ns_per_event\":{:.3},\"improvement\":{:.3},",
                 "\"slowdown_cached\":{:.3},\"slowdown_uncached\":{:.3},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"memo_hits\":{},",
-                "\"memo_misses\":{},\"shadow_hits\":{}}}"
+                "\"memo_misses\":{},\"shadow_hits\":{}{}}}"
             ),
             self.name,
             self.events,
@@ -100,6 +144,7 @@ impl ProgramResult {
             self.memo_hits,
             self.memo_misses,
             self.shadow_hits,
+            online,
         )
     }
 }
@@ -141,6 +186,21 @@ fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
     let dtrg = &cached_out.report.stats.dtrg;
     let (cache_hits, cache_misses) = (dtrg.memo_hits + dtrg.shadow_hits, dtrg.memo_misses);
 
+    let with_online = ONLINE_PROGRAMS.contains(&w.name);
+    if with_online {
+        // The overlapped pipeline must agree with the replayed verdict
+        // before we bother timing it.
+        let online_out = run_online(OnlineOptions::auto(ONLINE_THREADS), OnlineDtrg::new(), |ctx| {
+            w.run_parallel_into(ctx, Scale::Perf, false)
+        });
+        assert!(online_out.result.is_ok(), "{}: online run failed", w.name);
+        assert_eq!(
+            online_out.report.report.races, cached_out.report.report.races,
+            "{}: online and replayed verdicts must be identical",
+            w.name
+        );
+    }
+
     let mut group = runner.benchmark_group(format!("dtrgperf/{}", w.name));
     group.bench_function("uninstrumented", |b| {
         b.iter(|| {
@@ -148,8 +208,36 @@ fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
             w.run_into(&mut nm, Scale::Perf, false);
         })
     });
-    group.bench_function("cached", |b| b.iter(|| replay(&cached_cfg)));
-    group.bench_function("uncached", |b| b.iter(|| replay(&uncached_cfg)));
+    // The reported numbers are *ratios* (improvement, online speedup), so
+    // both sides of each pair are sampled interleaved: background-noise
+    // bursts on a shared box then hit cached and uncached equally instead
+    // of whichever block happened to be running.
+    group.bench_pair(
+        "cached",
+        || replay(&cached_cfg),
+        "uncached",
+        || replay(&uncached_cfg),
+    );
+    if with_online {
+        // End-to-end wall time, execution included: one instrumented
+        // serial thread vs the work-stealing executor with detection
+        // overlapped on shard threads.
+        group.bench_pair(
+            "serial-live",
+            || {
+                let mut engine = Engine::new(RaceDetector::new());
+                w.run_into(&mut engine, Scale::Perf, false);
+                let (analysis, _) = engine.into_parts();
+                analysis.finish()
+            },
+            "online",
+            || {
+                run_online(OnlineOptions::auto(ONLINE_THREADS), OnlineDtrg::new(), |ctx| {
+                    w.run_parallel_into(ctx, Scale::Perf, false)
+                })
+            },
+        );
+    }
     group.finish();
 
     let recs = runner.records();
@@ -173,6 +261,11 @@ fn measure(w: &Workload, runner: &mut Runner) -> ProgramResult {
         memo_hits: dtrg.memo_hits,
         memo_misses: dtrg.memo_misses,
         shadow_hits: dtrg.shadow_hits,
+        online: with_online.then(|| OnlineResult {
+            threads: ONLINE_THREADS,
+            serial_live_median_ns: median("serial-live"),
+            online_median_ns: median("online"),
+        }),
     }
 }
 
@@ -244,6 +337,24 @@ fn main() {
             r.cache_hits,
             r.cache_misses,
         );
+    }
+    let online_rows: Vec<&ProgramResult> = results.iter().filter(|r| r.online.is_some()).collect();
+    if !online_rows.is_empty() {
+        println!();
+        println!(
+            "{:<14} {:>12} {:>12} {:>8}",
+            "online", "serial-live", "online", "speedup"
+        );
+        for r in &online_rows {
+            let o = r.online.as_ref().expect("filtered on is_some");
+            println!(
+                "{:<14} {:>10.1}ms {:>10.1}ms {:>7.2}x",
+                format!("{}@{}t", r.name, o.threads),
+                o.serial_live_median_ns as f64 / 1e6,
+                o.online_median_ns as f64 / 1e6,
+                o.speedup(),
+            );
+        }
     }
 
     let body: Vec<String> = results.iter().map(|r| r.to_json()).collect();

@@ -7,6 +7,12 @@
 //! tracetool record --bench jacobi --out /tmp/jacobi.trace \
 //!     [--tiny|--scaled] [--planted] [--stream [--chunk-bytes N]]
 //!
+//! # run a benchmark live on the instrumented work-stealing executor,
+//! # detecting races online while it executes — no trace file; the
+//! # verdict is byte-identical to record + analyze --detector dtrg:
+//! tracetool exec --bench jacobi --threads 4 [--detector dtrg]
+//!     [--shards N] [--tiny|--scaled] [--planted] [--steal-seed S]
+//!
 //! # offline race detection + statistics over a trace (either format;
 //! # --detector picks the analysis, --shards N runs the parallel
 //! # pipeline for loc-routable detectors, verdict identical to serial):
@@ -43,8 +49,9 @@
 //! tracetool client HOST:PORT --shutdown
 //! ```
 //!
-//! Exit codes: 0 clean, 1 invalid/damaged trace, 2 usage error, 3 races
-//! detected by `analyze` (`compare` always exits 0 when the trace reads
+//! Exit codes: 0 clean, 1 invalid/damaged trace (or a deadlocked `exec`
+//! run), 2 usage error, 3 races
+//! detected by `analyze` or `exec` (`compare` always exits 0 when the trace reads
 //! cleanly — its product is the agreement report, not a verdict), 4
 //! unexpected detector disagreement found by `fuzz` (a minimized `.ftrc`
 //! reproducer is written to `--out-dir`). `corpus` exits 0 when every
@@ -56,20 +63,21 @@
 use futrace_bench::detectors::{self, AnyReport, DETECTOR_NAMES};
 use futrace_bench::fuzzdiff;
 use futrace_bench::tracetool_cli::{
-    self, AnalyzeArgs, ClientArgs, Command, CompareArgs, CorpusArgs, FuzzArgs, RecordArgs,
-    ServeArgs,
+    self, AnalyzeArgs, ClientArgs, Command, CompareArgs, CorpusArgs, ExecArgs, FuzzArgs,
+    RecordArgs, ServeArgs,
 };
 use futrace_benchsuite::randomprog::GenParams;
 use futrace_corpus::{run_corpus, CorpusError, CorpusOptions, FailurePolicy};
 use futrace_benchsuite::registry::{self, Scale};
 use futrace_compgraph::{dot, GraphBuilder, GraphStats};
-use futrace_detector::RaceReport;
+use futrace_detector::{OnlineDtrg, RaceReport};
 use futrace_offline::framed::{self, DEFAULT_CHUNK_BYTES};
 use futrace_offline::{
     trace_events, Checkpoint, ShardPlan, StreamWriter, SupervisedOutcome, SuperviseError,
     SupervisorPlan, TraceFingerprint, WriterStats,
 };
 use futrace_runtime::engine::{run_analysis_recorded, AnalysisOutcome, EngineCounters};
+use futrace_runtime::online::{run_online, OnlineOptions};
 use futrace_runtime::{trace, Event, EventLog, Monitor};
 use futrace_service::{ClientOptions, ClientOutcome, ServeOptions, Server};
 use futrace_util::faultinject::{
@@ -89,6 +97,9 @@ usage:
   tracetool record --bench NAME --out FILE
                    [--tiny|--scaled] [--planted]
                    [--stream [--chunk-bytes N] [--inject SEED]]
+  tracetool exec --bench NAME --threads N [--detector dtrg]
+                   [--shards N] [--tiny|--scaled] [--planted]
+                   [--steal-seed S]
   tracetool analyze FILE [--detector NAME] [--shards N] [--lenient]
                    [--graph] [--dot FILE] [--inject SEED]
                    [--checkpoint-every N] [--stop-after N --checkpoint FILE]
@@ -124,7 +135,7 @@ exit codes:
      serve: the listen socket failed or a drained session errored; for
      client: connection, trace, or daemon-reported failure
   2  usage error
-  3  determinacy races detected by analyze, or reported to client by
+  3  determinacy races detected by analyze or exec, or reported to client by
      the daemon's final verdict; for corpus: the reference detector
      found races in at least one trace
   4  fuzz found an unexpected detector disagreement (a minimized .ftrc
@@ -246,6 +257,59 @@ fn record(args: RecordArgs) {
             blob.len() as f64 / log.events.len().max(1) as f64,
             args.out
         );
+    }
+}
+
+/// Runs a benchsuite program live on the instrumented work-stealing
+/// executor, with DTRG detection overlapped on shard threads — the
+/// online half of the front door, no trace file involved. The verdict
+/// section stays byte-identical to `record` + `analyze --detector dtrg`
+/// on the same bench (CI diffs it); online telemetry rides in the
+/// engine block. A deadlocked execution still reports the analysis of
+/// the executed prefix, then exits 1.
+fn exec(args: ExecArgs) {
+    debug_assert_eq!(args.detector, "dtrg", "parser admits only dtrg for exec");
+    let w = registry::find(&args.bench).expect("parser admits only known benches");
+    let scale = if args.tiny { Scale::Tiny } else { Scale::Scaled };
+    let mut opts = match args.shards {
+        Some(shards) => OnlineOptions {
+            threads: args.threads,
+            shards,
+            steal_seed: None,
+        },
+        None => OnlineOptions::auto(args.threads),
+    };
+    opts.steal_seed = args.steal_seed;
+    let run = run_online(opts, OnlineDtrg::new(), |ctx| {
+        w.run_parallel_into(ctx, scale, args.planted)
+    });
+
+    println!(
+        "{}: {} events ({} thread(s), {} shard(s), live)",
+        args.bench, run.engine.events, run.stats.threads, run.stats.shards
+    );
+    note_if_empty(run.engine.events);
+    if let Err(e) = &run.result {
+        eprintln!("error: {e}");
+        eprintln!("reporting the analysis of the executed prefix:");
+    }
+
+    let mut counters = run.engine;
+    counters.cache_hits = run.report.stats.dtrg.memo_hits + run.report.stats.dtrg.shadow_hits;
+    counters.cache_misses = run.report.stats.dtrg.memo_misses;
+    print_engine_counters(&counters);
+    println!("{}", run.stats);
+
+    println!("\n-- detector --");
+    println!("{}", run.report.stats);
+    println!("footprint:   {}", run.report.footprint);
+    let racy = print_verdict(&run.report.report);
+
+    if run.result.is_err() {
+        std::process::exit(1);
+    }
+    if racy {
+        std::process::exit(3);
     }
 }
 
@@ -1121,6 +1185,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match tracetool_cli::parse(&args) {
         Ok(Command::Record(r)) => record(r),
+        Ok(Command::Exec(e)) => exec(e),
         Ok(Command::Analyze(a)) => analyze(a),
         Ok(Command::Compare(c)) => compare(c),
         Ok(Command::Info { file }) => info(&file),

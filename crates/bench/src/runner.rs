@@ -231,6 +231,52 @@ impl Group<'_> {
         self.bench_function(id, |b| f(b, input));
     }
 
+    /// Measures two closures with their timed samples interleaved
+    /// (`a b a b …`) instead of back-to-back blocks. On a shared or
+    /// thermally-throttled machine, noise arrives in bursts that span a
+    /// whole sequential sampling window and lands entirely on whichever
+    /// closure happened to be running — interleaving spreads each burst
+    /// across both, so the *ratio* of the two medians stays meaningful.
+    /// Use this whenever the quantity being reported is a comparison of
+    /// the two sides rather than either side's absolute time. Emits one
+    /// [`Record`] per closure, same shape as [`Group::bench_function`].
+    pub fn bench_pair<OA, OB, F, G>(
+        &mut self,
+        id_a: impl Into<BenchmarkId>,
+        mut a: F,
+        id_b: impl Into<BenchmarkId>,
+        mut b: G,
+    ) where
+        F: FnMut() -> OA,
+        G: FnMut() -> OB,
+    {
+        let (id_a, id_b) = (id_a.into(), id_b.into());
+        let warmup = self.runner.warmup;
+        for _ in 0..warmup {
+            std::hint::black_box(a());
+            std::hint::black_box(b());
+        }
+        let mut ans = Vec::with_capacity(self.samples as usize);
+        let mut bns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(a());
+            ans.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let t0 = Instant::now();
+            std::hint::black_box(b());
+            bns.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        for (id, durations_ns) in [(id_a, ans), (id_b, bns)] {
+            let bencher = Bencher {
+                warmup,
+                samples: self.samples,
+                durations_ns,
+            };
+            let record = bencher.into_record(&self.name, &id.id);
+            self.runner.emit(record);
+        }
+    }
+
     /// Ends the group. (A no-op — records are emitted as they complete —
     /// but kept so bench files read identically to the old harness.)
     pub fn finish(self) {}
@@ -349,6 +395,30 @@ mod tests {
         g.bench_with_input(id, &128usize, |b, &n| b.iter(|| n * 2));
         g.finish();
         assert_eq!(runner.records()[0].bench, "sweep/128");
+    }
+
+    #[test]
+    fn bench_pair_interleaves_and_emits_two_records() {
+        let mut runner = Runner::quiet(5, 2);
+        let mut g = runner.benchmark_group("paired");
+        // Record the call order: interleaving means strict a b a b …
+        // after the warmup prefix (which is also interleaved).
+        let order = std::cell::RefCell::new(Vec::new());
+        g.bench_pair(
+            "a",
+            || order.borrow_mut().push('a'),
+            "b",
+            || order.borrow_mut().push('b'),
+        );
+        g.finish();
+        let order = order.into_inner();
+        assert_eq!(order.len(), 14); // (2 warmup + 5 timed) × 2
+        assert!(order.chunks(2).all(|c| c == ['a', 'b']));
+        let recs = runner.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].bench.as_str(), recs[0].iters), ("a", 5));
+        assert_eq!((recs[1].bench.as_str(), recs[1].iters), ("b", 5));
+        assert_eq!(recs[0].group, "paired");
     }
 
     #[test]

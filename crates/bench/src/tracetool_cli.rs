@@ -31,6 +31,8 @@ pub enum Command {
         /// Trace file to fully validate.
         file: String,
     },
+    /// `tracetool exec …`
+    Exec(ExecArgs),
     /// `tracetool fuzz …`
     Fuzz(FuzzArgs),
     /// `tracetool corpus DIR …`
@@ -64,6 +66,29 @@ pub struct RecordArgs {
     /// derives a [`futrace_util::faultinject::FaultPlan`] and wraps the
     /// sink in a `FaultyWriter`.
     pub inject: Option<u64>,
+}
+
+/// Options for `tracetool exec` (instrumented parallel execution with
+/// online detection — no trace file anywhere).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecArgs {
+    /// Benchmark name (guaranteed to be a registry key).
+    pub bench: String,
+    /// Executor worker threads (≥ 1).
+    pub threads: usize,
+    /// Detector to run online (currently only `dtrg` consumes the
+    /// canonical stream sharded; validated at parse time).
+    pub detector: String,
+    /// Detector shard workers; fitted to the machine's spare
+    /// cores when absent (`OnlineOptions::auto`).
+    pub shards: Option<usize>,
+    /// Tiny input size (`--scaled` clears it; last flag wins, as in
+    /// `record`).
+    pub tiny: bool,
+    /// Plant a determinacy race (plantable workloads only).
+    pub planted: bool,
+    /// Seed for randomized steal order (schedule exploration).
+    pub steal_seed: Option<u64>,
 }
 
 /// Options for `tracetool analyze`.
@@ -269,6 +294,25 @@ fn parse_positive_u64(args: &[String], i: &mut usize, flag: &'static str) -> Res
     Ok(n)
 }
 
+fn validate_bench(name: &str) -> Result<String, String> {
+    if registry::find(name).is_none() {
+        return Err(format!(
+            "unknown benchmark `{name}` (expected one of: {})",
+            registry::names().join(", ")
+        ));
+    }
+    Ok(name.to_string())
+}
+
+fn validate_planted(bench: &str, planted: bool) -> Result<(), String> {
+    if planted && !registry::find(bench).expect("validated above").plantable {
+        return Err(format!(
+            "benchmark `{bench}` has no planted-race variant; drop --planted"
+        ));
+    }
+    Ok(())
+}
+
 fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
     let mut bench = None;
     let mut out = None;
@@ -280,16 +324,7 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--bench" => {
-                let name = value(args, &mut i, "--bench")?;
-                if registry::find(name).is_none() {
-                    return Err(format!(
-                        "unknown benchmark `{name}` (expected one of: {})",
-                        registry::names().join(", ")
-                    ));
-                }
-                bench = Some(name.to_string());
-            }
+            "--bench" => bench = Some(validate_bench(value(args, &mut i, "--bench")?)?),
             "--out" => out = Some(value(args, &mut i, "--out")?.to_string()),
             "--tiny" => tiny = true,
             "--scaled" => tiny = false,
@@ -314,11 +349,7 @@ fn parse_record(args: &[String]) -> Result<RecordArgs, String> {
         return Err("--inject only applies to --stream recording".into());
     }
     let bench = bench.ok_or("record: --bench is required")?;
-    if planted && !registry::find(&bench).expect("validated above").plantable {
-        return Err(format!(
-            "benchmark `{bench}` has no planted-race variant; drop --planted"
-        ));
-    }
+    validate_planted(&bench, planted)?;
     let out = out.ok_or("record: --out is required")?;
     Ok(RecordArgs {
         bench,
@@ -431,6 +462,56 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeArgs, String> {
         checkpoint,
         resume,
         stop_after,
+    })
+}
+
+fn parse_exec(args: &[String]) -> Result<ExecArgs, String> {
+    let mut bench = None;
+    let mut threads = None;
+    let mut detector = "dtrg".to_string();
+    let mut shards = None;
+    let mut tiny = true;
+    let mut planted = false;
+    let mut steal_seed = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => bench = Some(validate_bench(value(args, &mut i, "--bench")?)?),
+            "--threads" => {
+                let n = parse_positive_u64(args, &mut i, "--threads")?;
+                threads = Some(
+                    usize::try_from(n)
+                        .map_err(|_| format!("--threads: `{n}` exceeds the usize range"))?,
+                );
+            }
+            "--detector" => detector = validate_detector(value(args, &mut i, "--detector")?)?,
+            "--shards" => shards = Some(parse_shards(args, &mut i)?),
+            "--tiny" => tiny = true,
+            "--scaled" => tiny = false,
+            "--planted" => planted = true,
+            "--steal-seed" => {
+                steal_seed = Some(parse_seed_flag(args, &mut i, "--steal-seed")?)
+            }
+            other => return Err(format!("exec: unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if detector != "dtrg" {
+        return Err(format!(
+            "detector `{detector}` cannot run online; exec currently supports dtrg \
+             (use `record` + `analyze` for replay-only detectors)"
+        ));
+    }
+    let bench = bench.ok_or("exec: --bench is required")?;
+    validate_planted(&bench, planted)?;
+    Ok(ExecArgs {
+        bench,
+        threads: threads.ok_or("exec: --threads N is required")?,
+        detector,
+        shards,
+        tiny,
+        planted,
+        steal_seed,
     })
 }
 
@@ -766,6 +847,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         Some((sub, rest)) => match sub.as_str() {
             "record" => parse_record(rest).map(Command::Record),
             "analyze" => parse_analyze(rest).map(Command::Analyze),
+            "exec" => parse_exec(rest).map(Command::Exec),
             "compare" => parse_compare(rest).map(Command::Compare),
             "info" => parse_single_file("info", rest).map(|file| Command::Info { file }),
             "verify" => parse_single_file("verify", rest).map(|file| Command::Verify { file }),
@@ -964,6 +1046,79 @@ mod tests {
         assert!(err.contains("cannot run sharded"), "{err}");
         let err = parse(&argv("analyze t --detector vc --graph")).unwrap_err();
         assert!(err.contains("dtrg"), "{err}");
+    }
+
+    #[test]
+    fn exec_defaults_and_flags() {
+        let Command::Exec(e) = parse(&argv("exec --bench jacobi --threads 4")).unwrap() else {
+            panic!()
+        };
+        assert_eq!((e.bench.as_str(), e.threads), ("jacobi", 4));
+        assert_eq!(e.detector, "dtrg");
+        assert!(e.tiny && !e.planted);
+        assert!(e.shards.is_none() && e.steal_seed.is_none());
+
+        let Command::Exec(e) = parse(&argv(
+            "exec --bench sor --threads 2 --detector dtrg --shards 4 --scaled \
+             --planted --steal-seed 9",
+        ))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!((e.bench.as_str(), e.threads), ("sor", 2));
+        assert_eq!(e.shards, Some(4));
+        assert!(!e.tiny && e.planted);
+        assert_eq!(e.steal_seed, Some(9));
+    }
+
+    #[test]
+    fn exec_validation_shares_analyze_and_record_rules() {
+        // Bench names, detector names, shard counts, seeds, and planted
+        // variants are all validated by the same helpers the other
+        // subcommands use — structured errors at parse time.
+        let err = parse(&argv("exec --bench jacobii --threads 2")).unwrap_err();
+        assert!(err.contains("unknown benchmark `jacobii`"), "{err}");
+        assert!(err.contains("jacobi, smithwaterman"), "{err}");
+
+        let err = parse(&argv("exec --bench jacobi --threads 2 --detector dtrgg")).unwrap_err();
+        assert!(err.contains("unknown detector `dtrgg`"), "{err}");
+
+        let err = parse(&argv("exec --bench jacobi --threads 2 --detector vc")).unwrap_err();
+        assert!(err.contains("cannot run online"), "{err}");
+
+        let err = parse(&argv("exec --bench jacobi --threads 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("exec --bench jacobi --threads four")).unwrap_err();
+        assert!(err.contains("invalid count `four`"), "{err}");
+
+        let err = parse(&argv("exec --bench jacobi --threads 2 --shards 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&argv("exec --bench jacobi --threads 2 --steal-seed nope")).unwrap_err();
+        assert!(err.contains("invalid seed `nope`"), "{err}");
+
+        let err = parse(&argv("exec --bench series_future --threads 2 --planted")).unwrap_err();
+        assert!(err.contains("no planted-race variant"), "{err}");
+
+        assert!(parse(&argv("exec --threads 2")).unwrap_err().contains("--bench"));
+        assert!(parse(&argv("exec --bench jacobi")).unwrap_err().contains("--threads"));
+        let err = parse(&argv("exec --bench jacobi --threads 2 --out t")).unwrap_err();
+        assert!(err.contains("unknown argument"), "{err}");
+    }
+
+    #[test]
+    fn exec_last_size_flag_wins() {
+        let Command::Exec(e) =
+            parse(&argv("exec --bench lu --threads 2 --tiny --scaled")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(!e.tiny);
+        let Command::Exec(e) =
+            parse(&argv("exec --bench lu --threads 2 --scaled --tiny")).unwrap()
+        else {
+            panic!()
+        };
+        assert!(e.tiny);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::{actor, crypt, futlist, futtree, graphwalk, jacobi, lu, pipeline, prodcons,
     series, smithwaterman, sor};
-use futrace_runtime::{run_serial, EventLog, Monitor};
+use futrace_runtime::{run_serial, EventLog, Monitor, ParCtx};
 
 /// Problem-size selector for registry runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +38,7 @@ pub struct Workload {
     /// Whether `dtrgperf` profiles this workload.
     pub perf: bool,
     runner: fn(&mut dyn Monitor, Scale, bool),
+    par_runner: fn(&mut ParCtx, Scale, bool),
 }
 
 impl Workload {
@@ -59,6 +60,21 @@ impl Workload {
         self.run_into(&mut log, scale, planted);
         log
     }
+
+    /// Runs the workload's kernel inside an already-running parallel
+    /// context — the body `futrace_runtime::online::run_online` (or plain
+    /// `run_parallel`) hands out. Same monomorphization of the same
+    /// generic kernel the serial runner uses, so the canonical access
+    /// stream is identical. Panics like [`Workload::run_into`] on a
+    /// `planted` request without a planted variant.
+    pub fn run_parallel_into(&self, ctx: &mut ParCtx, scale: Scale, planted: bool) {
+        assert!(
+            !planted || self.plantable,
+            "workload `{}` has no planted-race variant",
+            self.name
+        );
+        (self.par_runner)(ctx, scale, planted);
+    }
 }
 
 macro_rules! runner {
@@ -71,6 +87,18 @@ macro_rules! runner {
             run_serial(&mut mon, |ctx| {
                 $run(ctx, &p, planted);
             });
+        }
+    };
+}
+
+macro_rules! par_runner {
+    ($params:ty, $run:path) => {
+        |ctx: &mut ParCtx, scale: Scale, planted: bool| {
+            let p = match scale {
+                Scale::Tiny => <$params>::tiny(),
+                Scale::Scaled | Scale::Perf => <$params>::scaled(),
+            };
+            $run(ctx, &p, planted);
         }
     };
 }
@@ -96,6 +124,23 @@ fn run_crypt_future(mut mon: &mut dyn Monitor, scale: Scale, _planted: bool) {
     });
 }
 
+fn par_series_future(ctx: &mut ParCtx, scale: Scale, _planted: bool) {
+    let p = match scale {
+        Scale::Tiny => series::SeriesParams::tiny(),
+        Scale::Scaled => series::SeriesParams::scaled(),
+        Scale::Perf => series::SeriesParams::perf(),
+    };
+    series::series_future(ctx, &p);
+}
+
+fn par_crypt_future(ctx: &mut ParCtx, scale: Scale, _planted: bool) {
+    let p = match scale {
+        Scale::Tiny => crypt::CryptParams::tiny(),
+        Scale::Scaled | Scale::Perf => crypt::CryptParams::scaled(),
+    };
+    crypt::crypt_run(ctx, &p, crypt::CryptVariant::Future);
+}
+
 static WORKLOADS: &[Workload] = &[
     Workload {
         name: "jacobi",
@@ -104,6 +149,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(jacobi::JacobiParams, jacobi::jacobi_run),
+        par_runner: par_runner!(jacobi::JacobiParams, jacobi::jacobi_run),
     },
     Workload {
         name: "smithwaterman",
@@ -112,6 +158,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(smithwaterman::SwParams, smithwaterman::sw_run),
+        par_runner: par_runner!(smithwaterman::SwParams, smithwaterman::sw_run),
     },
     Workload {
         name: "lu",
@@ -120,6 +167,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: false,
         runner: runner!(lu::LuParams, lu::lu_run),
+        par_runner: par_runner!(lu::LuParams, lu::lu_run),
     },
     Workload {
         name: "pipeline",
@@ -128,6 +176,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(pipeline::PipelineParams, pipeline::pipeline_run),
+        par_runner: par_runner!(pipeline::PipelineParams, pipeline::pipeline_run),
     },
     Workload {
         name: "sor",
@@ -136,6 +185,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(sor::SorParams, sor::sor_run),
+        par_runner: par_runner!(sor::SorParams, sor::sor_run),
     },
     Workload {
         name: "series_future",
@@ -144,6 +194,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: false,
         perf: true,
         runner: run_series_future,
+        par_runner: par_series_future,
     },
     Workload {
         name: "crypt",
@@ -152,6 +203,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: false,
         perf: true,
         runner: run_crypt_future,
+        par_runner: par_crypt_future,
     },
     Workload {
         name: "prodcons",
@@ -160,6 +212,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(prodcons::ProdConsParams, prodcons::prodcons_run),
+        par_runner: par_runner!(prodcons::ProdConsParams, prodcons::prodcons_run),
     },
     Workload {
         name: "futlist",
@@ -168,6 +221,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(futlist::FutListParams, futlist::futlist_run),
+        par_runner: par_runner!(futlist::FutListParams, futlist::futlist_run),
     },
     Workload {
         name: "futtree",
@@ -176,6 +230,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(futtree::FutTreeParams, futtree::futtree_run),
+        par_runner: par_runner!(futtree::FutTreeParams, futtree::futtree_run),
     },
     Workload {
         name: "graphwalk",
@@ -184,6 +239,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(graphwalk::GraphWalkParams, graphwalk::graphwalk_run),
+        par_runner: par_runner!(graphwalk::GraphWalkParams, graphwalk::graphwalk_run),
     },
     Workload {
         name: "actor",
@@ -192,6 +248,7 @@ static WORKLOADS: &[Workload] = &[
         plantable: true,
         perf: true,
         runner: runner!(actor::ActorParams, actor::actor_run),
+        par_runner: par_runner!(actor::ActorParams, actor::actor_run),
     },
 ];
 
@@ -261,5 +318,24 @@ mod tests {
     #[should_panic(expected = "no planted-race variant")]
     fn planting_a_nonplantable_workload_panics() {
         find("series_future").unwrap().record(Scale::Tiny, true);
+    }
+
+    #[test]
+    fn parallel_runner_reproduces_the_serial_stream() {
+        use futrace_runtime::online::{run_online, OnlineOptions, Serialized};
+        for w in workloads() {
+            let serial = w.record(Scale::Tiny, false);
+            let run = run_online(
+                OnlineOptions::threads(2),
+                Serialized::new(EventLog::new()),
+                |ctx| w.run_parallel_into(ctx, Scale::Tiny, false),
+            );
+            assert!(run.result.is_ok(), "workload `{}` failed online", w.name);
+            assert_eq!(
+                run.report.events, serial.events,
+                "workload `{}` online stream diverged from the serial elision",
+                w.name
+            );
+        }
     }
 }

@@ -42,6 +42,7 @@ use futrace_runtime::engine::{
     run_analysis_live, Analysis, Checkpointable, Engine, LocRoutable, StateError,
 };
 use futrace_runtime::monitor::{Event, Monitor, TaskKind};
+use futrace_runtime::online::ParMonitor;
 use futrace_runtime::SerialCtx;
 #[cfg(test)]
 use futrace_runtime::run_serial;
@@ -292,15 +293,27 @@ impl RaceDetector {
         // slow path below would be a provable no-op (DESIGN S39): the cell
         // already holds this check's post-state, and `precede` verdicts
         // cannot change without an epoch bump.
+        //
+        // The probe is adaptive: cells whose access pattern the cache can
+        // never serve (a different task or epoch on every touch) rack up a
+        // miss streak and stop being probed (DESIGN S43) — the probe is
+        // pure overhead there. A hit resets the streak, so cells that do
+        // serve hits keep their fast path.
         if self.config.caching {
-            let want = Some(LastClean {
-                task,
-                write: true,
-                epoch: self.dtrg.epoch(),
-            });
-            if self.shadow.cell(loc).is_some_and(|c| c.last_clean == want) {
-                self.dtrg.counters.shadow_hits += 1;
-                return;
+            let epoch = self.dtrg.epoch();
+            let cell = self.shadow.cell_mut(loc);
+            if cell.probe_enabled() {
+                let want = Some(LastClean {
+                    task,
+                    write: true,
+                    epoch,
+                });
+                if cell.last_clean == want {
+                    cell.probe_misses = 0;
+                    self.dtrg.counters.shadow_hits += 1;
+                    return;
+                }
+                cell.probe_misses += 1;
             }
         }
         let detected_before = self.total_detected;
@@ -353,16 +366,23 @@ impl RaceDetector {
 
         // Fast path: see `check_write_at` — a repeated clean read by the
         // same task under the same epoch leaves the cell byte-identical
-        // (the take/re-push loop preserves reader order).
+        // (the take/re-push loop preserves reader order). Same adaptive
+        // miss-streak bypass as the write probe.
         if self.config.caching {
-            let want = Some(LastClean {
-                task,
-                write: false,
-                epoch: self.dtrg.epoch(),
-            });
-            if self.shadow.cell(loc).is_some_and(|c| c.last_clean == want) {
-                self.dtrg.counters.shadow_hits += 1;
-                return;
+            let epoch = self.dtrg.epoch();
+            let cell = self.shadow.cell_mut(loc);
+            if cell.probe_enabled() {
+                let want = Some(LastClean {
+                    task,
+                    write: false,
+                    epoch,
+                });
+                if cell.last_clean == want {
+                    cell.probe_misses = 0;
+                    self.dtrg.counters.shadow_hits += 1;
+                    return;
+                }
+                cell.probe_misses += 1;
             }
         }
         let detected_before = self.total_detected;
@@ -574,12 +594,78 @@ impl LocRoutable for RaceDetector {
     }
 }
 
+/// DTRG detection behind the online-parallel [`ParMonitor`] surface.
+///
+/// `fork` creates one [`RaceDetector`] replica per worker; the online
+/// pipeline broadcasts every control event to all replicas (control is
+/// cheap — each maintains an identical DTRG) and routes each access to the
+/// replica that owns its location (the default [`ParMonitor::route`]:
+/// `loc % workers`). `merge` finishes every replica and folds the
+/// per-shard [`DtrgReport`]s through [`LocRoutable::merge_sharded`], so
+/// the online race report is byte-identical to the serial run's — the
+/// same contract the offline sharded replayer relies on, reached through
+/// the canonical access stream the online walker reconstructs.
+pub struct OnlineDtrg {
+    config: DetectorConfig,
+}
+
+impl OnlineDtrg {
+    /// Online-parallel DTRG detection with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DetectorConfig::default())
+    }
+
+    /// Online-parallel DTRG detection with explicit configuration. Every
+    /// forked shard and the merge step share this configuration.
+    pub fn with_config(config: DetectorConfig) -> Self {
+        OnlineDtrg { config }
+    }
+}
+
+impl Default for OnlineDtrg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParMonitor for OnlineDtrg {
+    type Worker = RaceDetector;
+    type Report = DtrgReport;
+
+    fn fork(&mut self, workers: usize) -> Vec<RaceDetector> {
+        (0..workers.max(1))
+            .map(|_| RaceDetector::with_config(self.config.clone()))
+            .collect()
+    }
+
+    fn control(worker: &mut RaceDetector, e: &Event) {
+        let applied = RaceDetector::apply_control(worker, e);
+        debug_assert!(applied, "online walker must route accesses to check");
+    }
+
+    fn check(worker: &mut RaceDetector, task: TaskId, loc: LocId, write: bool, index: u64) {
+        if write {
+            worker.check_write_at(task, loc, index);
+        } else {
+            worker.check_read_at(task, loc, index);
+        }
+    }
+
+    fn merge(self, workers: Vec<RaceDetector>) -> DtrgReport {
+        let reports: Vec<DtrgReport> = workers.into_iter().map(Analysis::finish).collect();
+        RaceDetector::with_config(self.config).merge_sharded(reports)
+    }
+}
+
 /// Checkpoint state-blob version for [`RaceDetector`]. Version 2 added the
 /// per-cell `last_clean` fast-path cache and the three cache counters
 /// (memo hits/misses, shadow fast-path hits): the fast-path cache must
 /// survive a suspend/resume so a resumed run's `precede_calls` matches the
-/// straight run's, which the checkpoint-roundtrip tests assert.
-const DTRG_STATE_VERSION: u64 = 2;
+/// straight run's, which the checkpoint-roundtrip tests assert. Version 3
+/// added the per-cell probe miss streak for the same reason: a cell whose
+/// probe was adaptively disabled must stay disabled across a resume, or
+/// the resumed run's hit/miss counters diverge from the straight run's.
+const DTRG_STATE_VERSION: u64 = 3;
 
 impl Checkpointable for RaceDetector {
     /// Serializes the access-derived half of the detector: shadow-cell
@@ -618,6 +704,7 @@ impl Checkpointable for RaceDetector {
                 }
                 None => wire::put_varint(out, 0),
             }
+            wire::put_varint(out, cell.probe_misses as u64);
         }
 
         wire::put_varint(out, self.access_index);
@@ -719,10 +806,17 @@ impl Checkpointable for RaceDetector {
                     return Err(StateError(format!("invalid last-clean flag {other}")));
                 }
             };
+            let probe_misses = c.varint("probe miss streak")?;
+            if probe_misses > u8::MAX as u64 {
+                return Err(StateError(format!(
+                    "probe miss streak {probe_misses} out of range"
+                )));
+            }
             let cell = self.shadow.cell_mut(LocId::from_index(idx));
             cell.writer = writer;
             cell.readers = readers;
             cell.last_clean = last_clean;
+            cell.probe_misses = probe_misses as u8;
         }
 
         self.access_index = c.varint("access index")?;
@@ -867,6 +961,51 @@ mod tests {
     fn race_free_empty_program() {
         let report = detect_races(|_| {});
         assert!(!report.has_races());
+    }
+
+    #[test]
+    fn online_dtrg_matches_serial_reports() {
+        use futrace_runtime::online::{run_online, OnlineOptions};
+
+        // Mixed structure with one planted race (the unjoined writer on
+        // `y`): future join edges, a finish, and clean accesses on `x`.
+        fn prog<C: TaskCtx>(ctx: &mut C) {
+            let x = ctx.shared_var(0i64, "x");
+            let y = ctx.shared_var(0i64, "y");
+            x.write(ctx, 7);
+            let xa = x.clone();
+            let ra = ctx.future(move |ctx| xa.read(ctx));
+            let yb = y.clone();
+            let _rb = ctx.future(move |ctx| yb.write(ctx, 1)); // never joined
+            ctx.get(&ra);
+            ctx.finish(|ctx| {
+                let xc = x.clone();
+                ctx.async_task(move |ctx| {
+                    let _ = xc.read(ctx);
+                });
+            });
+            x.write(ctx, 8);
+            let _ = y.read(ctx); // races with _rb's write
+        }
+
+        let serial = run_analysis_live(|ctx| prog(ctx), RaceDetector::new()).report;
+        for threads in [1usize, 2, 4] {
+            let run = run_online(OnlineOptions::threads(threads), OnlineDtrg::new(), |ctx| {
+                prog(ctx)
+            });
+            assert!(run.result.is_ok());
+            assert_eq!(run.report.report.races, serial.report.races);
+            assert_eq!(
+                run.report.report.total_detected,
+                serial.report.total_detected
+            );
+            assert_eq!(
+                run.report.footprint.shadow_cells,
+                serial.footprint.shadow_cells
+            );
+            assert_eq!(run.report.stats.reads, serial.stats.reads);
+            assert_eq!(run.report.stats.writes, serial.stats.writes);
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod stats;
 // compiling during the migration window.
 #[allow(deprecated)]
 pub use detector::{detect_races, detect_races_in_trace, detect_races_with_stats};
-pub use detector::{DetectorConfig, DtrgReport, MemoryFootprint, RaceDetector};
+pub use detector::{DetectorConfig, DtrgReport, MemoryFootprint, OnlineDtrg, RaceDetector};
 pub use dtrg::{Dtrg, DtrgCounters, SetData};
 pub use report::{AccessKind, Race, RaceReport};
 pub use shadow::{Readers, ShadowCell, ShadowMemory};

@@ -124,6 +124,14 @@ pub struct LastClean {
     pub epoch: u64,
 }
 
+/// Consecutive clean-verdict probe misses after which a cell's probe is
+/// disabled (see [`ShadowCell::probe_misses`]). Small: a cell that misses
+/// this many times in a row (actor-style migrating mailboxes, where the
+/// epoch advances or the accessor changes between touches) will keep
+/// missing, and each miss costs an extra lookup-and-compare on the hot
+/// path.
+pub const PROBE_MISS_LIMIT: u8 = 8;
+
 /// One shadow cell `M_s` (§4.2).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShadowCell {
@@ -133,6 +141,19 @@ pub struct ShadowCell {
     pub readers: Readers,
     /// Fast-path cache: the last clean verdict on this cell, if any.
     pub last_clean: Option<LastClean>,
+    /// Consecutive clean-verdict probe misses (saturating at
+    /// [`PROBE_MISS_LIMIT`]). A hit resets it to zero; at the limit the
+    /// detector stops probing this cell — adaptive bypass for access
+    /// patterns the cache can never serve, whose probes are pure overhead.
+    pub probe_misses: u8,
+}
+
+impl ShadowCell {
+    /// True while the clean-verdict probe is still worth attempting.
+    #[inline]
+    pub fn probe_enabled(&self) -> bool {
+        self.probe_misses < PROBE_MISS_LIMIT
+    }
 }
 
 /// Flat shadow memory indexed by dense location ids.
@@ -203,7 +224,12 @@ impl ShadowMemory {
         self.cells
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.writer.is_some() || !c.readers.is_empty() || c.last_clean.is_some())
+            .filter(|(_, c)| {
+                c.writer.is_some()
+                    || !c.readers.is_empty()
+                    || c.last_clean.is_some()
+                    || c.probe_misses > 0
+            })
     }
 
     /// Grows the cell vector to at least `len` cells. Checkpoint restore

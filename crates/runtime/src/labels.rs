@@ -1,0 +1,256 @@
+//! DePa-style fork-path labels for tasks under parallel execution.
+//!
+//! DePa (arXiv 2204.14168) attaches O(1)-maintained timestamp labels to
+//! tasks so that order queries on the hot path are label comparisons
+//! rather than graph traversals. We adopt the fork half of that scheme:
+//! a [`TaskLabel`] is the task's *spawn path* — the sequence of per-parent
+//! spawn ordinals from the root task down to the task itself — stored as a
+//! persistent (`Arc`-linked) list so that creating a child label is O(1)
+//! work at spawn time and cloning is a reference-count bump.
+//!
+//! Two facts make these labels load-bearing for online detection:
+//!
+//! 1. **Lexicographic order over spawn paths is exactly the serial-elision
+//!    order.** In a depth-first serial execution every spawned body runs to
+//!    completion at its spawn point, so tasks start in depth-first preorder
+//!    of the fork tree — which is precisely [`TaskLabel::df_cmp`]. The
+//!    online pipeline's canonical walker replays tasks in this order and
+//!    uses labels to *verify* (debug-assert) that the serial [`TaskId`]s it
+//!    assigns are monotone in label order.
+//! 2. **Ancestry is a sound happens-before fragment.** If `a` is a strict
+//!    ancestor of `b` in the fork tree ([`TaskLabel::is_ancestor_of`]),
+//!    then `a`'s prefix up to the spawn precedes all of `b` in every
+//!    execution — no graph query needed. Everything the fork tree cannot
+//!    decide (joins via `finish`, point-to-point future `get` edges) is
+//!    delegated to the DTRG, mirroring how Utterback et al. (arXiv
+//!    1901.00622) layer future edges over a structural order maintenance
+//!    core.
+//!
+//! [`TaskId`]: futrace_util::ids::TaskId
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A fork-path label: the spawn path from the root task to this task.
+///
+/// Cloning is O(1) (an `Arc` bump); deriving a child label is O(1)
+/// ([`TaskLabel::child`]); comparisons are O(depth).
+#[derive(Clone)]
+pub struct TaskLabel {
+    node: Option<Arc<Node>>,
+}
+
+struct Node {
+    parent: Option<Arc<Node>>,
+    /// Ordinal of this task among its parent's spawns (0-based).
+    seq: u32,
+    /// Number of edges from the root (root = 0, its children = 1, ...).
+    depth: u32,
+}
+
+impl TaskLabel {
+    /// The root (main) task's label: the empty spawn path.
+    pub fn root() -> TaskLabel {
+        TaskLabel { node: None }
+    }
+
+    /// Label for this task's `seq`-th spawned child. O(1).
+    pub fn child(&self, seq: u32) -> TaskLabel {
+        TaskLabel {
+            node: Some(Arc::new(Node {
+                parent: self.node.clone(),
+                seq,
+                depth: self.depth() + 1,
+            })),
+        }
+    }
+
+    /// Number of edges from the root: 0 for the root task.
+    pub fn depth(&self) -> u32 {
+        self.node.as_ref().map_or(0, |n| n.depth)
+    }
+
+    /// The spawn path from the root, outermost ordinal first.
+    pub fn path(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.depth() as usize];
+        let mut cur = self.node.as_deref();
+        while let Some(n) = cur {
+            out[n.depth as usize - 1] = n.seq;
+            cur = n.parent.as_deref();
+        }
+        out
+    }
+
+    /// True iff `self` is a *strict* ancestor of `other` in the fork tree.
+    ///
+    /// This is the label-only happens-before fragment: an ancestor's
+    /// pre-spawn prefix precedes the descendant in every execution.
+    pub fn is_ancestor_of(&self, other: &TaskLabel) -> bool {
+        let (da, db) = (self.depth(), other.depth());
+        if da >= db {
+            return false;
+        }
+        // Walk `other` up to `self`'s depth, then compare nodes.
+        let mut cur = other.node.as_deref();
+        while let Some(n) = cur {
+            if n.depth == da {
+                break;
+            }
+            cur = n.parent.as_deref();
+        }
+        match (self.node.as_deref(), cur) {
+            (None, _) => true, // root is an ancestor of every deeper task
+            (Some(a), Some(b)) => std::ptr::eq(a, b) || Self::path_eq(a, b),
+            (Some(_), None) => false,
+        }
+    }
+
+    /// Depth-first preorder over the fork tree: the serial-elision start
+    /// order. An ancestor orders before every descendant; siblings order
+    /// by spawn ordinal.
+    pub fn df_cmp(&self, other: &TaskLabel) -> Ordering {
+        let (pa, pb) = (self.path(), other.path());
+        pa.cmp(&pb)
+    }
+
+    fn path_eq(a: &Node, b: &Node) -> bool {
+        if a.depth != b.depth {
+            return false;
+        }
+        let (mut x, mut y) = (Some(a), Some(b));
+        while let (Some(na), Some(nb)) = (x, y) {
+            if std::ptr::eq(na, nb) {
+                return true; // shared suffix: equal from here up
+            }
+            if na.seq != nb.seq {
+                return false;
+            }
+            x = na.parent.as_deref();
+            y = nb.parent.as_deref();
+        }
+        true
+    }
+}
+
+impl PartialEq for TaskLabel {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.node.as_deref(), other.node.as_deref()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Self::path_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for TaskLabel {}
+
+impl PartialOrd for TaskLabel {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.df_cmp(other))
+    }
+}
+
+impl Ord for TaskLabel {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.df_cmp(other)
+    }
+}
+
+impl fmt::Debug for TaskLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TaskLabel(")?;
+        for (i, seq) in self.path().iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{seq}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_orders_before_children() {
+        let root = TaskLabel::root();
+        let c0 = root.child(0);
+        let c1 = root.child(1);
+        assert_eq!(root.df_cmp(&c0), Ordering::Less);
+        assert_eq!(c0.df_cmp(&c1), Ordering::Less);
+        assert_eq!(c1.df_cmp(&c0), Ordering::Greater);
+        assert_eq!(c0.df_cmp(&c0), Ordering::Equal);
+    }
+
+    #[test]
+    fn ancestor_before_later_sibling_subtree() {
+        // root -> a(0) -> aa(0); root -> b(1). Serial order: root, a, aa, b.
+        let root = TaskLabel::root();
+        let a = root.child(0);
+        let aa = a.child(0);
+        let b = root.child(1);
+        assert_eq!(a.df_cmp(&aa), Ordering::Less);
+        assert_eq!(aa.df_cmp(&b), Ordering::Less);
+        assert!(a.is_ancestor_of(&aa));
+        assert!(!a.is_ancestor_of(&b));
+        assert!(!aa.is_ancestor_of(&a));
+        assert!(root.is_ancestor_of(&aa));
+        assert!(!root.is_ancestor_of(&root));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let root = TaskLabel::root();
+        let a = root.child(3).child(1);
+        let b = root.child(3).child(1);
+        assert_eq!(a, b);
+        assert_ne!(a, root.child(3).child(2));
+        assert_eq!(a.path(), vec![3, 1]);
+        assert_eq!(a.depth(), 2);
+    }
+
+    #[test]
+    fn df_order_matches_serial_preorder_on_random_trees() {
+        // Generate a random fork tree, enumerate it in depth-first preorder
+        // (= serial-elision spawn order), and check labels sort identically.
+        let mut rng = futrace_util::rng::seeded(0xdead_beef);
+        for _ in 0..50 {
+            let mut preorder: Vec<TaskLabel> = Vec::new();
+            fn gen(
+                rng: &mut futrace_util::rng::Rng,
+                label: &TaskLabel,
+                depth: u32,
+                out: &mut Vec<TaskLabel>,
+            ) {
+                out.push(label.clone());
+                if depth >= 5 {
+                    return;
+                }
+                let kids = rng.gen_range(0u32..4);
+                for seq in 0..kids {
+                    gen(rng, &label.child(seq), depth + 1, out);
+                }
+            }
+            gen(&mut rng, &TaskLabel::root(), 0, &mut preorder);
+            for w in preorder.windows(2) {
+                assert_eq!(w[0].df_cmp(&w[1]), Ordering::Less);
+            }
+            let mut shuffled: Vec<usize> = (0..preorder.len()).collect();
+            // Fisher–Yates with the seeded rng.
+            for i in (1..shuffled.len()).rev() {
+                let j = rng.gen_range(0..(i as u64 + 1)) as usize;
+                shuffled.swap(i, j);
+            }
+            let mut relabeled: Vec<(usize, TaskLabel)> = shuffled
+                .into_iter()
+                .map(|i| (i, preorder[i].clone()))
+                .collect();
+            relabeled.sort_by(|a, b| a.1.df_cmp(&b.1));
+            let order: Vec<usize> = relabeled.into_iter().map(|(i, _)| i).collect();
+            assert_eq!(order, (0..preorder.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -21,7 +21,12 @@
 //!   and finish counters, used to demonstrate the paper's determinism
 //!   property (race-free ⇒ same answer as the serial elision) and the
 //!   Appendix-A deadlock scenario, which [`parallel`] detects via global
-//!   stall detection.
+//!   stall detection. Under [`online`]'s driver the same pool records
+//!   per-task buffers from which a canonical walker reconstructs the
+//!   serial-elision stream *while the program runs*, feeding detector
+//!   shards through the concurrency-capable [`online::ParMonitor`]
+//!   surface ([`labels`] carries the DePa-style fork-path labels that
+//!   certify the walk order).
 //!
 //! Shared memory ([`memory::SharedVar`], [`memory::SharedArray`]) routes
 //! every read and write through the active executor so instrumentation sees
@@ -33,8 +38,10 @@
 pub mod accumulator;
 pub mod api;
 pub mod engine;
+pub mod labels;
 pub mod memory;
 pub mod monitor;
+pub mod online;
 pub mod parallel;
 pub mod serial;
 pub mod sync;
@@ -45,7 +52,11 @@ pub use engine::{
     run_analysis, run_analysis_live, run_analysis_recorded, Analysis, AnalysisOutcome,
     Checkpointable, Engine, EngineCounters, EventSource, LocRoutable, StateError,
 };
+pub use labels::TaskLabel;
 pub use memory::{SharedArray, SharedVar};
 pub use monitor::{replay, Event, EventLog, Monitor, NullMonitor, TaskKind};
-pub use parallel::{run_parallel, DeadlockError, ParCtx, ParHandle};
+pub use online::{
+    run_online, OnlineError, OnlineOptions, OnlineRun, OnlineStats, ParMonitor, Serialized,
+};
+pub use parallel::{run_parallel, run_parallel_seeded, DeadlockError, ParCtx, ParHandle};
 pub use serial::{run_serial, FutureHandle, SerialCtx};

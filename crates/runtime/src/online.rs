@@ -1,0 +1,1444 @@
+//! Online parallel race detection: instrumented work-stealing execution.
+//!
+//! Every other analysis mode in this repository pays for detection with
+//! serial execution: the program runs in the serial-elision order and the
+//! detector consumes its event stream in-line. This module removes that
+//! floor. The program executes on [`crate::parallel`]'s work-stealing pool
+//! while detection happens *concurrently* on a set of detector shard
+//! threads — execution and analysis overlap, and check cost amortizes over
+//! all cores.
+//!
+//! The pipeline has three moving parts:
+//!
+//! 1. **Per-task access buffers** ([`TaskRec`], package-private). Each
+//!    running task appends its shared-memory accesses to a thread-local
+//!    buffer (one packed `u64` per access) and publishes the buffer into
+//!    its [`TaskSlot`] at the synchronization points the scheduler already
+//!    exposes — spawn, future `get`, `finish` entry/exit, task end — plus a
+//!    size threshold, so no lock is touched on the access hot path.
+//! 2. **The canonical walker** (one thread). Detection order must be the
+//!    serial-elision order — the paper's detector (§4.1) is only sound and
+//!    precise for it. The walker reconstructs exactly that order from the
+//!    published buffers: it performs a depth-first traversal of the fork
+//!    tree (spawned child first, then the parent's remaining actions),
+//!    renumbers raw task/finish/location ids into the serial numbering,
+//!    and routes the resulting canonical stream to detector shards. When a
+//!    task's next action has not been published yet the walker blocks on
+//!    that *frontier* — execution is always ahead of (or equal to) the
+//!    walk, never behind it, so no access can be dropped: a buffered
+//!    access is either already published or will be published at the
+//!    task's next sync point, and every task ends with a final publish.
+//!    [`crate::labels`] fork-path labels, maintained O(1) at spawn,
+//!    certify the walk order: serial ids must be monotone in label
+//!    depth-first order (debug-asserted per spawn).
+//! 3. **Detector shards** (N threads) behind the [`ParMonitor`] trait.
+//!    `Monitor` takes `&mut self` and cannot be driven from N workers;
+//!    `ParMonitor` is the concurrency-capable surface: `fork` splits the
+//!    monitor into per-worker state, the walker routes each access to one
+//!    worker (broadcasting control events to all), and `merge`
+//!    deterministically folds the workers back into a single report. The
+//!    blanket adapter [`Serialized`] lifts every existing `Monitor`
+//!    unchanged (one worker, canonical order = serial-elision order).
+//!
+//! Because the canonical stream is, for programs whose control flow does
+//! not depend on racy values (all benchsuite and random-program families —
+//! their task structure is data-independent), *byte-identical* to the
+//! stream a serial run would produce, the merged verdict is byte-identical
+//! to the serial detector's — the same guarantee the offline shard
+//! pipeline proves, reached during a parallel execution.
+
+use crate::engine::EngineCounters;
+use crate::labels::TaskLabel;
+use crate::monitor::{Event, Monitor, TaskKind};
+use crate::parallel::{run_pool, DeadlockError, ParCtx, PoolOutcome};
+use crate::sync::{Condvar, Mutex};
+use futrace_util::ids::{FinishId, LocId, TaskId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Accesses buffered per task before a forced publish.
+const FLUSH_ACCESSES: usize = 4096;
+/// Canonical ops per batch handed to a detector shard.
+const BATCH_OPS: usize = 4096;
+/// Batches a shard queue buffers before the walker blocks (backpressure).
+const QUEUE_CAP: usize = 8;
+
+// ---------------------------------------------------------------------------
+// ParMonitor: the concurrency-capable monitor surface
+// ---------------------------------------------------------------------------
+
+/// A monitor that can be driven from multiple detector shard threads.
+///
+/// [`crate::monitor::Monitor`] takes `&mut self` on every callback and so
+/// can only be driven by one thread. `ParMonitor` is the parallel
+/// counterpart used by [`run_online`]: the monitor *forks* into per-worker
+/// state, each worker consumes its routed slice of the canonical event
+/// stream on its own thread, and a deterministic *merge* folds the workers
+/// back into one report.
+///
+/// The contract mirrors the offline shard pipeline's (and is what makes
+/// merged verdicts deterministic):
+///
+/// * every worker receives **all control events** (task/finish/get
+///   structure) in canonical order;
+/// * each access is routed to **exactly one** worker by [`ParMonitor::route`]
+///   (default: `loc % workers`), tagged with its global canonical index;
+/// * `merge` must not depend on inter-worker timing — workers are handed
+///   back in fork order and each worker's input is a deterministic
+///   function of the canonical stream.
+///
+/// `control` and `check` are associated functions (not `&self` methods) so
+/// workers can be moved to shard threads without borrowing the monitor.
+///
+/// Every existing serial [`Monitor`] participates unchanged through the
+/// [`Serialized`] adapter.
+pub trait ParMonitor: Sized {
+    /// Per-shard worker state, moved onto a shard thread.
+    type Worker: Send;
+    /// The merged result type.
+    type Report;
+
+    /// Splits the monitor into worker states. `workers` is the requested
+    /// shard count; implementations may return a different number (the
+    /// returned length is authoritative) but must return at least one.
+    fn fork(&mut self, workers: usize) -> Vec<Self::Worker>;
+
+    /// Routes an access on `loc` to a worker index in `0..workers`.
+    /// Must be a pure function of `(loc, workers)` (an associated function,
+    /// like `control`/`check`, so the walker thread needs no monitor
+    /// borrow).
+    fn route(loc: LocId, workers: usize) -> usize {
+        loc.index() % workers.max(1)
+    }
+
+    /// Applies one canonical control event to a worker. Called on every
+    /// worker for every control event, in canonical order.
+    fn control(worker: &mut Self::Worker, e: &Event);
+
+    /// Checks one routed access. `index` is the access's position in the
+    /// global canonical access stream (shared across workers).
+    fn check(worker: &mut Self::Worker, task: TaskId, loc: LocId, write: bool, index: u64);
+
+    /// Deterministically folds the workers (in fork order) into a report.
+    fn merge(self, workers: Vec<Self::Worker>) -> Self::Report;
+}
+
+/// Blanket adapter driving any serial [`Monitor`] as a [`ParMonitor`].
+///
+/// Forks into exactly one worker — the monitor itself — which receives
+/// the full canonical stream in order. Since the canonical stream is the
+/// serial-elision stream, the monitor observes exactly what it would have
+/// observed under [`crate::serial::run_serial`].
+pub struct Serialized<M>(Option<M>);
+
+impl<M> Serialized<M> {
+    /// Wraps a serial monitor for online driving.
+    pub fn new(mon: M) -> Self {
+        Serialized(Some(mon))
+    }
+}
+
+impl<M: Monitor + Send> ParMonitor for Serialized<M> {
+    type Worker = M;
+    type Report = M;
+
+    fn fork(&mut self, _workers: usize) -> Vec<M> {
+        vec![self.0.take().expect("Serialized monitor forked twice")]
+    }
+
+    fn control(worker: &mut M, e: &Event) {
+        crate::monitor::apply(worker, e);
+    }
+
+    fn check(worker: &mut M, task: TaskId, loc: LocId, write: bool, _index: u64) {
+        if write {
+            worker.write(task, loc);
+        } else {
+            worker.read(task, loc);
+        }
+    }
+
+    fn merge(self, workers: Vec<M>) -> M {
+        workers
+            .into_iter()
+            .next()
+            .expect("Serialized monitor has one worker")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording side: per-task buffers published into slots
+// ---------------------------------------------------------------------------
+
+/// A control action recorded in a task's buffer. Offsets into the task's
+/// access stream (see [`Published`]) fix its interleaving position.
+pub(crate) enum Control {
+    /// Spawned a child task (`async` or `future`).
+    Spawn { child: u32, kind: TaskKind },
+    /// Entered a `finish` scope.
+    FinishStart,
+    /// Left a `finish` scope (after its join completed).
+    FinishEnd,
+    /// Performed `get()` on the future computed by raw task `awaited`.
+    Get { awaited: u32 },
+    /// Allocated `n` cells at raw base `base`.
+    Alloc { base: u32, n: u32, name: Box<str> },
+}
+
+/// Buffered actions published by a task, drained by the walker. Each
+/// control carries the count of the task's accesses preceding it, so the
+/// walker can interleave the two streams exactly as they happened.
+#[derive(Default)]
+struct Published {
+    /// Packed accesses: `loc << 1 | is_write`.
+    accesses: Vec<u64>,
+    /// `(access_offset, control)` pairs in program order.
+    controls: Vec<(u64, Control)>,
+}
+
+/// Shared mailbox between one running task and the walker.
+pub(crate) struct TaskSlot {
+    data: Mutex<Published>,
+    /// Set (after the final publish) when the task body has returned.
+    ended: AtomicBool,
+    /// The task's fork-path label, fixed at spawn.
+    label: TaskLabel,
+}
+
+/// Shared state of one online run: the slot table plus publish/wake
+/// plumbing. Owned by [`run_online`], referenced by every [`TaskRec`].
+pub(crate) struct OnlineState {
+    /// Raw task id → slot. Raw ids are dense (allocated by `fetch_add`).
+    slots: Mutex<Vec<Option<Arc<TaskSlot>>>>,
+    /// Bumped on every publish; the walker waits on it at the frontier.
+    wake: Mutex<u64>,
+    wake_cv: Condvar,
+    aborted: AtomicBool,
+    publishes: AtomicU64,
+    published_events: AtomicU64,
+}
+
+impl OnlineState {
+    fn new() -> OnlineState {
+        OnlineState {
+            slots: Mutex::new(Vec::new()),
+            wake: Mutex::new(0),
+            wake_cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+            publishes: AtomicU64::new(0),
+            published_events: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn register(&self, raw: u32, label: TaskLabel) -> Arc<TaskSlot> {
+        let slot = Arc::new(TaskSlot {
+            data: Mutex::new(Published::default()),
+            ended: AtomicBool::new(false),
+            label,
+        });
+        let mut slots = self.slots.lock();
+        let idx = raw as usize;
+        if slots.len() <= idx {
+            slots.resize(idx + 1, None);
+        }
+        slots[idx] = Some(Arc::clone(&slot));
+        slot
+    }
+
+    fn slot(&self, raw: u32) -> Option<Arc<TaskSlot>> {
+        self.slots.lock().get(raw as usize).cloned().flatten()
+    }
+
+    fn notify(&self) {
+        *self.wake.lock() += 1;
+        self.wake_cv.notify_all();
+    }
+
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything a spawned child needs to start recording: created by the
+/// parent *before* the spawn control is published, so the walker always
+/// finds the child's slot when it reaches the spawn.
+pub(crate) struct SpawnRec {
+    state: Arc<OnlineState>,
+    slot: Arc<TaskSlot>,
+    label: TaskLabel,
+}
+
+/// Per-running-task recorder: local buffers plus the publish protocol.
+/// Lives inside [`ParCtx`] when (and only when) the run is online.
+pub(crate) struct TaskRec {
+    state: Arc<OnlineState>,
+    slot: Arc<TaskSlot>,
+    label: TaskLabel,
+    /// Spawn ordinal of this task's next child (fork-path label `seq`).
+    next_child_seq: u32,
+    accesses: Vec<u64>,
+    controls: Vec<(u64, Control)>,
+    /// Total accesses recorded by this task (absolute offset counter).
+    acc_count: u64,
+}
+
+impl TaskRec {
+    /// Recorder for the main task (registers raw id 0, root label).
+    pub(crate) fn main(state: Arc<OnlineState>) -> TaskRec {
+        let label = TaskLabel::root();
+        let slot = state.register(0, label.clone());
+        TaskRec {
+            state,
+            slot,
+            label,
+            next_child_seq: 0,
+            accesses: Vec::new(),
+            controls: Vec::new(),
+            acc_count: 0,
+        }
+    }
+
+    /// Recorder for a spawned child (slot already registered by the
+    /// parent's [`TaskRec::record_spawn`]).
+    pub(crate) fn spawned(pre: SpawnRec) -> TaskRec {
+        TaskRec {
+            state: pre.state,
+            slot: pre.slot,
+            label: pre.label,
+            next_child_seq: 0,
+            accesses: Vec::new(),
+            controls: Vec::new(),
+            acc_count: 0,
+        }
+    }
+
+    /// The task's fork-path label.
+    pub(crate) fn label(&self) -> &TaskLabel {
+        &self.label
+    }
+
+    /// Records one shared-memory access. Hot path: two `Vec` pushes worst
+    /// case, no locks until the flush threshold.
+    #[inline]
+    pub(crate) fn record_access(&mut self, loc: LocId, write: bool) {
+        self.accesses.push(((loc.0 as u64) << 1) | write as u64);
+        self.acc_count += 1;
+        if self.accesses.len() >= FLUSH_ACCESSES {
+            self.publish();
+        }
+    }
+
+    /// Registers the child's slot (with its O(1)-derived label) and
+    /// records + publishes the spawn control. Returns the bundle the child
+    /// task starts from.
+    pub(crate) fn record_spawn(&mut self, child: u32, kind: TaskKind) -> SpawnRec {
+        let label = self.label.child(self.next_child_seq);
+        self.next_child_seq += 1;
+        let slot = self.state.register(child, label.clone());
+        self.record_control(Control::Spawn { child, kind });
+        SpawnRec {
+            state: Arc::clone(&self.state),
+            slot,
+            label,
+        }
+    }
+
+    /// Records + publishes a `get()` of raw task `awaited`.
+    pub(crate) fn record_get(&mut self, awaited: u32) {
+        self.record_control(Control::Get { awaited });
+    }
+
+    /// Records + publishes entry into a `finish` scope.
+    pub(crate) fn record_finish_start(&mut self) {
+        self.record_control(Control::FinishStart);
+    }
+
+    /// Records + publishes exit from a `finish` scope.
+    pub(crate) fn record_finish_end(&mut self) {
+        self.record_control(Control::FinishEnd);
+    }
+
+    /// Records + publishes an allocation of `n` cells at raw `base`.
+    pub(crate) fn record_alloc(&mut self, base: u32, n: u32, name: &str) {
+        self.record_control(Control::Alloc {
+            base,
+            n,
+            name: name.into(),
+        });
+    }
+
+    fn record_control(&mut self, c: Control) {
+        self.controls.push((self.acc_count, c));
+        // Publishing at every sync point keeps the walker's frontier as
+        // close to execution as the semantics allow (a spawn must be
+        // visible before the child's actions can matter).
+        self.publish();
+    }
+
+    fn publish(&mut self) {
+        if self.accesses.is_empty() && self.controls.is_empty() {
+            return;
+        }
+        let n = (self.accesses.len() + self.controls.len()) as u64;
+        {
+            let mut d = self.slot.data.lock();
+            d.accesses.append(&mut self.accesses);
+            d.controls.append(&mut self.controls);
+        }
+        self.state.publishes.fetch_add(1, Ordering::Relaxed);
+        self.state.published_events.fetch_add(n, Ordering::Relaxed);
+        self.state.notify();
+    }
+
+    /// Final publish + end mark. Must be the task's last recording action.
+    pub(crate) fn end(&mut self) {
+        self.publish();
+        self.slot.ended.store(true, Ordering::SeqCst);
+        self.state.notify();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard queues: walker -> detector worker hand-off
+// ---------------------------------------------------------------------------
+
+/// One canonical-stream operation routed to a shard. Controls are boxed
+/// so the Vec slot stays at the (dominant) access variant's size — the
+/// queues move tens of millions of accesses and only thousands of
+/// controls.
+enum ShardOp {
+    /// Broadcast control event (every shard sees these).
+    Control(Box<Event>),
+    /// A routed access with its global canonical index.
+    Access {
+        task: TaskId,
+        loc: LocId,
+        write: bool,
+        index: u64,
+    },
+}
+
+struct ShardQueueState {
+    batches: VecDeque<Vec<ShardOp>>,
+    eof: bool,
+    dead: bool,
+}
+
+/// Bounded SPSC batch queue between the walker and one shard worker.
+struct ShardQueue {
+    state: Mutex<ShardQueueState>,
+    can_push: Condvar,
+    can_pop: Condvar,
+}
+
+impl ShardQueue {
+    fn new() -> ShardQueue {
+        ShardQueue {
+            state: Mutex::new(ShardQueueState {
+                batches: VecDeque::new(),
+                eof: false,
+                dead: false,
+            }),
+            can_push: Condvar::new(),
+            can_pop: Condvar::new(),
+        }
+    }
+
+    /// Blocking bounded push; returns false if the consumer died.
+    fn push(&self, batch: Vec<ShardOp>) -> bool {
+        let mut g = self.state.lock();
+        while g.batches.len() >= QUEUE_CAP && !g.dead {
+            g = self.can_push.wait(g);
+        }
+        if g.dead {
+            return false;
+        }
+        g.batches.push_back(batch);
+        drop(g);
+        self.can_pop.notify_one();
+        true
+    }
+
+    /// Marks the stream complete (consumer drains what remains, then stops).
+    fn close(&self) {
+        self.state.lock().eof = true;
+        self.can_pop.notify_all();
+    }
+
+    /// Tears the queue down from either side (panic paths).
+    fn kill(&self) {
+        let mut g = self.state.lock();
+        g.dead = true;
+        drop(g);
+        self.can_push.notify_all();
+        self.can_pop.notify_all();
+    }
+
+    fn pop(&self) -> Option<Vec<ShardOp>> {
+        let mut g = self.state.lock();
+        loop {
+            if let Some(b) = g.batches.pop_front() {
+                drop(g);
+                self.can_push.notify_one();
+                return Some(b);
+            }
+            if g.eof || g.dead {
+                return None;
+            }
+            g = self.can_pop.wait(g);
+        }
+    }
+}
+
+/// Kills a set of queues on drop unless disarmed — keeps a panicking
+/// walker or shard from leaving its peer blocked forever.
+struct QueueGuard<'a> {
+    queues: &'a [Arc<ShardQueue>],
+    armed: bool,
+}
+
+impl Drop for QueueGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            for q in self.queues {
+                q.kill();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The canonical walker
+// ---------------------------------------------------------------------------
+
+/// A task being walked: its drained buffers plus the walk cursor.
+struct Frame {
+    serial: TaskId,
+    slot: Arc<TaskSlot>,
+    /// Drained accesses; `acc[i]` is the task's `acc_base + i`-th access.
+    acc: Vec<u64>,
+    acc_base: u64,
+    /// Absolute count of accesses already emitted.
+    acc_pos: u64,
+    /// Drained, not-yet-consumed controls.
+    ctls: VecDeque<(u64, Control)>,
+    /// The task body has returned (everything is published).
+    saw_end: bool,
+}
+
+impl Frame {
+    fn acc_avail(&self) -> u64 {
+        self.acc_base + self.acc.len() as u64
+    }
+}
+
+struct FinishFrame {
+    id: FinishId,
+    joins: Vec<TaskId>,
+}
+
+/// What the walker produced (engine counters + telemetry deltas).
+struct WalkResult {
+    events: u64,
+    control_events: u64,
+    reads: u64,
+    writes: u64,
+    tasks_walked: u64,
+    frontier_waits: u64,
+    unresolved_gets: u64,
+    batches: u64,
+    per_shard_accesses: Vec<u64>,
+    truncated: bool,
+}
+
+enum Step {
+    Emitted,
+    NeedData,
+    TaskDone,
+}
+
+/// Where the walker sends the canonical stream.
+enum Sink<'a, P: ParMonitor> {
+    /// Batch and route to shard worker threads (the overlapped pipeline).
+    Queues {
+        queues: &'a [Arc<ShardQueue>],
+        staging: Vec<Vec<ShardOp>>,
+    },
+    /// Feed one worker directly on the walker thread. Chosen when no
+    /// spare core exists for a shard thread to run on: the hand-off
+    /// could not overlap with anything, so materializing and queueing
+    /// ops would be pure overhead.
+    Inline(P::Worker),
+}
+
+struct Walker<'a, P: ParMonitor> {
+    state: &'a OnlineState,
+    sink: Sink<'a, P>,
+    shards: usize,
+    stack: Vec<Frame>,
+    finish_stack: Vec<FinishFrame>,
+    next_task: u32,
+    next_finish: u32,
+    next_loc: u32,
+    /// Raw task id → serial id, filled as spawns are walked.
+    task_map: Vec<Option<TaskId>>,
+    /// Raw loc → serial loc, filled as allocs are walked.
+    loc_map: Vec<u32>,
+    next_access_index: u64,
+    /// Label of the most recently walked spawn (order verification).
+    last_spawn_label: Option<TaskLabel>,
+    out: WalkResult,
+}
+
+impl<'a, P: ParMonitor> Walker<'a, P> {
+    fn new(state: &'a OnlineState, sink: Sink<'a, P>, shards: usize) -> Self {
+        Walker {
+            state,
+            sink,
+            shards,
+            stack: Vec::new(),
+            finish_stack: vec![FinishFrame {
+                id: FinishId(0),
+                joins: Vec::new(),
+            }],
+            next_task: 1,
+            next_finish: 1,
+            next_loc: 0,
+            task_map: vec![Some(TaskId::MAIN)],
+            loc_map: Vec::new(),
+            next_access_index: 0,
+            last_spawn_label: None,
+            out: WalkResult {
+                events: 0,
+                control_events: 0,
+                reads: 0,
+                writes: 0,
+                tasks_walked: 0,
+                frontier_waits: 0,
+                unresolved_gets: 0,
+                batches: 0,
+                per_shard_accesses: vec![0; shards],
+                truncated: false,
+            },
+        }
+    }
+
+    /// Walks to completion; returns the counters and, in inline mode,
+    /// the fed worker.
+    fn run(mut self) -> (WalkResult, Option<P::Worker>) {
+        // The main slot is registered before user code runs; wait for it.
+        let root = loop {
+            if let Some(s) = self.state.slot(0) {
+                break s;
+            }
+            if self.state.is_aborted() {
+                self.out.truncated = true;
+                return self.finish_streams();
+            }
+            let g = self.state.wake.lock();
+            drop(self.state.wake_cv.wait_timeout(g, Duration::from_micros(200)));
+        };
+        self.stack.push(Frame {
+            serial: TaskId::MAIN,
+            slot: root,
+            acc: Vec::new(),
+            acc_base: 0,
+            acc_pos: 0,
+            ctls: VecDeque::new(),
+            saw_end: false,
+        });
+
+        'walk: while !self.stack.is_empty() {
+            if self.state.is_aborted() {
+                self.out.truncated = true;
+                break 'walk;
+            }
+            let wake_seen = *self.state.wake.lock();
+            Self::drain(self.stack.last_mut().expect("non-empty stack"));
+            loop {
+                match self.step() {
+                    Step::Emitted => continue,
+                    Step::TaskDone => {
+                        if self.stack.is_empty() {
+                            break 'walk;
+                        }
+                        // Parent resumes: drain it before deciding to wait.
+                        Self::drain(self.stack.last_mut().expect("parent frame"));
+                    }
+                    Step::NeedData => {
+                        // The top frame is often a freshly pushed child
+                        // whose published actions have not been drained
+                        // yet; sleeping here would turn every spawn into
+                        // a condvar timeout once execution has finished.
+                        // Only wait when a drain finds nothing new.
+                        if !Self::drain(self.stack.last_mut().expect("non-empty stack")) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if self.stack.is_empty() {
+                break;
+            }
+            // Frontier: nothing consumable. Sleep until a publish (or
+            // timeout — publishes can land between our wake snapshot and
+            // the drain above, which the snapshot comparison catches).
+            let g = self.state.wake.lock();
+            if *g == wake_seen && !self.state.is_aborted() {
+                self.out.frontier_waits += 1;
+                drop(self.state.wake_cv.wait_timeout(g, Duration::from_micros(200)));
+            }
+        }
+        self.finish_streams()
+    }
+
+    /// Moves newly published data from the slot into the frame. Returns
+    /// whether anything new arrived (data or the end mark) — `false`
+    /// means the frame is genuinely ahead of execution and the walker
+    /// must wait for a publish.
+    fn drain(frame: &mut Frame) -> bool {
+        let ended = frame.slot.ended.load(Ordering::SeqCst);
+        let mut changed = false;
+        let mut d = frame.slot.data.lock();
+        if !d.accesses.is_empty() {
+            // Drop the consumed prefix when fully caught up, keeping frame
+            // memory proportional to the walk lag rather than task length.
+            if frame.acc_pos == frame.acc_avail() {
+                frame.acc.clear();
+                frame.acc_base = frame.acc_pos;
+            }
+            frame.acc.append(&mut d.accesses);
+            changed = true;
+        }
+        if !d.controls.is_empty() {
+            frame.ctls.extend(d.controls.drain(..));
+            changed = true;
+        }
+        drop(d);
+        if ended && !frame.saw_end {
+            // Ordering: `ended` is stored after the final publish, so
+            // sampling it *before* the drain above means the drain saw
+            // everything when `ended` reads true.
+            frame.saw_end = true;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Consumes the next walkable unit of the top frame.
+    fn step(&mut self) -> Step {
+        let mut frame = self.stack.pop().expect("step on empty stack");
+        if let Some((off, _)) = frame.ctls.front() {
+            let off = *off;
+            debug_assert!(off >= frame.acc_pos, "control offset behind walk cursor");
+            if frame.acc_avail() < off {
+                // Accesses preceding the control not yet drained (cannot
+                // happen with atomic publishes, but stay defensive).
+                self.stack.push(frame);
+                return Step::NeedData;
+            }
+            self.emit_accesses(&mut frame, off);
+            let (_, ctl) = frame.ctls.pop_front().expect("front checked");
+            self.handle_control(frame, ctl)
+        } else {
+            let avail = frame.acc_avail();
+            if frame.acc_pos < avail {
+                self.emit_accesses(&mut frame, avail);
+                self.stack.push(frame);
+                Step::Emitted
+            } else if frame.saw_end {
+                self.finish_task(frame);
+                Step::TaskDone
+            } else {
+                self.stack.push(frame);
+                Step::NeedData
+            }
+        }
+    }
+
+    /// Handles one control action of `frame`; pushes frames back as needed.
+    fn handle_control(&mut self, frame: Frame, ctl: Control) -> Step {
+        match ctl {
+            Control::Spawn { child, kind } => {
+                let serial_child = TaskId(self.next_task);
+                self.next_task += 1;
+                let idx = child as usize;
+                if self.task_map.len() <= idx {
+                    self.task_map.resize(idx + 1, None);
+                }
+                self.task_map[idx] = Some(serial_child);
+                let fin = self.finish_stack.last_mut().expect("finish stack");
+                fin.joins.push(serial_child);
+                let ief = fin.id;
+                let slot = self
+                    .state
+                    .slot(child)
+                    .expect("child slot registered before its spawn was published");
+                // Labels certify the canonical order: serial ids must be
+                // assigned in label depth-first order.
+                debug_assert!(
+                    self.last_spawn_label
+                        .as_ref()
+                        .is_none_or(|prev| prev.df_cmp(&slot.label).is_lt()),
+                    "walk order diverged from label depth-first order"
+                );
+                self.last_spawn_label = Some(slot.label.clone());
+                self.emit_control(Event::TaskCreate {
+                    parent: frame.serial,
+                    child: serial_child,
+                    kind,
+                    ief,
+                });
+                // Depth-first: the child's whole subtree walks before the
+                // parent's remaining actions (serial elision).
+                self.stack.push(frame);
+                self.stack.push(Frame {
+                    serial: serial_child,
+                    slot,
+                    acc: Vec::new(),
+                    acc_base: 0,
+                    acc_pos: 0,
+                    ctls: VecDeque::new(),
+                    saw_end: false,
+                });
+                Step::Emitted
+            }
+            Control::FinishStart => {
+                let fid = FinishId(self.next_finish);
+                self.next_finish += 1;
+                self.emit_control(Event::FinishStart(frame.serial, fid));
+                self.finish_stack.push(FinishFrame {
+                    id: fid,
+                    joins: Vec::new(),
+                });
+                self.stack.push(frame);
+                Step::Emitted
+            }
+            Control::FinishEnd => {
+                let fin = self.finish_stack.pop().expect("unbalanced finish_end");
+                self.emit_control(Event::FinishEnd(frame.serial, fin.id, fin.joins));
+                self.stack.push(frame);
+                Step::Emitted
+            }
+            Control::Get { awaited } => {
+                match self.task_map.get(awaited as usize).copied().flatten() {
+                    Some(serial_awaited) => self.emit_control(Event::Get {
+                        waiter: frame.serial,
+                        awaited: serial_awaited,
+                    }),
+                    // A handle that reached this task outside the monitored
+                    // structure (e.g. through a raw channel): no serial id
+                    // exists at this canonical position. Counted, skipped —
+                    // such programs are outside the serial-elision model.
+                    None => self.out.unresolved_gets += 1,
+                }
+                self.stack.push(frame);
+                Step::Emitted
+            }
+            Control::Alloc { base, n, name } => {
+                let serial_base = self.next_loc;
+                self.next_loc += n;
+                let end = base as usize + n as usize;
+                if self.loc_map.len() < end {
+                    self.loc_map.resize(end, u32::MAX);
+                }
+                for i in 0..n {
+                    self.loc_map[base as usize + i as usize] = serial_base + i;
+                }
+                self.emit_control(Event::Alloc(LocId(serial_base), n, name.into()));
+                self.stack.push(frame);
+                Step::Emitted
+            }
+        }
+    }
+
+    fn finish_task(&mut self, frame: Frame) {
+        debug_assert!(
+            frame.ctls.is_empty() && frame.acc_pos == frame.acc_avail(),
+            "finishing a task with unconsumed actions"
+        );
+        if frame.serial == TaskId::MAIN {
+            // The implicit finish around main, exactly as run_serial ends.
+            let fin = self.finish_stack.pop().expect("implicit finish frame");
+            self.emit_control(Event::FinishEnd(TaskId::MAIN, fin.id, fin.joins));
+        }
+        self.emit_control(Event::TaskEnd(frame.serial));
+        self.out.tasks_walked += 1;
+    }
+
+    fn emit_control(&mut self, e: Event) {
+        self.out.events += 1;
+        self.out.control_events += 1;
+        match &mut self.sink {
+            Sink::Inline(w) => P::control(w, &e),
+            Sink::Queues { queues, staging } => {
+                for s in 0..staging.len() {
+                    staging[s].push(ShardOp::Control(Box::new(e.clone())));
+                    if staging[s].len() >= BATCH_OPS {
+                        Self::flush(queues, staging, &mut self.out.batches, s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn emit_accesses(&mut self, frame: &mut Frame, upto: u64) {
+        for i in frame.acc_pos..upto {
+            let word = frame.acc[(i - frame.acc_base) as usize];
+            let raw_loc = (word >> 1) as u32;
+            let write = word & 1 == 1;
+            let loc = LocId(self.translate_loc(raw_loc));
+            let index = self.next_access_index;
+            self.next_access_index += 1;
+            self.out.events += 1;
+            if write {
+                self.out.writes += 1;
+            } else {
+                self.out.reads += 1;
+            }
+            let shard = P::route(loc, self.shards).min(self.shards - 1);
+            self.out.per_shard_accesses[shard] += 1;
+            match &mut self.sink {
+                Sink::Inline(w) => P::check(w, frame.serial, loc, write, index),
+                Sink::Queues { queues, staging } => {
+                    staging[shard].push(ShardOp::Access {
+                        task: frame.serial,
+                        loc,
+                        write,
+                        index,
+                    });
+                    if staging[shard].len() >= BATCH_OPS {
+                        Self::flush(queues, staging, &mut self.out.batches, shard);
+                    }
+                }
+            }
+        }
+        frame.acc_pos = upto;
+    }
+
+    fn translate_loc(&self, raw: u32) -> u32 {
+        match self.loc_map.get(raw as usize) {
+            Some(&serial) if serial != u32::MAX => serial,
+            // Accesses outside any monitored allocation cannot occur
+            // through the DSL; identity-map defensively in release.
+            _ => {
+                debug_assert!(false, "access to unallocated raw loc {raw}");
+                raw
+            }
+        }
+    }
+
+    fn flush(
+        queues: &[Arc<ShardQueue>],
+        staging: &mut [Vec<ShardOp>],
+        batches: &mut u64,
+        shard: usize,
+    ) {
+        let batch = std::mem::replace(&mut staging[shard], Vec::with_capacity(BATCH_OPS));
+        if batch.is_empty() {
+            return;
+        }
+        *batches += 1;
+        // A false return means the shard died (panicked); its join will
+        // surface the payload — drop the batch and keep walking.
+        let _ = queues[shard].push(batch);
+    }
+
+    fn finish_streams(mut self) -> (WalkResult, Option<P::Worker>) {
+        match self.sink {
+            Sink::Inline(w) => (self.out, Some(w)),
+            Sink::Queues { queues, mut staging } => {
+                for s in 0..queues.len() {
+                    Self::flush(queues, &mut staging, &mut self.out.batches, s);
+                    queues[s].close();
+                }
+                (self.out, None)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The online driver
+// ---------------------------------------------------------------------------
+
+/// Options for [`run_online`].
+#[derive(Clone, Debug)]
+pub struct OnlineOptions {
+    /// Worker threads for the parallel executor (≥ 1).
+    pub threads: usize,
+    /// Detector shard threads requested from [`ParMonitor::fork`].
+    pub shards: usize,
+    /// Seed for randomized steal order (schedule exploration); `None`
+    /// keeps FIFO stealing.
+    pub steal_seed: Option<u64>,
+}
+
+impl OnlineOptions {
+    /// `threads` executor threads with one detector shard per thread.
+    pub fn threads(threads: usize) -> OnlineOptions {
+        OnlineOptions {
+            threads,
+            shards: threads,
+            steal_seed: None,
+        }
+    }
+
+    /// `threads` executor threads with the shard count fitted to the
+    /// machine: shards compete with the executor and the walker for
+    /// cores, so extra shards only help when spare cores exist to run
+    /// them. On a saturated (or single-core) host this picks one shard —
+    /// the pipeline still overlaps detection with execution, it just
+    /// stops paying for cross-shard scheduling it cannot use.
+    pub fn auto(threads: usize) -> OnlineOptions {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shards = avail.saturating_sub(threads + 1).clamp(1, threads);
+        OnlineOptions {
+            threads,
+            shards,
+            steal_seed: None,
+        }
+    }
+}
+
+/// Telemetry from one online run: buffer/merge behaviour of the pipeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    /// Executor worker threads.
+    pub threads: usize,
+    /// Detector shard workers actually forked.
+    pub shards: usize,
+    /// Buffer publishes (merges into task slots) across all tasks.
+    pub publishes: u64,
+    /// Actions moved by those publishes (accesses + controls).
+    pub published_events: u64,
+    /// Tasks fully walked in canonical order.
+    pub tasks_walked: u64,
+    /// Times the walker blocked waiting for execution to publish more.
+    pub frontier_waits: u64,
+    /// `get()`s whose awaited handle had no serial id at its canonical
+    /// position (handle smuggled outside the monitored structure).
+    pub unresolved_gets: u64,
+    /// Batches handed to detector shards.
+    pub batches: u64,
+    /// Accesses routed to each shard.
+    pub per_shard_accesses: Vec<u64>,
+    /// The canonical stream was cut short (deadlock or panic).
+    pub truncated: bool,
+}
+
+impl std::fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "online: threads={} shards={} publishes={} published={} \
+             frontier_waits={} batches={}",
+            self.threads,
+            self.shards,
+            self.publishes,
+            self.published_events,
+            self.frontier_waits,
+            self.batches
+        )?;
+        if self.unresolved_gets > 0 {
+            write!(f, " unresolved_gets={}", self.unresolved_gets)?;
+        }
+        if self.truncated {
+            write!(f, " (truncated)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why an online execution failed (analysis of the prefix still ran).
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The parallel execution deadlocked (Appendix-A scenario).
+    Deadlock(DeadlockError),
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::Deadlock(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Result of [`run_online`]: the program's value, the merged report, and
+/// run telemetry. `report` is present even when `result` is an error —
+/// detection of the executed prefix still completed.
+pub struct OnlineRun<R, Rep> {
+    /// The program's return value, or why execution failed.
+    pub result: Result<R, OnlineError>,
+    /// The merged [`ParMonitor`] report.
+    pub report: Rep,
+    /// Canonical-stream counters (events, control, reads, writes, wall).
+    pub engine: EngineCounters,
+    /// Online-pipeline telemetry.
+    pub stats: OnlineStats,
+}
+
+/// Runs `f` on the instrumented parallel executor with detection overlapped
+/// on shard threads. See the module docs for the pipeline.
+///
+/// Thread budget: `opts.threads` executor workers + 1 canonical walker +
+/// `opts.shards` detector shards (plus any compensation workers the pool
+/// adds while waits are blocked).
+///
+/// Panics from task bodies are propagated to the caller after all
+/// pipeline threads have been joined.
+pub fn run_online<P, R, F>(opts: OnlineOptions, mut monitor: P, f: F) -> OnlineRun<R, P::Report>
+where
+    P: ParMonitor,
+    R: Send,
+    F: FnOnce(&mut ParCtx) -> R + Send,
+{
+    assert!(opts.threads >= 1, "need at least one executor thread");
+    let start = Instant::now();
+    let mut workers = monitor.fork(opts.shards.max(1));
+    assert!(!workers.is_empty(), "ParMonitor::fork returned no workers");
+    let shards = workers.len();
+    let state = Arc::new(OnlineState::new());
+    // With a single shard and no spare core to run it on, a shard thread
+    // cannot overlap with the walker — feed the worker inline on the
+    // walker thread instead of materializing ops through a queue.
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let inline_worker = (shards == 1 && avail <= 2).then(|| workers.remove(0));
+    let queues: Vec<Arc<ShardQueue>> = (0..workers.len())
+        .map(|_| Arc::new(ShardQueue::new()))
+        .collect();
+
+    let (pool_out, walk_join, shard_joins) = std::thread::scope(|s| {
+        let walker_state = Arc::clone(&state);
+        let walker_queues = &queues[..];
+        let walker = s.spawn(move || {
+            let guard = QueueGuard {
+                queues: walker_queues,
+                armed: true,
+            };
+            let sink = match inline_worker {
+                Some(w) => Sink::Inline(w),
+                None => Sink::Queues {
+                    queues: walker_queues,
+                    staging: (0..shards).map(|_| Vec::new()).collect(),
+                },
+            };
+            let res = Walker::<P>::new(&walker_state, sink, shards).run();
+            // Normal exit already closed the streams; disarm the guard.
+            let mut guard = guard;
+            guard.armed = false;
+            res
+        });
+        let shard_handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut w)| {
+                let q = Arc::clone(&queues[i]);
+                s.spawn(move || {
+                    struct Dead<'a>(&'a ShardQueue, bool);
+                    impl Drop for Dead<'_> {
+                        fn drop(&mut self) {
+                            if self.1 {
+                                self.0.kill();
+                            }
+                        }
+                    }
+                    let mut dead = Dead(&q, true);
+                    while let Some(batch) = q.pop() {
+                        for op in batch {
+                            match op {
+                                ShardOp::Control(e) => P::control(&mut w, &e),
+                                ShardOp::Access {
+                                    task,
+                                    loc,
+                                    write,
+                                    index,
+                                } => P::check(&mut w, task, loc, write, index),
+                            }
+                        }
+                    }
+                    dead.1 = false;
+                    w
+                })
+            })
+            .collect();
+
+        let out = run_pool(opts.threads, opts.steal_seed, Some(Arc::clone(&state)), f);
+        if !matches!(out, PoolOutcome::Done(_)) {
+            state.abort();
+        }
+        let walk = walker.join();
+        let shard_outs: Vec<_> = shard_handles.into_iter().map(|h| h.join()).collect();
+        (out, walk, shard_outs)
+    });
+
+    // Joins are done; re-raise pipeline panics (walker first: a detector
+    // panic usually follows from a malformed stream).
+    let (walk, walked_worker) = match walk_join {
+        Ok(pair) => pair,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    let mut shard_workers = Vec::with_capacity(shards);
+    shard_workers.extend(walked_worker);
+    for j in shard_joins {
+        match j {
+            Ok(w) => shard_workers.push(w),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    let result = match pool_out {
+        PoolOutcome::Done(r) => Ok(r),
+        PoolOutcome::Deadlock(e) => Err(OnlineError::Deadlock(e)),
+        PoolOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+    };
+
+    let report = monitor.merge(shard_workers);
+    let engine = EngineCounters {
+        events: walk.events,
+        control_events: walk.control_events,
+        reads: walk.reads,
+        writes: walk.writes,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        ..EngineCounters::default()
+    };
+    let stats = OnlineStats {
+        threads: opts.threads,
+        shards,
+        publishes: state.publishes.load(Ordering::Relaxed),
+        published_events: state.published_events.load(Ordering::Relaxed),
+        tasks_walked: walk.tasks_walked,
+        frontier_waits: walk.frontier_waits,
+        unresolved_gets: walk.unresolved_gets,
+        batches: walk.batches,
+        per_shard_accesses: walk.per_shard_accesses,
+        truncated: walk.truncated,
+    };
+    OnlineRun {
+        result,
+        report,
+        engine,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TaskCtx;
+    use crate::monitor::EventLog;
+    use crate::serial::run_serial;
+
+    /// A nested async/finish/future program exercising every control kind,
+    /// written generically so it runs on both executors.
+    fn mixed_program<C: TaskCtx>(ctx: &mut C) {
+        let a = ctx.shared_array(16, 0u64, "a");
+        let v = ctx.shared_var(0u64, "v");
+        ctx.finish(|ctx| {
+            for i in 0..4 {
+                let a = a.clone();
+                ctx.async_task(move |ctx| {
+                    a.write(ctx, i, i as u64 + 1);
+                    let x = a.read(ctx, i);
+                    a.write(ctx, i + 4, x * 2);
+                });
+            }
+        });
+        let f = {
+            let a = a.clone();
+            ctx.future(move |ctx| a.read(ctx, 0) + 100)
+        };
+        let g = {
+            let f = f.clone();
+            ctx.future(move |ctx| ctx.get(&f) + 1)
+        };
+        let got = ctx.get(&g);
+        v.write(ctx, got);
+        ctx.finish(|ctx| {
+            let v = v.clone();
+            ctx.async_task(move |ctx| {
+                ctx.finish(|ctx| {
+                    let v = v.clone();
+                    ctx.async_task(move |ctx| {
+                        let x = v.read(ctx);
+                        v.write(ctx, x + 1);
+                    });
+                });
+                let x = v.read(ctx);
+                v.write(ctx, x + 1);
+            });
+        });
+    }
+
+    fn serial_log<F: Fn(&mut crate::serial::SerialCtx<EventLog>)>(f: F) -> EventLog {
+        let mut log = EventLog::default();
+        run_serial(&mut log, |ctx| f(ctx));
+        log
+    }
+
+    #[test]
+    fn canonical_stream_equals_serial_elision() {
+        let want = serial_log(|ctx| mixed_program(ctx));
+        for threads in [1, 2, 4] {
+            let run = run_online(
+                OnlineOptions::threads(threads),
+                Serialized::new(EventLog::default()),
+                |ctx| mixed_program(ctx),
+            );
+            assert!(run.result.is_ok());
+            assert_eq!(
+                run.report.events, want.events,
+                "threads={threads}: canonical stream diverged from serial elision"
+            );
+            assert!(run.stats.publishes > 0);
+            assert_eq!(run.stats.tasks_walked, 9); // 6 asyncs + 2 futures + main
+            assert!(!run.stats.truncated);
+        }
+    }
+
+    #[test]
+    fn seeded_schedules_preserve_the_canonical_stream() {
+        let want = serial_log(|ctx| mixed_program(ctx));
+        for seed in [1u64, 7, 42, 1337] {
+            let run = run_online(
+                OnlineOptions {
+                    threads: 4,
+                    shards: 1,
+                    steal_seed: Some(seed),
+                },
+                Serialized::new(EventLog::default()),
+                |ctx| mixed_program(ctx),
+            );
+            assert!(run.result.is_ok());
+            assert_eq!(
+                run.report.events, want.events,
+                "seed={seed}: canonical stream diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_counters_match_stream_shape() {
+        let run = run_online(
+            OnlineOptions::threads(2),
+            Serialized::new(EventLog::default()),
+            |ctx| mixed_program(ctx),
+        );
+        let accesses = run.report.shared_mem_accesses() as u64;
+        assert_eq!(run.engine.reads + run.engine.writes, accesses);
+        assert_eq!(
+            run.engine.events,
+            run.engine.control_events + accesses,
+            "events = control + accesses"
+        );
+        assert!(run.engine.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn deadlock_yields_error_and_truncated_stats() {
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel::<crate::parallel::ParHandle<u64>>();
+        let run = run_online(
+            OnlineOptions::threads(2),
+            Serialized::new(EventLog::default()),
+            move |ctx| {
+                let f = ctx.future(move |ctx| {
+                    let me = rx.recv().unwrap();
+                    ctx.get(&me)
+                });
+                tx.send(f.clone()).unwrap();
+                ctx.get(&f)
+            },
+        );
+        assert!(matches!(run.result, Err(OnlineError::Deadlock(_))));
+        assert!(run.stats.truncated);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_pipeline_join() {
+        let res = std::panic::catch_unwind(|| {
+            run_online(
+                OnlineOptions::threads(2),
+                Serialized::new(EventLog::default()),
+                |ctx| {
+                    ctx.finish(|ctx| {
+                        ctx.async_task(|_| panic!("task body panic"));
+                    });
+                },
+            )
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn multi_shard_routing_partitions_accesses() {
+        // EventLog across 2 workers: control broadcast, accesses split by
+        // loc parity. Merge keeps worker 0, so its log must contain all
+        // control events and exactly the even-loc accesses.
+        struct TwoLogs;
+        impl ParMonitor for TwoLogs {
+            type Worker = EventLog;
+            type Report = Vec<EventLog>;
+            fn fork(&mut self, _w: usize) -> Vec<EventLog> {
+                vec![EventLog::default(), EventLog::default()]
+            }
+            fn control(w: &mut EventLog, e: &Event) {
+                crate::monitor::apply(w, e);
+            }
+            fn check(w: &mut EventLog, task: TaskId, loc: LocId, write: bool, _i: u64) {
+                if write {
+                    w.write(task, loc);
+                } else {
+                    w.read(task, loc);
+                }
+            }
+            fn merge(self, workers: Vec<EventLog>) -> Vec<EventLog> {
+                workers
+            }
+        }
+        let run = run_online(OnlineOptions::threads(2), TwoLogs, |ctx| mixed_program(ctx));
+        let logs = run.report;
+        assert_eq!(logs.len(), 2);
+        let serial = serial_log(|ctx| mixed_program(ctx));
+        let total_accesses = serial.shared_mem_accesses();
+        let (a0, a1) = (logs[0].shared_mem_accesses(), logs[1].shared_mem_accesses());
+        assert_eq!(a0 + a1, total_accesses);
+        assert!(a0 > 0 && a1 > 0, "both shards should see accesses");
+        for log in &logs {
+            for e in log.events.iter() {
+                if let Event::Read(_, l) | Event::Write(_, l) = e {
+                    let shard = if std::ptr::eq(log, &logs[0]) { 0 } else { 1 };
+                    assert_eq!(l.index() % 2, shard, "access routed to wrong shard");
+                }
+            }
+        }
+        // Control stream identical on both shards.
+        let controls = |log: &EventLog| -> Vec<Event> {
+            log.events
+                .iter()
+                .filter(|e| !matches!(e, Event::Read(..) | Event::Write(..)))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(controls(&logs[0]), controls(&logs[1]));
+        assert_eq!(
+            controls(&logs[0]),
+            controls(&serial),
+            "broadcast control stream must equal the serial elision's"
+        );
+    }
+}

@@ -19,9 +19,14 @@
 //! paper's programming model allows arbitrary point-to-point joins, so the
 //! runtime must not introduce such artificial cycles.
 //!
-//! Parallel runs are *not* instrumented — the paper's detector requires
-//! the serial depth-first order. This executor exists to demonstrate the
-//! determinism property (Appendix A: a race-free program computes the
+//! Plain [`run_parallel`] runs are *not* instrumented — the paper's
+//! detector requires the serial depth-first order. Under
+//! [`crate::online`]'s driver, however, the same executor records each
+//! task's accesses and sync actions into per-task buffers (a [`ParCtx`]
+//! carries an optional recorder) from which a canonical walker
+//! reconstructs the serial-elision stream *during* the run; see
+//! [`crate::online`] for that pipeline. The executor also demonstrates
+//! the determinism property (Appendix A: a race-free program computes the
 //! serial elision's answer under every schedule) and the Appendix-A
 //! deadlock scenario, surfaced as [`DeadlockError`] by global stall
 //! detection: if no thread is running task code, no task is queued, and at
@@ -29,41 +34,68 @@
 //! a deadlocked computation graph.
 
 use crate::api::TaskCtx;
+use crate::labels::TaskLabel;
 use crate::memory::MemCtx;
+use crate::monitor::TaskKind;
+use crate::online::{OnlineState, TaskRec};
 use crate::sync::{Condvar, Mutex};
 use futrace_util::ids::{LocId, TaskId};
+use futrace_util::rng::Rng;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A shared FIFO job queue (the std-only replacement for a work-stealing
+/// A shared job queue (the std-only replacement for a work-stealing
 /// deque). All submissions and steals go through one mutex; contention is
 /// acceptable because jobs in this runtime are coarse (task bodies), and
 /// FIFO order preserves the help-first submission semantics the pool
-/// relies on.
+/// relies on. With a steal seed the queue dequeues a uniformly random
+/// entry instead — deterministic *schedule exploration* for tests (the
+/// steal-index stream is a pure function of the seed), perturbing task
+/// interleavings the FIFO order would never produce.
 struct Injector<T> {
-    q: Mutex<VecDeque<T>>,
+    q: Mutex<InjectorState<T>>,
+}
+
+struct InjectorState<T> {
+    items: VecDeque<T>,
+    rng: Option<Rng>,
 }
 
 impl<T> Injector<T> {
-    fn new() -> Self {
+    fn new(steal_seed: Option<u64>) -> Self {
         Injector {
-            q: Mutex::new(VecDeque::new()),
+            q: Mutex::new(InjectorState {
+                items: VecDeque::new(),
+                rng: steal_seed.map(Rng::seeded),
+            }),
         }
     }
 
     fn push(&self, item: T) {
-        self.q.lock().push_back(item);
+        self.q.lock().items.push_back(item);
     }
 
     fn steal(&self) -> Option<T> {
-        self.q.lock().pop_front()
+        let mut g = self.q.lock();
+        let InjectorState { items, rng } = &mut *g;
+        match rng {
+            None => items.pop_front(),
+            Some(rng) => {
+                if items.is_empty() {
+                    None
+                } else {
+                    let i = rng.gen_range(0..items.len() as u64) as usize;
+                    items.remove(i)
+                }
+            }
+        }
     }
 
     fn is_empty(&self) -> bool {
-        self.q.lock().is_empty()
+        self.q.lock().items.is_empty()
     }
 }
 
@@ -192,6 +224,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
                     finish: Arc::new(FinishScope {
                         pending: AtomicUsize::new(0),
                     }),
+                    rec: None,
                 };
                 let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
                 shared.active.fetch_sub(1, Ordering::SeqCst);
@@ -251,12 +284,29 @@ pub struct ParCtx {
     /// The finish scope a task spawned right now would register with (its
     /// prospective IEF).
     finish: Arc<FinishScope>,
+    /// Online recorder (access buffer + sync-point publisher); present iff
+    /// the pool runs under [`crate::online::run_online`].
+    rec: Option<TaskRec>,
 }
 
 impl ParCtx {
     fn submit(&self, job: Job) {
         self.shared.queue.push(job);
         self.shared.notify();
+    }
+
+    /// This task's fork-path label, when the run is online-instrumented.
+    /// Labels are maintained O(1) at spawn (see [`crate::labels`]).
+    pub fn task_label(&self) -> Option<&TaskLabel> {
+        self.rec.as_ref().map(|r| r.label())
+    }
+
+    /// Final publish + end mark for this task's recorder (no-op when
+    /// uninstrumented). Called by the pool after a task body returns.
+    fn end_recording(&mut self) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.end();
+        }
     }
 
     /// Blocks until `done()` holds, with compensation and stall detection.
@@ -354,15 +404,27 @@ impl ParCtx {
 }
 
 impl MemCtx for ParCtx {
-    fn alloc(&mut self, n: u32, _name: &str) -> LocId {
-        LocId(self.shared.next_loc.fetch_add(n, Ordering::Relaxed))
+    fn alloc(&mut self, n: u32, name: &str) -> LocId {
+        let base = self.shared.next_loc.fetch_add(n, Ordering::Relaxed);
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_alloc(base, n, name);
+        }
+        LocId(base)
     }
 
     #[inline]
-    fn on_read(&mut self, _loc: LocId) {}
+    fn on_read(&mut self, loc: LocId) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_access(loc, false);
+        }
+    }
 
     #[inline]
-    fn on_write(&mut self, _loc: LocId) {}
+    fn on_write(&mut self, loc: LocId) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_access(loc, true);
+        }
+    }
 }
 
 impl TaskCtx for ParCtx {
@@ -377,6 +439,12 @@ impl TaskCtx for ParCtx {
         F: FnOnce(&mut Self) + Send + 'static,
     {
         let child = TaskId(self.shared.next_task.fetch_add(1, Ordering::Relaxed));
+        // The child's slot must exist (and the spawn be published) before
+        // the job can run, so the canonical walker always finds it.
+        let pre = self
+            .rec
+            .as_mut()
+            .map(|rec| rec.record_spawn(child.0, TaskKind::Async));
         let scope = Arc::clone(&self.finish);
         scope.pending.fetch_add(1, Ordering::SeqCst);
         self.submit(Box::new(move |host: &mut ParCtx| {
@@ -385,8 +453,10 @@ impl TaskCtx for ParCtx {
                 shared: Arc::clone(&host.shared),
                 cur: child,
                 finish: Arc::clone(&scope),
+                rec: pre.map(TaskRec::spawned),
             };
             f(&mut ctx);
+            ctx.end_recording();
             scope.pending.fetch_sub(1, Ordering::SeqCst);
             shared.notify();
         }));
@@ -396,6 +466,9 @@ impl TaskCtx for ParCtx {
     where
         F: FnOnce(&mut Self),
     {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_finish_start();
+        }
         let scope = Arc::new(FinishScope {
             pending: AtomicUsize::new(0),
         });
@@ -403,6 +476,9 @@ impl TaskCtx for ParCtx {
         f(self);
         self.finish = saved;
         self.wait_until(|| scope.pending.load(Ordering::SeqCst) == 0);
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_finish_end();
+        }
     }
 
     fn future<T, F>(&mut self, f: F) -> ParHandle<T>
@@ -411,6 +487,10 @@ impl TaskCtx for ParCtx {
         F: FnOnce(&mut Self) -> T + Send + 'static,
     {
         let child = TaskId(self.shared.next_task.fetch_add(1, Ordering::Relaxed));
+        let pre = self
+            .rec
+            .as_mut()
+            .map(|rec| rec.record_spawn(child.0, TaskKind::Future));
         let cell = Arc::new(FutCell {
             task: child,
             done: AtomicBool::new(false),
@@ -425,8 +505,10 @@ impl TaskCtx for ParCtx {
                 shared: Arc::clone(&host.shared),
                 cur: child,
                 finish: Arc::clone(&scope),
+                rec: pre.map(TaskRec::spawned),
             };
             let v = f(&mut ctx);
+            ctx.end_recording();
             *job_cell.value.lock() = Some(v);
             job_cell.done.store(true, Ordering::SeqCst);
             scope.pending.fetch_sub(1, Ordering::SeqCst);
@@ -441,6 +523,9 @@ impl TaskCtx for ParCtx {
     {
         let cell = Arc::clone(&h.cell);
         self.wait_until(|| cell.done.load(Ordering::SeqCst));
+        if let Some(rec) = self.rec.as_mut() {
+            rec.record_get(h.cell.task.0);
+        }
         h.cell
             .value
             .lock()
@@ -473,9 +558,59 @@ where
     R: Send,
     F: FnOnce(&mut ParCtx) -> R + Send,
 {
+    finish_pool(run_pool(threads, None, None, f))
+}
+
+/// [`run_parallel`] with a seeded random steal order: the pool dequeues a
+/// uniformly random queued task (index stream derived from `steal_seed`)
+/// instead of FIFO. Used by tests to explore schedules reproducibly —
+/// online detection verdicts must be identical across all of them.
+pub fn run_parallel_seeded<R, F>(threads: usize, steal_seed: u64, f: F) -> Result<R, DeadlockError>
+where
+    R: Send,
+    F: FnOnce(&mut ParCtx) -> R + Send,
+{
+    finish_pool(run_pool(threads, Some(steal_seed), None, f))
+}
+
+fn finish_pool<R>(out: PoolOutcome<R>) -> Result<R, DeadlockError> {
+    match out {
+        PoolOutcome::Done(r) => Ok(r),
+        PoolOutcome::Deadlock(e) => Err(e),
+        PoolOutcome::Panicked(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// How a pool run ended. [`crate::online`] needs the panic payload as a
+/// value (not an unwind) so it can shut the analysis pipeline down before
+/// re-raising.
+pub(crate) enum PoolOutcome<R> {
+    /// The program completed; all tasks joined.
+    Done(R),
+    /// Deterministic global-stall detection fired.
+    Deadlock(DeadlockError),
+    /// A task body (or the main closure) panicked.
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Pool driver shared by [`run_parallel`], [`run_parallel_seeded`], and
+/// [`crate::online::run_online`]: runs `f` as the main task, waits for the
+/// root scope, shuts the pool down, and classifies the outcome. When
+/// `online` is set, every task (main included) records its actions for the
+/// canonical walker.
+pub(crate) fn run_pool<R, F>(
+    threads: usize,
+    steal_seed: Option<u64>,
+    online: Option<Arc<OnlineState>>,
+    f: F,
+) -> PoolOutcome<R>
+where
+    R: Send,
+    F: FnOnce(&mut ParCtx) -> R + Send,
+{
     assert!(threads >= 1, "need at least one thread");
     let shared = Arc::new(PoolShared {
-        queue: Injector::new(),
+        queue: Injector::new(steal_seed),
         active: AtomicI64::new(1), // the main task
         waiters: AtomicUsize::new(0),
         next_waiter: AtomicU64::new(0),
@@ -506,11 +641,13 @@ where
         shared: Arc::clone(&shared),
         cur: TaskId::MAIN,
         finish: Arc::clone(&root_scope),
+        rec: online.map(TaskRec::main),
     };
     let out = catch_unwind(AssertUnwindSafe(|| {
         let r = f(&mut main_ctx);
         // Implicit finish around main: wait for all outstanding tasks.
         main_ctx.wait_until(|| root_scope.pending.load(Ordering::SeqCst) == 0);
+        main_ctx.end_recording();
         r
     }));
 
@@ -525,17 +662,18 @@ where
     }
 
     match out {
-        Ok(r) => Ok(r),
+        Ok(r) => PoolOutcome::Done(r),
         Err(payload) => {
             if payload.downcast_ref::<PoisonUnwind>().is_some() {
                 if let Some(original) = shared.panic_payload.lock().take() {
-                    std::panic::resume_unwind(original);
+                    PoolOutcome::Panicked(original)
+                } else {
+                    PoolOutcome::Deadlock(DeadlockError {
+                        blocked_waits: shared.deadlock_waiters.load(Ordering::SeqCst),
+                    })
                 }
-                Err(DeadlockError {
-                    blocked_waits: shared.deadlock_waiters.load(Ordering::SeqCst),
-                })
             } else {
-                std::panic::resume_unwind(payload)
+                PoolOutcome::Panicked(payload)
             }
         }
     }

@@ -39,6 +39,7 @@ use futrace_offline::{
     SyntheticChunks, TraceError, TraceFingerprint,
 };
 use futrace_runtime::engine::{run_analysis, source, Analysis, Engine, EngineCounters};
+use futrace_runtime::online::OnlineStats;
 use futrace_runtime::{trace, Event};
 use futrace_util::crc32::crc32;
 use futrace_util::faultinject::FaultPlan;
@@ -92,6 +93,10 @@ pub struct AnalysisOutcome {
     pub sharding: Option<ShardStats>,
     /// What the supervisor did, when the supervised backend ran.
     pub supervision: Option<SupervisionReport>,
+    /// Online-pipeline telemetry (buffer publishes, canonical-walk
+    /// frontier waits, per-shard routing), when the source was an
+    /// instrumented parallel execution (`Analyze::program_parallel`).
+    pub online: Option<OnlineStats>,
 }
 
 impl AnalysisOutcome {
@@ -114,6 +119,7 @@ impl AnalysisOutcome {
             engine,
             sharding: None,
             supervision: None,
+            online: None,
         }
     }
 }

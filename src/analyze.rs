@@ -47,9 +47,10 @@
 //! same program feed the serial, sharded, and supervised backends
 //! unchanged.
 
-use crate::detector::DetectorConfig;
+use crate::detector::{DetectorConfig, OnlineDtrg};
 use crate::offline::TraceError;
-use crate::runtime::{run_serial, Event, EventLog, SerialCtx};
+use crate::runtime::online::{run_online, OnlineOptions};
+use crate::runtime::{run_serial, Event, EventLog, ParCtx, SerialCtx};
 use crate::service::{Session, SessionConfig, SessionError};
 
 pub use crate::service::AnalysisOutcome;
@@ -70,6 +71,10 @@ pub enum AnalyzeError {
     /// checkpoint interval) — reported before any work runs, never a
     /// panic deep in a backend.
     Config(String),
+    /// The instrumented parallel execution deadlocked (a `get()` cycle,
+    /// Appendix A). The detector saw only the prefix executed before the
+    /// stall, so no verdict is returned.
+    Deadlock(String),
 }
 
 impl std::fmt::Display for AnalyzeError {
@@ -79,6 +84,7 @@ impl std::fmt::Display for AnalyzeError {
             AnalyzeError::Trace(e) => write!(f, "invalid trace: {e}"),
             AnalyzeError::Supervise(e) => write!(f, "supervised run failed: {e}"),
             AnalyzeError::Config(e) => write!(f, "invalid analysis options: {e}"),
+            AnalyzeError::Deadlock(e) => write!(f, "parallel execution deadlocked: {e}"),
         }
     }
 }
@@ -105,9 +111,11 @@ impl From<SessionError> for AnalyzeError {
 }
 
 type Program<'a> = Box<dyn FnOnce(&mut SerialCtx<EventLog>) + 'a>;
+type ParProgram<'a> = Box<dyn FnOnce(&mut ParCtx) + Send + 'a>;
 
 enum Source<'a> {
     Program(Program<'a>),
+    ParallelProgram { threads: usize, f: ParProgram<'a> },
     TracePath(String),
     TraceBytes(&'a [u8]),
     Events(&'a [Event]),
@@ -123,6 +131,7 @@ pub struct Analyze<'a> {
     checkpoint_every: Option<u64>,
     fault_seed: Option<u64>,
     lenient: bool,
+    steal_seed: Option<u64>,
 }
 
 impl<'a> Analyze<'a> {
@@ -134,6 +143,7 @@ impl<'a> Analyze<'a> {
             checkpoint_every: None,
             fault_seed: None,
             lenient: false,
+            steal_seed: None,
         }
     }
 
@@ -146,6 +156,31 @@ impl<'a> Analyze<'a> {
         F: FnOnce(&mut SerialCtx<EventLog>) + 'a,
     {
         Analyze::new(Source::Program(Box::new(f)))
+    }
+
+    /// Analyzes an *instrumented parallel* execution of `f` on `threads`
+    /// worker threads — detection happens online, while the program runs.
+    /// Per-task access buffers are merged at scheduler sync points, a
+    /// canonical walker reconstructs the serial-elision stream, and
+    /// detector shards (fitted to the machine's spare cores unless
+    /// [`Analyze::shards`] says otherwise) consume it concurrently with
+    /// execution. The verdict is
+    /// byte-identical to [`Analyze::program`] on the same program: same
+    /// races, same indices, same statistics — held by the online
+    /// equivalence propcheck. The outcome's `online` field carries the
+    /// pipeline telemetry.
+    ///
+    /// Trace-replay options ([`Analyze::checkpoint_every`],
+    /// [`Analyze::fault_plan`], [`Analyze::lenient`]) do not apply to a
+    /// live parallel execution and are [`AnalyzeError::Config`] errors.
+    pub fn program_parallel<F>(threads: usize, f: F) -> Self
+    where
+        F: FnOnce(&mut ParCtx) + Send + 'a,
+    {
+        Analyze::new(Source::ParallelProgram {
+            threads,
+            f: Box::new(f),
+        })
     }
 
     /// Analyzes a recorded trace file (flat v1 or framed v2, sniffed by
@@ -202,6 +237,15 @@ impl<'a> Analyze<'a> {
         self
     }
 
+    /// Seeds randomized steal order for [`Analyze::program_parallel`]
+    /// (schedule exploration: different seeds exercise different
+    /// interleavings; the verdict is canonical regardless). Only
+    /// meaningful for the parallel-program source.
+    pub fn steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = Some(seed);
+        self
+    }
+
     /// Runs the configured analysis: open a session, feed it the whole
     /// source, finish it. (`tracetool serve` drives the same session
     /// chunk by chunk; the backend logic lives in one place.)
@@ -213,7 +257,25 @@ impl<'a> Analyze<'a> {
             checkpoint_every,
             fault_seed,
             lenient,
+            steal_seed,
         } = self;
+        if let Source::ParallelProgram { threads, f } = source {
+            return Self::run_parallel_source(
+                threads,
+                f,
+                config,
+                shards,
+                checkpoint_every,
+                fault_seed,
+                lenient,
+                steal_seed,
+            );
+        }
+        if steal_seed.is_some() {
+            return Err(AnalyzeError::Config(
+                "steal_seed() applies only to program_parallel sources".into(),
+            ));
+        }
         let mut session = Session::open(SessionConfig {
             detector: config,
             shards,
@@ -233,8 +295,69 @@ impl<'a> Analyze<'a> {
             }
             Source::TraceBytes(b) => session.feed_trace(b.to_vec())?,
             Source::Events(e) => session.feed_events(e.to_vec())?,
+            Source::ParallelProgram { .. } => unreachable!("dispatched above"),
         }
         Ok(session.finish()?)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel_source(
+        threads: usize,
+        f: ParProgram<'a>,
+        config: DetectorConfig,
+        shards: Option<usize>,
+        checkpoint_every: Option<u64>,
+        fault_seed: Option<u64>,
+        lenient: bool,
+        steal_seed: Option<u64>,
+    ) -> Result<AnalysisOutcome, AnalyzeError> {
+        if threads == 0 {
+            return Err(AnalyzeError::Config(
+                "program_parallel(0, ..): need at least one worker thread".into(),
+            ));
+        }
+        if shards == Some(0) {
+            return Err(AnalyzeError::Config(
+                "shards(0): need at least one detect worker".into(),
+            ));
+        }
+        if checkpoint_every.is_some() || fault_seed.is_some() {
+            return Err(AnalyzeError::Config(
+                "checkpoint_every()/fault_plan() apply to replayed traces, \
+                 not to a live parallel execution"
+                    .into(),
+            ));
+        }
+        if lenient {
+            return Err(AnalyzeError::Config(
+                "lenient() applies to framed trace sources".into(),
+            ));
+        }
+        let opts = OnlineOptions {
+            threads,
+            shards: shards.unwrap_or_else(|| OnlineOptions::auto(threads).shards),
+            steal_seed,
+        };
+        let run = run_online(opts, OnlineDtrg::with_config(config), f);
+        if let Err(e) = run.result {
+            return Err(AnalyzeError::Deadlock(e.to_string()));
+        }
+        let mut engine = run.engine;
+        // Same cache-counter enrichment the session layer applies: hits
+        // from both cache layers, misses from the memo.
+        engine.cache_hits = run.report.stats.dtrg.memo_hits + run.report.stats.dtrg.shadow_hits;
+        engine.cache_misses = run.report.stats.dtrg.memo_misses;
+        let mut outcome = AnalysisOutcome {
+            races: run.report.report,
+            stats: run.report.stats,
+            footprint: run.report.footprint,
+            engine,
+            sharding: None,
+            supervision: None,
+            online: None,
+        };
+        outcome.online = Some(run.stats);
+        Ok(outcome)
     }
 }
 
@@ -248,6 +371,81 @@ mod tests {
         let x2 = x.clone();
         let _f = ctx.future(move |ctx| x2.write(ctx, 1));
         let _ = x.read(ctx); // no get(): a race
+    }
+
+    #[test]
+    fn program_parallel_matches_serial_program() {
+        fn prog<C: TaskCtx>(ctx: &mut C) {
+            let x = ctx.shared_var(0u64, "x");
+            let x2 = x.clone();
+            let f = ctx.future(move |ctx| x2.write(ctx, 1));
+            ctx.get(&f);
+            let y = ctx.shared_var(0u64, "y");
+            let y2 = y.clone();
+            let _unjoined = ctx.future(move |ctx| y2.write(ctx, 2));
+            let _ = y.read(ctx); // races with the unjoined writer
+        }
+
+        let serial = Analyze::program(|ctx| prog(ctx)).run().unwrap();
+        assert!(serial.has_races());
+        for threads in [1usize, 2, 4] {
+            let par = Analyze::program_parallel(threads, |ctx| prog(ctx))
+                .run()
+                .unwrap();
+            assert_eq!(par.races.races, serial.races.races);
+            assert_eq!(par.races.total_detected, serial.races.total_detected);
+            assert_eq!(par.stats.shared_mem(), serial.stats.shared_mem());
+            assert_eq!(par.engine.checks(), serial.engine.checks());
+            let online = par.online.expect("parallel runs carry telemetry");
+            assert_eq!(online.threads, threads);
+            assert_eq!(online.shards, OnlineOptions::auto(threads).shards);
+            assert!(online.publishes > 0);
+            assert!(!online.truncated);
+        }
+    }
+
+    #[test]
+    fn program_parallel_rejects_trace_only_options() {
+        let noop = |_: &mut crate::runtime::ParCtx| {};
+        let err = Analyze::program_parallel(2, noop)
+            .checkpoint_every(4)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+
+        let err = Analyze::program_parallel(2, noop)
+            .fault_plan(7)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+
+        let err = Analyze::program_parallel(2, noop)
+            .lenient(true)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+
+        let err = Analyze::program_parallel(0, noop).run().unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+
+        let err = Analyze::program(racy).steal_seed(3).run().unwrap_err();
+        assert!(matches!(err, AnalyzeError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn program_parallel_deadlock_is_an_error() {
+        let err = Analyze::program_parallel(2, |ctx| {
+            let (tx, rx) = std::sync::mpsc::channel::<crate::runtime::ParHandle<u64>>();
+            let a = ctx.future(move |ctx| {
+                let h = rx.recv().unwrap();
+                ctx.get(&h) // waits on itself: Appendix A's cycle
+            });
+            tx.send(a.clone()).unwrap();
+            ctx.get(&a);
+        })
+        .run()
+        .unwrap_err();
+        assert!(matches!(err, AnalyzeError::Deadlock(_)), "{err}");
     }
 
     #[test]

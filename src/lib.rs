@@ -30,6 +30,20 @@
 //!   streaming client. One-shot `Analyze` runs ride the same sessions.
 //! * [`util`] — union-find, interval labels, hashing, stats.
 //!
+//! ## Two driving surfaces
+//!
+//! Everything public funnels through two entry points:
+//!
+//! * [`Analyze`] — the builder covering every *source* (DSL program,
+//!   instrumented parallel execution, trace file, trace blob, event
+//!   slice) and every *backend* (serial, sharded, supervised, online
+//!   parallel), always returning one [`AnalysisOutcome`].
+//! * [`runtime::online::ParMonitor`] — the trait a custom analysis
+//!   implements to consume the canonical event stream concurrently
+//!   (sharded workers, deterministic merge). Any serial
+//!   [`runtime::Monitor`] adapts for free via
+//!   [`runtime::online::Serialized`].
+//!
 //! ```
 //! use futrace::prelude::*;
 //!
@@ -47,6 +61,22 @@
 //! .run()
 //! .unwrap();
 //! assert!(outcome.has_races());
+//!
+//! // The same program, detected online while it executes on 2 worker
+//! // threads: byte-identical verdict, plus pipeline telemetry.
+//! let online = Analyze::program_parallel(2, |ctx| {
+//!     let x = ctx.shared_var(0i64, "x");
+//!     ctx.finish(|ctx| {
+//!         let xa = x.clone();
+//!         ctx.async_task(move |ctx| xa.write(ctx, 1));
+//!         let xb = x.clone();
+//!         ctx.async_task(move |ctx| xb.write(ctx, 2));
+//!     });
+//! })
+//! .run()
+//! .unwrap();
+//! assert_eq!(online.races.races, outcome.races.races);
+//! assert!(online.online.is_some());
 //! ```
 
 pub mod analyze;
@@ -64,21 +94,27 @@ pub use futrace_service as service;
 pub use futrace_util as util;
 
 /// Convenience prelude for examples and downstream users.
+///
+/// The two driving surfaces are [`Analyze`] (every source, every
+/// backend, one outcome shape) and [`ParMonitor`] (custom analyses over
+/// the canonical stream, online). The `detect_races*` helpers are
+/// deprecated and no longer re-exported here — migrate to
+/// `Analyze::program(f).run()`; they remain reachable at
+/// [`detector::detect_races`] until removal.
 pub mod prelude {
     pub use crate::analyze::{AnalysisOutcome, Analyze, AnalyzeError};
-    // The deprecated entry points stay exported so existing callers keep
-    // compiling during the migration window.
-    #[allow(deprecated)]
-    pub use futrace_detector::{detect_races, detect_races_in_trace, detect_races_with_stats};
     pub use futrace_detector::{
-        DetectorConfig, DtrgReport, MemoryFootprint, RaceDetector, RaceReport,
+        DetectorConfig, DtrgReport, MemoryFootprint, OnlineDtrg, RaceDetector, RaceReport,
     };
     pub use futrace_runtime::accumulator::Accumulator;
     pub use futrace_runtime::engine::{
         run_analysis, run_analysis_live, run_analysis_recorded, Analysis, Engine, EngineCounters,
     };
     pub use futrace_runtime::memory::{SharedArray, SharedVar};
+    pub use futrace_runtime::online::{
+        run_online, OnlineOptions, OnlineRun, OnlineStats, ParMonitor, Serialized,
+    };
     pub use futrace_runtime::serial::{run_serial, FutureHandle, SerialCtx};
-    pub use futrace_runtime::{run_parallel, TaskCtx};
+    pub use futrace_runtime::{run_parallel, run_parallel_seeded, ParCtx, TaskCtx};
     pub use futrace_util::ids::{LocId, StepId, TaskId};
 }
